@@ -1,0 +1,142 @@
+//! Static test-set compaction.
+//!
+//! ATPG emits one vector per targeted fault; most vectors detect many
+//! faults, so the set is highly redundant. [`compact_tests`] implements
+//! classic reverse-order greedy compaction: walk the vectors from last to
+//! first (late deterministic vectors tend to catch the hard faults) and
+//! keep a vector only if it detects a fault nothing kept so far detects.
+//! Coverage over the given fault list is preserved exactly.
+
+use kms_netlist::Network;
+
+use crate::fault::Fault;
+use crate::fsim::fault_simulate;
+
+/// The result of compacting a test set.
+#[derive(Clone, Debug)]
+pub struct CompactionReport {
+    /// The kept vectors, in original relative order.
+    pub tests: Vec<Vec<bool>>,
+    /// Number of vectors dropped.
+    pub dropped: usize,
+    /// Number of faults the compacted set detects (equal to the original
+    /// set's detection count).
+    pub detected: usize,
+}
+
+/// Compacts `tests` against `faults` without losing coverage.
+///
+/// # Panics
+///
+/// Panics if a vector's width differs from the network's input count.
+pub fn compact_tests(
+    net: &Network,
+    faults: &[Fault],
+    tests: &[Vec<bool>],
+) -> CompactionReport {
+    // Per-fault detection sets, computed once per vector via a restricted
+    // fault simulation (each vector alone).
+    // Cheaper: one simulation per vector over all faults.
+    let mut detects: Vec<Vec<usize>> = vec![Vec::new(); tests.len()];
+    for (ti, t) in tests.iter().enumerate() {
+        let report = fault_simulate(net, faults, std::slice::from_ref(t));
+        for (fi, hit) in report.detected_by.iter().enumerate() {
+            if hit.is_some() {
+                detects[ti].push(fi);
+            }
+        }
+    }
+    let total_detected = {
+        let mut any = vec![false; faults.len()];
+        for d in &detects {
+            for &fi in d {
+                any[fi] = true;
+            }
+        }
+        any.iter().filter(|&&b| b).count()
+    };
+    // Reverse greedy.
+    let mut covered = vec![false; faults.len()];
+    let mut keep = vec![false; tests.len()];
+    for ti in (0..tests.len()).rev() {
+        if detects[ti].iter().any(|&fi| !covered[fi]) {
+            keep[ti] = true;
+            for &fi in &detects[ti] {
+                covered[fi] = true;
+            }
+        }
+    }
+    let kept: Vec<Vec<bool>> = tests
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(t, _)| t.clone())
+        .collect();
+    CompactionReport {
+        dropped: tests.len() - kept.len(),
+        detected: total_detected,
+        tests: kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze_all, Engine};
+    use crate::fault::all_faults;
+    use kms_netlist::{Delay, GateKind, Network};
+
+    fn adder_cone() -> Network {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g1 = net.add_gate(GateKind::Xor, &[a, b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::And, &[g1, c], Delay::UNIT);
+        let g3 = net.add_gate(GateKind::Or, &[g2, a], Delay::UNIT);
+        net.add_output("y", g3);
+        net
+    }
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let net = adder_cone();
+        let faults = all_faults(&net);
+        let report = analyze_all(&net, Engine::Sat);
+        let tests = report.tests();
+        let before = fault_simulate(&net, &faults, &tests);
+        let compact = compact_tests(&net, &faults, &tests);
+        let after = fault_simulate(&net, &faults, &compact.tests);
+        assert_eq!(before.detected(), after.detected());
+        assert_eq!(compact.detected, before.detected());
+        assert!(compact.tests.len() <= tests.len());
+        assert_eq!(compact.dropped, tests.len() - compact.tests.len());
+    }
+
+    #[test]
+    fn compaction_actually_shrinks_redundant_sets() {
+        let net = adder_cone();
+        let faults = all_faults(&net);
+        // Exhaustive vectors: massively redundant.
+        let tests: Vec<Vec<bool>> = (0..8u32)
+            .map(|m| (0..3).map(|i| (m >> i) & 1 == 1).collect())
+            .collect();
+        let compact = compact_tests(&net, &faults, &tests);
+        assert!(compact.tests.len() < tests.len());
+        // Exhaustive vectors define the ceiling: compaction must match it.
+        let full = fault_simulate(&net, &faults, &tests);
+        let cov = fault_simulate(&net, &faults, &compact.tests);
+        assert_eq!(cov.detected(), full.detected());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let net = adder_cone();
+        let faults = all_faults(&net);
+        let compact = compact_tests(&net, &faults, &[]);
+        assert!(compact.tests.is_empty());
+        assert_eq!(compact.detected, 0);
+        let compact = compact_tests(&net, &[], &[vec![true, false, true]]);
+        assert!(compact.tests.is_empty(), "no faults → no vector is needed");
+    }
+}

@@ -1,0 +1,496 @@
+//! Testability verdicts and whole-circuit redundancy identification.
+//!
+//! Two complete engines answer "is this stuck-at fault testable?":
+//! [`Engine::Podem`] (structural search) and [`Engine::Sat`] (good/faulty
+//! miter, cf. Schulz–Auth [22] whose ATPG the paper's implementation
+//! used). They are cross-checked against each other in the test suites.
+
+use kms_netlist::Network;
+
+use crate::fault::{all_faults, collapsed_faults, Fault, FaultSite};
+use crate::podem::{podem, PodemResult};
+
+/// Which decision procedure to use for testability queries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Default)]
+pub enum Engine {
+    /// PODEM with the given backtrack limit (complete when the limit is
+    /// not hit; queries that hit the limit report
+    /// [`Testability::Unknown`]).
+    Podem {
+        /// Backtrack budget per fault.
+        backtrack_limit: u64,
+    },
+    /// SAT miter between the good and faulty circuits — always complete.
+    #[default]
+    Sat,
+    /// PODEM first (cheap structural search with a small budget), SAT as
+    /// the complete fallback for aborted queries — the classic two-stage
+    /// deterministic ATPG flow.
+    Hybrid {
+        /// PODEM backtrack budget before falling back to SAT.
+        podem_backtracks: u64,
+    },
+}
+
+
+/// The verdict for one fault.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Testability {
+    /// Detectable, with a test vector.
+    Testable(Vec<bool>),
+    /// Provably undetectable: the fault is redundant.
+    Redundant,
+    /// The engine's effort budget ran out (PODEM only).
+    Unknown,
+}
+
+impl Testability {
+    /// `true` for [`Testability::Redundant`].
+    pub fn is_redundant(&self) -> bool {
+        matches!(self, Testability::Redundant)
+    }
+}
+
+/// Decides testability of one fault.
+pub fn is_testable(net: &Network, fault: Fault, engine: Engine) -> Testability {
+    match engine {
+        Engine::Podem { backtrack_limit } => match podem(net, fault, backtrack_limit) {
+            PodemResult::Test(cube) => Testability::Testable(
+                cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect(),
+            ),
+            PodemResult::Redundant => Testability::Redundant,
+            PodemResult::Aborted => Testability::Unknown,
+        },
+        Engine::Sat => sat_testable(net, fault),
+        Engine::Hybrid { podem_backtracks } => {
+            match podem(net, fault, podem_backtracks) {
+                PodemResult::Test(cube) => Testability::Testable(
+                    cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect(),
+                ),
+                PodemResult::Redundant => Testability::Redundant,
+                PodemResult::Aborted => sat_testable(net, fault),
+            }
+        }
+    }
+}
+
+/// Cone-restricted SAT test generation: the classic miter, but only the
+/// fault's transitive fanout is duplicated — everything outside it is
+/// identical in the good and faulty circuits and is shared. The encoded
+/// subcircuit is the transitive fanin of the affected outputs, which for
+/// multi-output control logic is a small fraction of the network.
+fn sat_testable(net: &Network, fault: Fault) -> Testability {
+    use kms_netlist::{ConnRef, GateId};
+    use kms_sat::{Lit, NetworkCnf, SatResult, Solver};
+
+    let fanouts = net.fanouts();
+    let n = net.num_gate_slots();
+
+    // 1. The faulty region: gates whose value can differ from the good
+    //    circuit. Output faults perturb the gate itself; connection faults
+    //    perturb the sink gate.
+    let mut in_tfo = vec![false; n];
+    let mut stack: Vec<GateId> = vec![fault.observing_gate()];
+    while let Some(g) = stack.pop() {
+        if in_tfo[g.index()] {
+            continue;
+        }
+        in_tfo[g.index()] = true;
+        for c in &fanouts[g.index()] {
+            stack.push(c.gate);
+        }
+    }
+    // An output fault on a gate driving a PO directly is observable there
+    // even with no gate fanout; in_tfo already contains the gate itself.
+    let affected: Vec<usize> = net
+        .outputs()
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| in_tfo[o.src.index()])
+        .map(|(i, _)| i)
+        .collect();
+    if affected.is_empty() {
+        return Testability::Redundant; // fault effect cannot reach any PO
+    }
+
+    // 2. The relevant good subcircuit: TFI of the affected outputs.
+    let roots: Vec<GateId> = affected.iter().map(|&i| net.outputs()[i].src).collect();
+    let keep = kms_netlist::cone::transitive_fanin(net, &roots);
+
+    let mut solver = Solver::new();
+    let good = NetworkCnf::encode_masked(net, &mut solver, Some(&keep));
+
+    // 3. Faulty variables for TFO gates only (in topological order).
+    // `stuck` is a literal whose value equals the stuck-at value: a fresh
+    // variable pinned to `fault.stuck` by a unit clause.
+    let stuck: Lit = {
+        let v = solver.new_var();
+        solver.add_clause(&[v.lit(fault.stuck)]);
+        v.positive()
+    };
+    let mut faulty_var: Vec<Option<Lit>> = vec![None; n];
+    for id in net.topo_order() {
+        if !in_tfo[id.index()] || !keep[id.index()] {
+            continue;
+        }
+        if fault.site == FaultSite::GateOutput(id) {
+            faulty_var[id.index()] = Some(stuck);
+            continue;
+        }
+        let g = net.gate(id);
+        // Pin literals: faulty var inside the TFO, shared good var outside;
+        // the faulted connection reads the stuck literal.
+        let pins: Vec<Lit> = g
+            .pins
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                if fault.site == FaultSite::Conn(ConnRef::new(id, pi)) {
+                    stuck
+                } else if let Some(l) = faulty_var[p.src.index()] {
+                    l
+                } else {
+                    good.lit(p.src, true)
+                }
+            })
+            .collect();
+        let out = solver.new_var().positive();
+        encode_gate(&mut solver, g.kind, out, &pins);
+        faulty_var[id.index()] = Some(out);
+    }
+
+    // 4. Some affected output must differ.
+    let mut diffs: Vec<Lit> = Vec::new();
+    for &oi in &affected {
+        let src = net.outputs()[oi].src;
+        let gl = good.lit(src, true);
+        let Some(fl) = faulty_var[src.index()] else {
+            continue;
+        };
+        let d = solver.new_var().positive();
+        solver.add_clause(&[!d, gl, fl]);
+        solver.add_clause(&[!d, !gl, !fl]);
+        solver.add_clause(&[d, !gl, fl]);
+        solver.add_clause(&[d, gl, !fl]);
+        diffs.push(d);
+    }
+    if diffs.is_empty() || !solver.add_clause(&diffs) {
+        return Testability::Redundant;
+    }
+    match solver.solve() {
+        SatResult::Unsat => Testability::Redundant,
+        SatResult::Sat => Testability::Testable(good.model_inputs(&solver, net)),
+    }
+}
+
+/// Emits the Tseitin clauses tying `out` to `kind` over `pins` (faulty-cone
+/// gates reuse the same clause shapes as [`NetworkCnf`]).
+fn encode_gate(solver: &mut kms_sat::Solver, kind: kms_netlist::GateKind, out: kms_sat::Lit, pins: &[kms_sat::Lit]) {
+    use kms_netlist::GateKind;
+    match kind {
+        GateKind::Input | GateKind::Const(_) => unreachable!("sources are never in a TFO"),
+        GateKind::Buf => {
+            solver.add_clause(&[!out, pins[0]]);
+            solver.add_clause(&[out, !pins[0]]);
+        }
+        GateKind::Not => {
+            solver.add_clause(&[!out, !pins[0]]);
+            solver.add_clause(&[out, pins[0]]);
+        }
+        GateKind::And | GateKind::Nand => {
+            let o = if kind == GateKind::And { out } else { !out };
+            let mut big = vec![o];
+            for &a in pins {
+                solver.add_clause(&[!o, a]);
+                big.push(!a);
+            }
+            solver.add_clause(&big);
+        }
+        GateKind::Or | GateKind::Nor => {
+            let o = if kind == GateKind::Or { out } else { !out };
+            let mut big = vec![!o];
+            for &a in pins {
+                solver.add_clause(&[o, !a]);
+                big.push(a);
+            }
+            solver.add_clause(&big);
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = pins[0];
+            for (p, &b) in pins.iter().enumerate().skip(1) {
+                let last = p == pins.len() - 1;
+                let t = if last && kind == GateKind::Xor {
+                    out
+                } else if last {
+                    !out
+                } else {
+                    solver.new_var().positive()
+                };
+                solver.add_clause(&[!t, acc, b]);
+                solver.add_clause(&[!t, !acc, !b]);
+                solver.add_clause(&[t, !acc, b]);
+                solver.add_clause(&[t, acc, !b]);
+                acc = t;
+            }
+            if pins.len() == 1 {
+                let o = if kind == GateKind::Xor { out } else { !out };
+                solver.add_clause(&[!o, pins[0]]);
+                solver.add_clause(&[o, !pins[0]]);
+            }
+        }
+        GateKind::Mux => {
+            let (s, d0, d1) = (pins[0], pins[1], pins[2]);
+            solver.add_clause(&[s, !out, d0]);
+            solver.add_clause(&[s, out, !d0]);
+            solver.add_clause(&[!s, !out, d1]);
+            solver.add_clause(&[!s, out, !d1]);
+        }
+    }
+}
+
+/// A whole-circuit testability report over the collapsed fault set.
+#[derive(Clone, Debug)]
+pub struct TestabilityReport {
+    /// The faults analyzed.
+    pub faults: Vec<Fault>,
+    /// Per-fault verdicts (parallel to `faults`).
+    pub verdicts: Vec<Testability>,
+}
+
+impl TestabilityReport {
+    /// The redundant faults found.
+    pub fn redundant(&self) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .zip(&self.verdicts)
+            .filter(|(_, v)| v.is_redundant())
+            .map(|(&f, _)| f)
+            .collect()
+    }
+
+    /// Number of faults proved testable.
+    pub fn testable_count(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| matches!(v, Testability::Testable(_)))
+            .count()
+    }
+
+    /// Number of unresolved faults (engine budget exhausted).
+    pub fn unknown_count(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| matches!(v, Testability::Unknown))
+            .count()
+    }
+
+    /// `true` if every fault is testable — the circuit is fully
+    /// single-stuck-at testable (irredundant), the paper's goal state.
+    pub fn fully_testable(&self) -> bool {
+        self.testable_count() == self.faults.len()
+    }
+
+    /// The test vectors collected from the testable verdicts.
+    pub fn tests(&self) -> Vec<Vec<bool>> {
+        self.verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Testability::Testable(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Deterministic pseudo-random test vectors used to pre-screen faults
+/// before invoking a decision procedure (the classic ATPG flow: random
+/// patterns first, deterministic generation for the survivors).
+pub fn random_tests(net: &Network, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let n = net.inputs().len();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    (0..count)
+        .map(|_| (0..n).map(|_| next() & 1 == 1).collect())
+        .collect()
+}
+
+/// Analyzes every fault in the structurally collapsed fault set.
+pub fn analyze(net: &Network, engine: Engine) -> TestabilityReport {
+    analyze_faults(net, collapsed_faults(net), engine)
+}
+
+/// Analyzes the *full* (uncollapsed) fault universe.
+pub fn analyze_all(net: &Network, engine: Engine) -> TestabilityReport {
+    analyze_faults(net, all_faults(net), engine)
+}
+
+fn analyze_faults(net: &Network, faults: Vec<Fault>, engine: Engine) -> TestabilityReport {
+    // Random-pattern pre-screen: most testable faults fall to a few
+    // hundred cheap simulations; only the survivors pay for SAT/PODEM.
+    let tests = random_tests(net, 256, 0x4B4D_5331);
+    let coverage = crate::fsim::fault_simulate(net, &faults, &tests);
+    let verdicts = faults
+        .iter()
+        .zip(&coverage.detected_by)
+        .map(|(&f, hit)| match hit {
+            Some(ti) => Testability::Testable(tests[*ti].clone()),
+            None => is_testable(net, f, engine),
+        })
+        .collect();
+    TestabilityReport { faults, verdicts }
+}
+
+/// Finds one redundant fault, or `None` if the circuit is irredundant
+/// (over the collapsed fault set; equivalence-collapsing preserves the
+/// existence of redundancies).
+pub fn find_redundant_fault(net: &Network, engine: Engine) -> Option<Fault> {
+    let faults = collapsed_faults(net);
+    let tests = random_tests(net, 256, 0x4B4D_5331);
+    let coverage = crate::fsim::fault_simulate(net, &faults, &tests);
+    faults
+        .into_iter()
+        .zip(coverage.detected_by)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(f, _)| f)
+        .find(|&f| is_testable(net, f, engine).is_redundant())
+}
+
+/// Number of redundant faults in the collapsed fault set — the paper's
+/// Table I "No. Red." column.
+pub fn redundancy_count(net: &Network, engine: Engine) -> usize {
+    analyze(net, engine)
+        .verdicts
+        .iter()
+        .filter(|v| v.is_redundant())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::{Delay, GateKind, Network};
+
+    fn redundant_net() -> Network {
+        // y = a + a·b: the AND gate's s-a-0 is redundant.
+        let mut net = Network::new("r");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let t = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let y = net.add_gate(GateKind::Or, &[a, t], Delay::UNIT);
+        net.add_output("y", y);
+        net
+    }
+
+    fn clean_net() -> Network {
+        let mut net = Network::new("c");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::Xor, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        net
+    }
+
+    #[test]
+    fn engines_agree_on_redundant_circuit() {
+        let net = redundant_net();
+        let podem_engine = Engine::Podem {
+            backtrack_limit: 100_000,
+        };
+        let rp = analyze(&net, podem_engine);
+        let rs = analyze(&net, Engine::Sat);
+        assert_eq!(rp.faults, rs.faults);
+        for ((f, vp), vs) in rp.faults.iter().zip(&rp.verdicts).zip(&rs.verdicts) {
+            assert_eq!(
+                vp.is_redundant(),
+                vs.is_redundant(),
+                "engines disagree on {f}"
+            );
+        }
+        assert!(!rp.fully_testable());
+        assert!(!rp.redundant().is_empty());
+    }
+
+    #[test]
+    fn clean_circuit_fully_testable() {
+        let net = clean_net();
+        for engine in [
+            Engine::Sat,
+            Engine::Podem {
+                backtrack_limit: 10_000,
+            },
+        ] {
+            let r = analyze(&net, engine);
+            assert!(r.fully_testable(), "{engine:?}");
+            assert_eq!(r.unknown_count(), 0);
+            assert!(find_redundant_fault(&net, engine).is_none());
+            assert_eq!(redundancy_count(&net, engine), 0);
+        }
+    }
+
+    #[test]
+    fn test_vectors_actually_detect() {
+        let net = redundant_net();
+        let r = analyze(&net, Engine::Sat);
+        for (f, v) in r.faults.iter().zip(&r.verdicts) {
+            if let Testability::Testable(t) = v {
+                let faulty = crate::inject::faulty_copy(&net, *f);
+                assert_ne!(net.eval_bool(t), faulty.eval_bool(t), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_universe_finds_same_redundancy_presence() {
+        let net = redundant_net();
+        let collapsed = analyze(&net, Engine::Sat);
+        let full = analyze_all(&net, Engine::Sat);
+        assert_eq!(
+            collapsed.redundant().is_empty(),
+            full.redundant().is_empty()
+        );
+        assert!(full.faults.len() > collapsed.faults.len());
+    }
+
+    #[test]
+    fn testability_tests_feed_fault_simulation() {
+        let net = clean_net();
+        let r = analyze_all(&net, Engine::Sat);
+        let tests = r.tests();
+        let cov = crate::fsim::fault_simulate(&net, &r.faults, &tests);
+        assert!((cov.coverage() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod hybrid_tests {
+    use super::*;
+    use kms_netlist::{Delay, GateKind, Network};
+
+    #[test]
+    fn hybrid_agrees_with_sat_and_never_aborts() {
+        let mut net = Network::new("h");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let t = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let y = net.add_gate(GateKind::Or, &[a, t], Delay::UNIT);
+        let z = net.add_gate(GateKind::Xor, &[y, c], Delay::UNIT);
+        net.add_output("z", z);
+        // A zero-budget PODEM forces the SAT fallback on every query.
+        let hybrid = Engine::Hybrid {
+            podem_backtracks: 0,
+        };
+        for f in collapsed_faults(&net) {
+            let vh = is_testable(&net, f, hybrid);
+            let vs = is_testable(&net, f, Engine::Sat);
+            assert!(!matches!(vh, Testability::Unknown), "{f}");
+            assert_eq!(vh.is_redundant(), vs.is_redundant(), "{f}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Fault injection: building the faulty copy of a network.
+
+use kms_netlist::{Delay, Network};
+
+use crate::fault::{Fault, FaultSite};
+
+/// Injects `fault` into `net` in place (used on clones).
+///
+/// * Output faults replace the gate's driver with a constant for all of
+///   its consumers (the gate itself is left in place but disconnected).
+/// * Connection faults replace just that pin with a constant.
+pub fn inject_fault_in_place(net: &mut Network, fault: Fault) {
+    let c = net.add_const(fault.stuck);
+    match fault.site {
+        FaultSite::GateOutput(g) => {
+            let fanouts = net.fanouts();
+            for conn in &fanouts[g.index()] {
+                net.gate_mut(conn.gate).pins[conn.pin].src = c;
+            }
+            for i in 0..net.outputs().len() {
+                if net.outputs()[i].src == g {
+                    net.set_output_src(i, c);
+                }
+            }
+        }
+        FaultSite::Conn(conn) => {
+            net.gate_mut(conn.gate).pins[conn.pin] =
+                kms_netlist::Pin::with_delay(c, Delay::ZERO);
+        }
+    }
+}
+
+/// A faulty clone of `net` (gate ids preserved, since `Clone` keeps the
+/// arena). Input and output counts and order are preserved, so the copy
+/// can be mitered or simulated against the original positionally.
+pub fn faulty_copy(net: &Network, fault: Fault) -> Network {
+    let mut copy = net.clone();
+    inject_fault_in_place(&mut copy, fault);
+    debug_assert!(copy.validate().is_ok());
+    copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::{ConnRef, Delay, GateKind, Network};
+
+    #[test]
+    fn conn_fault_changes_function() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        let f = faulty_copy(&net, Fault::conn(ConnRef::new(g, 1), true));
+        // b stuck-at-1: y = a.
+        assert_eq!(f.eval_bool(&[true, false]), vec![true]);
+        assert_eq!(net.eval_bool(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn output_fault_rewires_all_consumers() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let g1 = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::And, &[g1, a], Delay::UNIT);
+        net.add_output("y", g2);
+        net.add_output("z", g1);
+        let f = faulty_copy(&net, Fault::output(g1, true));
+        // g1 stuck-at-1 everywhere: y = a, z = 1.
+        assert_eq!(f.eval_bool(&[true]), vec![true, true]);
+        assert_eq!(f.eval_bool(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn input_output_counts_preserved() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::Or, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        let f = faulty_copy(&net, Fault::output(a, false));
+        assert_eq!(f.inputs().len(), 2);
+        assert_eq!(f.outputs().len(), 1);
+        // a s-a-0: y = b.
+        assert_eq!(f.eval_bool(&[true, false]), vec![false]);
+    }
+}

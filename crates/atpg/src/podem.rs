@@ -1,0 +1,546 @@
+//! PODEM (path-oriented decision making) test generation.
+//!
+//! The five-valued D-calculus is represented as a pair of three-valued
+//! simulations (good, faulty): `D = (1,0)`, `D̄ = (0,1)`. Decisions are
+//! made only on primary inputs, with objective/backtrace heuristics and
+//! exhaustive backtracking, so the procedure is complete: exhausting the
+//! decision tree proves the fault redundant. Three-valued simulation is
+//! monotone in the unknowns, which is what makes the activation,
+//! D-frontier, and X-path prunes sound.
+
+use kms_netlist::{GateId, GateKind, Network, Value};
+
+use crate::fault::{Fault, FaultSite};
+
+/// The outcome of a PODEM run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PodemResult {
+    /// A detecting input cube (one [`Value`] per primary input; `X` means
+    /// either value works).
+    Test(Vec<Value>),
+    /// The decision tree was exhausted: the fault is untestable
+    /// (redundant).
+    Redundant,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+impl PodemResult {
+    /// The test as Booleans with `X` filled as 0, if a test was found.
+    pub fn test_vector(&self) -> Option<Vec<bool>> {
+        match self {
+            PodemResult::Test(cube) => Some(
+                cube.iter()
+                    .map(|v| v.to_bool().unwrap_or(false))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+}
+
+/// A good/faulty value pair (the five-valued calculus: 0, 1, X, D, D̄ plus
+/// the mixed partially-known states).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Pair {
+    good: Value,
+    faulty: Value,
+}
+
+impl Pair {
+    const X: Pair = Pair {
+        good: Value::X,
+        faulty: Value::X,
+    };
+
+    fn is_d_or_dbar(self) -> bool {
+        matches!(
+            (self.good, self.faulty),
+            (Value::One, Value::Zero) | (Value::Zero, Value::One)
+        )
+    }
+
+    fn has_unknown(self) -> bool {
+        self.good == Value::X || self.faulty == Value::X
+    }
+}
+
+fn eval3(kind: GateKind, vals: &[Value]) -> Value {
+    match kind {
+        GateKind::Input => unreachable!("inputs seeded"),
+        GateKind::Const(b) => Value::known(b),
+        GateKind::Buf => vals[0],
+        GateKind::Not => vals[0].not(),
+        GateKind::And | GateKind::Nand => {
+            let mut out = Value::One;
+            for &v in vals {
+                out = match (out, v) {
+                    (Value::Zero, _) | (_, Value::Zero) => Value::Zero,
+                    (Value::X, _) | (_, Value::X) => Value::X,
+                    _ => Value::One,
+                };
+            }
+            if kind == GateKind::Nand {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut out = Value::Zero;
+            for &v in vals {
+                out = match (out, v) {
+                    (Value::One, _) | (_, Value::One) => Value::One,
+                    (Value::X, _) | (_, Value::X) => Value::X,
+                    _ => Value::Zero,
+                };
+            }
+            if kind == GateKind::Nor {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut out = Value::Zero;
+            for &v in vals {
+                out = match (out, v) {
+                    (Value::X, _) | (_, Value::X) => Value::X,
+                    (a, b) => Value::known((a == Value::One) ^ (b == Value::One)),
+                };
+            }
+            if kind == GateKind::Xnor {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Mux => match vals[0] {
+            Value::Zero => vals[1],
+            Value::One => vals[2],
+            Value::X => {
+                if vals[1] == vals[2] && vals[1] != Value::X {
+                    vals[1]
+                } else {
+                    Value::X
+                }
+            }
+        },
+    }
+}
+
+/// The PODEM engine for one (network, fault) pair.
+pub struct Podem<'a> {
+    net: &'a Network,
+    fault: Fault,
+    order: Vec<GateId>,
+    pairs: Vec<Pair>,
+    pi_values: Vec<Value>,
+    backtrack_limit: u64,
+    backtracks: u64,
+}
+
+impl<'a> Podem<'a> {
+    /// Prepares a PODEM run. `backtrack_limit` bounds the search; for the
+    /// circuit sizes of the paper a limit in the thousands is effectively
+    /// complete.
+    pub fn new(net: &'a Network, fault: Fault, backtrack_limit: u64) -> Self {
+        Podem {
+            net,
+            fault,
+            order: net.topo_order(),
+            pairs: vec![Pair::X; net.num_gate_slots()],
+            pi_values: vec![Value::X; net.inputs().len()],
+            backtrack_limit,
+            backtracks: 0,
+        }
+    }
+
+    /// Full five-valued resimulation under the current PI assignment.
+    fn imply(&mut self) {
+        for slot in self.pairs.iter_mut() {
+            *slot = Pair::X;
+        }
+        let mut good_buf = Vec::new();
+        let mut faulty_buf = Vec::new();
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            let g = self.net.gate(id);
+            let mut pair = match g.kind {
+                GateKind::Input => {
+                    let pos = self
+                        .net
+                        .input_position(id)
+                        .expect("input gates are registered inputs");
+                    let v = self.pi_values[pos];
+                    Pair { good: v, faulty: v }
+                }
+                _ => {
+                    good_buf.clear();
+                    faulty_buf.clear();
+                    for (pin_idx, p) in g.pins.iter().enumerate() {
+                        let mut pv = self.pairs[p.src.index()];
+                        if self.fault.site
+                            == FaultSite::Conn(kms_netlist::ConnRef::new(id, pin_idx))
+                        {
+                            pv.faulty = Value::known(self.fault.stuck);
+                        }
+                        good_buf.push(pv.good);
+                        faulty_buf.push(pv.faulty);
+                    }
+                    Pair {
+                        good: eval3(g.kind, &good_buf),
+                        faulty: eval3(g.kind, &faulty_buf),
+                    }
+                }
+            };
+            if self.fault.site == FaultSite::GateOutput(id) {
+                pair.faulty = Value::known(self.fault.stuck);
+            }
+            self.pairs[id.index()] = pair;
+        }
+    }
+
+    /// `true` if some primary output currently observes the fault.
+    fn detected(&self) -> bool {
+        self.net.outputs().iter().any(|o| {
+            let mut p = self.pairs[o.src.index()];
+            if self.fault.site == FaultSite::GateOutput(o.src) {
+                p.faulty = Value::known(self.fault.stuck);
+            }
+            p.is_d_or_dbar()
+        })
+    }
+
+    /// The good value at the excitation source.
+    fn excitation_value(&self) -> Value {
+        self.pairs[self.fault.excitation_source(self.net).index()].good
+    }
+
+    /// Gates whose output is still (partly) unknown but which have a
+    /// D/D̄ on some input: the classic D-frontier.
+    fn d_frontier(&self) -> Vec<GateId> {
+        let mut out = Vec::new();
+        for &id in &self.order {
+            let g = self.net.gate(id);
+            if g.kind.is_source() {
+                continue;
+            }
+            if !self.pairs[id.index()].has_unknown() {
+                continue;
+            }
+            let has_d = g.pins.iter().enumerate().any(|(pin_idx, p)| {
+                let mut pv = self.pairs[p.src.index()];
+                if self.fault.site
+                    == FaultSite::Conn(kms_netlist::ConnRef::new(id, pin_idx))
+                {
+                    pv.faulty = Value::known(self.fault.stuck);
+                }
+                pv.is_d_or_dbar()
+            });
+            if has_d {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// `true` if some D-frontier gate reaches a primary output through
+    /// gates with unknown values (the X-path check).
+    fn x_path_exists(&self, frontier: &[GateId]) -> bool {
+        let fanouts = self.net.fanouts();
+        let mut seen = vec![false; self.net.num_gate_slots()];
+        let mut stack: Vec<GateId> = frontier.to_vec();
+        let po_drivers: Vec<GateId> = self.net.outputs().iter().map(|o| o.src).collect();
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            if !self.pairs[id.index()].has_unknown() {
+                continue;
+            }
+            if po_drivers.contains(&id) {
+                return true;
+            }
+            for c in &fanouts[id.index()] {
+                stack.push(c.gate);
+            }
+        }
+        false
+    }
+
+    /// The next objective `(gate, value)`: excite the fault, then drive it
+    /// through the first D-frontier gate.
+    fn objective(&self) -> Option<(GateId, bool)> {
+        let exc = self.excitation_value();
+        if exc == Value::X {
+            return Some((
+                self.fault.excitation_source(self.net),
+                !self.fault.stuck,
+            ));
+        }
+        let frontier = self.d_frontier();
+        let g = *frontier.first()?;
+        let gate = self.net.gate(g);
+        // Set an unknown input to the gate's noncontrolling value (or an
+        // arbitrary value for parity-style gates).
+        for (pin_idx, p) in gate.pins.iter().enumerate() {
+            let pv = self.pairs[p.src.index()];
+            if pv.good == Value::X {
+                let v = match gate.kind {
+                    GateKind::Mux if pin_idx == 0 => {
+                        // Select the data pin carrying the D, if any.
+                        
+                        self.pairs[gate.pins[2].src.index()].is_d_or_dbar()
+                    }
+                    _ => gate.kind.noncontrolling_value().unwrap_or(false),
+                };
+                return Some((p.src, v));
+            }
+        }
+        None
+    }
+
+    /// Backtraces an objective to an unassigned primary input.
+    fn backtrace(&self, mut gate: GateId, mut value: bool) -> Option<(usize, bool)> {
+        loop {
+            let g = self.net.gate(gate);
+            match g.kind {
+                GateKind::Input => {
+                    let pos = self
+                        .net
+                        .input_position(gate)
+                        .expect("input gates are registered");
+                    return if self.pi_values[pos] == Value::X {
+                        Some((pos, value))
+                    } else {
+                        None
+                    };
+                }
+                GateKind::Const(_) => return None,
+                GateKind::Buf => gate = g.pins[0].src,
+                GateKind::Not => {
+                    value = !value;
+                    gate = g.pins[0].src;
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    if g.kind.is_inverting() {
+                        value = !value;
+                    }
+                    // Pick the first input with an unknown good value.
+                    let next = g
+                        .pins
+                        .iter()
+                        .find(|p| self.pairs[p.src.index()].good == Value::X)?;
+                    gate = next.src;
+                    // For AND a 0 objective needs one 0 input; a 1 needs
+                    // all 1 — either way the chosen input takes `value`.
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Parity of the known inputs, folded into the target.
+                    let mut v = value ^ (g.kind == GateKind::Xnor);
+                    let mut next = None;
+                    for p in &g.pins {
+                        match self.pairs[p.src.index()].good {
+                            Value::One => v = !v,
+                            Value::Zero => {}
+                            Value::X => {
+                                if next.is_none() {
+                                    next = Some(p.src);
+                                }
+                            }
+                        }
+                    }
+                    gate = next?;
+                    value = v;
+                }
+                GateKind::Mux => {
+                    let sel = self.pairs[g.pins[0].src.index()].good;
+                    match sel {
+                        Value::Zero => gate = g.pins[1].src,
+                        Value::One => gate = g.pins[2].src,
+                        Value::X => {
+                            // Drive the select first (to 0, arbitrarily).
+                            gate = g.pins[0].src;
+                            value = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the search.
+    pub fn run(&mut self) -> PodemResult {
+        // Decision stack: (pi index, current value, flipped already?).
+        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+        loop {
+            self.imply();
+            if self.detected() {
+                return PodemResult::Test(self.pi_values.clone());
+            }
+            let mut failed = self.excitation_value() == Value::known(self.fault.stuck);
+            if !failed && self.excitation_value() != Value::X {
+                let frontier = self.d_frontier();
+                failed = frontier.is_empty() || !self.x_path_exists(&frontier);
+            }
+            if !failed {
+                match self.objective().and_then(|(g, v)| self.backtrace(g, v)) {
+                    Some((pi, v)) => {
+                        self.pi_values[pi] = Value::known(v);
+                        stack.push((pi, v, false));
+                        continue;
+                    }
+                    None => failed = true,
+                }
+            }
+            debug_assert!(failed);
+            // Backtrack.
+            loop {
+                match stack.pop() {
+                    None => return PodemResult::Redundant,
+                    Some((pi, v, flipped)) => {
+                        if flipped {
+                            self.pi_values[pi] = Value::X;
+                            continue;
+                        }
+                        self.backtracks += 1;
+                        if self.backtracks > self.backtrack_limit {
+                            return PodemResult::Aborted;
+                        }
+                        self.pi_values[pi] = Value::known(!v);
+                        stack.push((pi, !v, true));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: run PODEM on `(net, fault)`.
+pub fn podem(net: &Network, fault: Fault, backtrack_limit: u64) -> PodemResult {
+    Podem::new(net, fault, backtrack_limit).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::all_faults;
+    use crate::inject::faulty_copy;
+    use kms_netlist::{ConnRef, Delay, GateKind, Network};
+
+    fn verify_test(net: &Network, fault: Fault, cube: &[Value]) {
+        let bits: Vec<bool> = cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect();
+        let faulty = faulty_copy(net, fault);
+        assert_ne!(
+            net.eval_bool(&bits),
+            faulty.eval_bool(&bits),
+            "vector must distinguish good and faulty circuits for {fault}"
+        );
+    }
+
+    #[test]
+    fn and_gate_all_faults_testable() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        for f in all_faults(&net) {
+            match podem(&net, f, 1000) {
+                PodemResult::Test(cube) => verify_test(&net, f, &cube),
+                other => panic!("{f} should be testable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn classic_redundancy_detected() {
+        // y = (a AND b) OR (a AND NOT b) OR b  — actually use the classic:
+        // y = a·b + a·b̄ = a; realize non-minimally: t1 = a·b, t2 = a·b̄,
+        // y = t1 + t2 + a — the `+ a` makes t1/t2 connection faults
+        // redundant? Use the textbook case: y = a + a·b: the connection
+        // b (and the AND gate) is redundant for s-a-…
+        let mut net = Network::new("r");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let t = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let y = net.add_gate(GateKind::Or, &[a, t], Delay::UNIT);
+        net.add_output("y", y);
+        // t s-a-0 is undetectable: y = a + a·b = a either way.
+        let f = Fault::output(t, false);
+        assert_eq!(podem(&net, f, 10_000), PodemResult::Redundant);
+        // But t s-a-1 is testable (y becomes 1 when a=0).
+        let f1 = Fault::output(t, true);
+        match podem(&net, f1, 10_000) {
+            PodemResult::Test(cube) => verify_test(&net, f1, &cube),
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_fault_distinct_from_stem() {
+        // a fans out to both pins of an OR: a→or(a,a). The connection
+        // faults s-a-0 are redundant (other branch still carries a), the
+        // stem fault is testable.
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let g = net.add_gate(GateKind::Or, &[a, a], Delay::UNIT);
+        net.add_output("y", g);
+        assert!(matches!(
+            podem(&net, Fault::conn(ConnRef::new(g, 0), false), 1000),
+            PodemResult::Redundant
+        ));
+        assert!(matches!(
+            podem(&net, Fault::output(a, false), 1000),
+            PodemResult::Test(_)
+        ));
+    }
+
+    #[test]
+    fn xor_cone_faults() {
+        let mut net = Network::new("x");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g1 = net.add_gate(GateKind::Xor, &[a, b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::Xor, &[g1, c], Delay::UNIT);
+        net.add_output("y", g2);
+        // XOR trees are fully testable.
+        for f in all_faults(&net) {
+            match podem(&net, f, 10_000) {
+                PodemResult::Test(cube) => verify_test(&net, f, &cube),
+                other => panic!("{f} in XOR tree must be testable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn abort_on_tiny_limit() {
+        // A 6-input parity tree with limit 0 must abort (or find a test
+        // with zero backtracks — parity usually needs none, so use a
+        // redundancy which requires exhausting the tree).
+        let mut net = Network::new("r");
+        let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
+        let t = net.add_gate(GateKind::And, &ins[..2], Delay::UNIT);
+        let y = net.add_gate(GateKind::Or, &[ins[0], t], Delay::UNIT);
+        let z = net.add_gate(
+            GateKind::Xor,
+            &[y, ins[2], ins[3], ins[4], ins[5]],
+            Delay::UNIT,
+        );
+        net.add_output("y", z);
+        let f = Fault::output(t, false);
+        assert_eq!(podem(&net, f, 0), PodemResult::Aborted);
+        assert_eq!(podem(&net, f, 1_000_000), PodemResult::Redundant);
+    }
+
+    #[test]
+    fn test_vector_helper() {
+        let r = PodemResult::Test(vec![Value::One, Value::X]);
+        assert_eq!(r.test_vector(), Some(vec![true, false]));
+        assert_eq!(PodemResult::Redundant.test_vector(), None);
+    }
+}

@@ -1,0 +1,586 @@
+use std::collections::HashMap;
+
+/// A reference to a BDD node owned by a [`BddManager`].
+///
+/// The two terminals are [`Bdd::FALSE`] and [`Bdd::TRUE`]; all other values
+/// index internal nodes. References are only meaningful together with the
+/// manager that created them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// `true` for the constant-false terminal.
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// `true` for the constant-true terminal.
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// `true` for either terminal.
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+/// A reduced ordered BDD manager with hash-consing and an ITE operation
+/// cache. Variable order is the allocation order (variable 0 at the top).
+///
+/// The manager provides the *smoothing* operator of McGeer–Brayton viability
+/// analysis — existential quantification ([`BddManager::exists`]) — which
+/// the paper's Section V.1 uses to ignore late side-inputs ("they are
+/// smoothed out").
+///
+/// ```
+/// use kms_bdd::BddManager;
+/// let mut m = BddManager::new(2);
+/// let a = m.var(0);
+/// let b = m.var(1);
+/// let f = m.and(a, b);
+/// let g = m.exists(f, 1); // smooth out b: ∃b. a·b = a
+/// assert_eq!(g, a);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    exists_cache: HashMap<(Bdd, u32), Bdd>,
+    num_vars: usize,
+}
+
+impl BddManager {
+    /// A manager over `num_vars` variables (indices `0..num_vars`).
+    pub fn new(num_vars: usize) -> Self {
+        let nodes = vec![
+            Node {
+                var: TERMINAL_VAR,
+                lo: Bdd::FALSE,
+                hi: Bdd::FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Bdd::TRUE,
+                hi: Bdd::TRUE,
+            },
+        ];
+        BddManager {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            exists_cache: HashMap::new(),
+            num_vars,
+        }
+    }
+
+    /// The number of variables in the manager's order.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Grows the variable order to at least `n` variables.
+    pub fn ensure_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// The number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    fn var_of(&self, f: Bdd) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    fn lo(&self, f: Bdd) -> Bdd {
+        self.nodes[f.0 as usize].lo
+    }
+
+    fn hi(&self, f: Bdd) -> Bdd {
+        self.nodes[f.0 as usize].hi
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            let id = Bdd(u32::try_from(self.nodes.len()).expect("BDD node count overflow"));
+            self.nodes.push(Node { var, lo, hi });
+            id
+        })
+    }
+
+    /// The projection function of variable `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the declared order.
+    pub fn var(&mut self, index: usize) -> Bdd {
+        assert!(index < self.num_vars, "variable {index} out of order");
+        self.mk(index as u32, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negative literal of variable `index`.
+    pub fn nvar(&mut self, index: usize) -> Bdd {
+        assert!(index < self.num_vars, "variable {index} out of order");
+        self.mk(index as u32, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// If-then-else: `f·g + f̄·h`, the universal connective.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactors(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        if self.var_of(f) == var {
+            (self.lo(f), self.hi(f))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Complement.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Conjunction over an iterator.
+    pub fn and_all(&mut self, fs: impl IntoIterator<Item = Bdd>) -> Bdd {
+        fs.into_iter()
+            .fold(Bdd::TRUE, |acc, f| self.and(acc, f))
+    }
+
+    /// Disjunction over an iterator.
+    pub fn or_all(&mut self, fs: impl IntoIterator<Item = Bdd>) -> Bdd {
+        fs.into_iter()
+            .fold(Bdd::FALSE, |acc, f| self.or(acc, f))
+    }
+
+    /// The positive or negative cofactor of `f` with respect to variable
+    /// `index`.
+    pub fn restrict(&mut self, f: Bdd, index: usize, value: bool) -> Bdd {
+        let var = index as u32;
+        if f.is_const() || self.var_of(f) > var {
+            return f;
+        }
+        if self.var_of(f) == var {
+            return if value { self.hi(f) } else { self.lo(f) };
+        }
+        let (v, l, h) = (self.var_of(f), self.lo(f), self.hi(f));
+        let lo = self.restrict(l, index, value);
+        let hi = self.restrict(h, index, value);
+        self.mk(v, lo, hi)
+    }
+
+    /// Existential quantification of variable `index`: `∃x. f = f|x=0 +
+    /// f|x=1`. This is the paper's **smoothing operator** (footnote 2:
+    /// "smoothing an input of a gate is equivalent to assuming it to have
+    /// the noncontrolling value" — formally, the late inputs are
+    /// existentially quantified away).
+    pub fn exists(&mut self, f: Bdd, index: usize) -> Bdd {
+        let var = index as u32;
+        if f.is_const() || self.var_of(f) > var {
+            return f;
+        }
+        if let Some(&r) = self.exists_cache.get(&(f, var)) {
+            return r;
+        }
+        let r = if self.var_of(f) == var {
+            let (l, h) = (self.lo(f), self.hi(f));
+            self.or(l, h)
+        } else {
+            let (v, l, h) = (self.var_of(f), self.lo(f), self.hi(f));
+            let lo = self.exists(l, index);
+            let hi = self.exists(h, index);
+            self.mk(v, lo, hi)
+        };
+        self.exists_cache.insert((f, var), r);
+        r
+    }
+
+    /// Existential quantification over a set of variables.
+    pub fn exists_many(&mut self, f: Bdd, indices: impl IntoIterator<Item = usize>) -> Bdd {
+        indices.into_iter().fold(f, |acc, i| self.exists(acc, i))
+    }
+
+    /// The support of `f`: the set of variable indices it depends on.
+    pub fn support(&self, f: Bdd) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            vars.insert(self.var_of(n) as usize);
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Evaluates `f` under a complete assignment (indexed by variable).
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut n = f;
+        while !n.is_const() {
+            let v = self.var_of(n) as usize;
+            n = if assignment[v] { self.hi(n) } else { self.lo(n) };
+        }
+        n.is_true()
+    }
+
+    /// One satisfying assignment of `f` (values for variables not in the
+    /// support are `None`), or `None` if `f` is unsatisfiable.
+    pub fn sat_one(&self, f: Bdd) -> Option<Vec<Option<bool>>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut out = vec![None; self.num_vars];
+        let mut n = f;
+        while !n.is_const() {
+            let v = self.var_of(n) as usize;
+            if self.lo(n).is_false() {
+                out[v] = Some(true);
+                n = self.hi(n);
+            } else {
+                out[v] = Some(false);
+                n = self.lo(n);
+            }
+        }
+        Some(out)
+    }
+
+    /// The number of satisfying assignments of `f` over all
+    /// [`BddManager::num_vars`] variables.
+    pub fn count_sats(&self, f: Bdd) -> u128 {
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        // count(n) = number of solutions over variables below var(n),
+        // weighted afterwards for the variables skipped above the root.
+        fn walk(m: &BddManager, n: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
+            // Returns the count over variables var(n)..num_vars.
+            if n.is_false() {
+                return 0;
+            }
+            if n.is_true() {
+                return 1;
+            }
+            if let Some(&c) = memo.get(&n) {
+                return c;
+            }
+            let v = m.var_of(n);
+            let lo = m.lo(n);
+            let hi = m.hi(n);
+            let lv = if lo.is_const() {
+                m.num_vars as u32
+            } else {
+                m.var_of(lo)
+            };
+            let hv = if hi.is_const() {
+                m.num_vars as u32
+            } else {
+                m.var_of(hi)
+            };
+            let cl = walk(m, lo, memo) << (lv - v - 1);
+            let ch = walk(m, hi, memo) << (hv - v - 1);
+            let c = cl + ch;
+            memo.insert(n, c);
+            c
+        }
+        let root_v = if f.is_const() {
+            self.num_vars as u32
+        } else {
+            self.var_of(f)
+        };
+        walk(self, f, &mut memo) << root_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut m = BddManager::new(3);
+        assert!(Bdd::TRUE.is_true());
+        assert!(Bdd::FALSE.is_false());
+        let a = m.var(0);
+        assert_eq!(m.var(0), a, "hash-consing makes nodes canonical");
+        let na = m.not(a);
+        assert_eq!(m.nvar(0), na);
+        assert_eq!(m.not(na), a);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba, "canonical form: commutativity is syntactic");
+        let a_or_ab = m.or(a, ab);
+        assert_eq!(a_or_ab, a, "absorption");
+        let na = m.not(a);
+        assert_eq!(m.and(a, na), Bdd::FALSE);
+        assert_eq!(m.or(a, na), Bdd::TRUE);
+        let x1 = m.xor(a, b);
+        let x2 = m.xor(b, a);
+        assert_eq!(x1, x2);
+        assert_eq!(m.xor(a, a), Bdd::FALSE);
+    }
+
+    #[test]
+    fn demorgan() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let lhs = m.not(ab);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let rhs = m.or(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        assert_eq!(m.restrict(f, 0, false), b);
+        let nb = m.not(b);
+        assert_eq!(m.restrict(f, 0, true), nb);
+        assert_eq!(m.restrict(f, 1, true), m.not(a));
+    }
+
+    #[test]
+    fn smoothing_removes_dependence() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let bc = m.and(b, c);
+        let f = m.and(a, bc);
+        let g = m.exists(f, 1);
+        let ac = m.and(a, c);
+        assert_eq!(g, ac);
+        assert_eq!(m.support(g), vec![0, 2]);
+        // ∃a∃b∃c (a·b·c) = 1.
+        assert_eq!(m.exists_many(f, [0, 1, 2]), Bdd::TRUE);
+        // ∃x of an unsatisfiable function stays unsatisfiable.
+        assert_eq!(m.exists(Bdd::FALSE, 0), Bdd::FALSE);
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        for v in 0..8u32 {
+            let asg: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            let expect = (asg[0] && asg[1]) || asg[2];
+            assert_eq!(m.eval(f, &asg), expect, "{asg:?}");
+        }
+    }
+
+    #[test]
+    fn sat_one_satisfies() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let c = m.var(2);
+        let nc = m.not(c);
+        let f = m.and(a, nc);
+        let asg = m.sat_one(f).unwrap();
+        let full: Vec<bool> = asg.iter().map(|v| v.unwrap_or(false)).collect();
+        assert!(m.eval(f, &full));
+        assert_eq!(m.sat_one(Bdd::FALSE), None);
+        assert!(m.sat_one(Bdd::TRUE).is_some());
+    }
+
+    #[test]
+    fn count_sats_brute_force() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let d = m.var(3);
+        let ab = m.and(a, b);
+        let cd = m.xor(c, d);
+        let f = m.or(ab, cd);
+        let mut brute = 0u128;
+        for v in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| (v >> i) & 1 == 1).collect();
+            if m.eval(f, &asg) {
+                brute += 1;
+            }
+        }
+        assert_eq!(m.count_sats(f), brute);
+        assert_eq!(m.count_sats(Bdd::TRUE), 16);
+        assert_eq!(m.count_sats(Bdd::FALSE), 0);
+        assert_eq!(m.count_sats(a), 8);
+        assert_eq!(m.count_sats(d), 8, "counting respects skipped levels");
+    }
+
+    #[test]
+    fn node_count_grows_then_shares() {
+        let mut m = BddManager::new(8);
+        let before = m.node_count();
+        let mut f = Bdd::TRUE;
+        for i in 0..8 {
+            let v = m.var(i);
+            f = m.and(f, v);
+        }
+        // Intermediate conjunctions are retained (no GC), so the growth is
+        // at most quadratic in the chain length.
+        assert!(m.node_count() - before <= 8 * 8);
+        // Rebuilding the same function adds nothing.
+        let n = m.node_count();
+        let mut g = Bdd::TRUE;
+        for i in 0..8 {
+            let v = m.var(i);
+            g = m.and(g, v);
+        }
+        assert_eq!(f, g);
+        assert_eq!(m.node_count(), n);
+    }
+}
+
+impl BddManager {
+    /// Extracts an irredundant path cover of `f`: one cube per 1-path of
+    /// the BDD, as `(positive-literal mask, negative-literal mask)` pairs
+    /// over the variable indices. The disjunction of the cubes is exactly
+    /// `f`; cubes are disjoint (BDD paths are). Practical for `f` with at
+    /// most 64 variables in its support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a support variable index is ≥ 64.
+    pub fn to_cubes(&self, f: Bdd) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(Bdd, u64, u64)> = vec![(f, 0, 0)];
+        while let Some((n, pos, neg)) = stack.pop() {
+            if n.is_false() {
+                continue;
+            }
+            if n.is_true() {
+                out.push((pos, neg));
+                continue;
+            }
+            let v = self.var_of(n) as usize;
+            assert!(v < 64, "cube extraction limited to 64 variables");
+            stack.push((self.lo(n), pos, neg | (1 << v)));
+            stack.push((self.hi(n), pos | (1 << v), neg));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod cube_tests {
+    use super::*;
+
+    #[test]
+    fn cubes_cover_exactly() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let cubes = m.to_cubes(f);
+        for mv in 0..16u64 {
+            let asg: Vec<bool> = (0..4).map(|i| (mv >> i) & 1 == 1).collect();
+            let covered = cubes
+                .iter()
+                .any(|&(p, n)| p & !mv == 0 && n & mv == 0);
+            assert_eq!(covered, m.eval(f, &asg), "minterm {mv}");
+        }
+        // BDD paths are disjoint.
+        for (i, &(p1, n1)) in cubes.iter().enumerate() {
+            for &(p2, n2) in &cubes[i + 1..] {
+                assert_ne!((p1 | p2) & (n1 | n2), 0, "cubes must be disjoint");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_cubes() {
+        let m = BddManager::new(2);
+        assert!(m.to_cubes(Bdd::FALSE).is_empty());
+        assert_eq!(m.to_cubes(Bdd::TRUE), vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based validation of the BDD package: random expression trees
+//! are evaluated both through the BDD and directly; quantification and
+//! cofactor laws are checked semantically.
+
+use proptest::prelude::*;
+
+use kms_bdd::{Bdd, BddManager};
+
+/// A random Boolean expression over `n` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy(nvars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = (0..nvars).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval(e: &Expr, asg: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => asg[*i],
+        Expr::Not(a) => !eval(a, asg),
+        Expr::And(a, b) => eval(a, asg) && eval(b, asg),
+        Expr::Or(a, b) => eval(a, asg) || eval(b, asg),
+        Expr::Xor(a, b) => eval(a, asg) ^ eval(b, asg),
+    }
+}
+
+fn to_bdd(e: &Expr, m: &mut BddManager) -> Bdd {
+    match e {
+        Expr::Var(i) => m.var(*i),
+        Expr::Not(a) => {
+            let x = to_bdd(a, m);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (to_bdd(a, m), to_bdd(b, m));
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (to_bdd(a, m), to_bdd(b, m));
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (to_bdd(a, m), to_bdd(b, m));
+            m.xor(x, y)
+        }
+    }
+}
+
+const N: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bdd_matches_direct_evaluation(e in expr_strategy(N)) {
+        let mut m = BddManager::new(N);
+        let f = to_bdd(&e, &mut m);
+        for mv in 0..(1u32 << N) {
+            let asg: Vec<bool> = (0..N).map(|i| (mv >> i) & 1 == 1).collect();
+            prop_assert_eq!(m.eval(f, &asg), eval(&e, &asg), "minterm {}", mv);
+        }
+    }
+
+    #[test]
+    fn canonicity(e in expr_strategy(N)) {
+        // Two structurally different constructions of the same function
+        // produce the same node: f XOR f = false; f OR f = f.
+        let mut m = BddManager::new(N);
+        let f = to_bdd(&e, &mut m);
+        prop_assert_eq!(m.xor(f, f), Bdd::FALSE);
+        prop_assert_eq!(m.or(f, f), f);
+        let nf = m.not(f);
+        prop_assert_eq!(m.not(nf), f);
+        prop_assert_eq!(m.and(f, nf), Bdd::FALSE);
+        prop_assert_eq!(m.or(f, nf), Bdd::TRUE);
+    }
+
+    #[test]
+    fn exists_is_or_of_cofactors(e in expr_strategy(N), var in 0..N) {
+        let mut m = BddManager::new(N);
+        let f = to_bdd(&e, &mut m);
+        let lo = m.restrict(f, var, false);
+        let hi = m.restrict(f, var, true);
+        let or = m.or(lo, hi);
+        prop_assert_eq!(m.exists(f, var), or);
+        // Shannon expansion reconstructs f.
+        let v = m.var(var);
+        let rebuilt = m.ite(v, hi, lo);
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn count_sats_matches_truth_table(e in expr_strategy(N)) {
+        let mut m = BddManager::new(N);
+        let f = to_bdd(&e, &mut m);
+        let mut brute = 0u128;
+        for mv in 0..(1u32 << N) {
+            let asg: Vec<bool> = (0..N).map(|i| (mv >> i) & 1 == 1).collect();
+            if eval(&e, &asg) {
+                brute += 1;
+            }
+        }
+        prop_assert_eq!(m.count_sats(f), brute);
+    }
+
+    #[test]
+    fn sat_one_is_a_model(e in expr_strategy(N)) {
+        let mut m = BddManager::new(N);
+        let f = to_bdd(&e, &mut m);
+        match m.sat_one(f) {
+            None => prop_assert!(f.is_false()),
+            Some(asg) => {
+                let full: Vec<bool> =
+                    asg.iter().map(|v| v.unwrap_or(false)).collect();
+                prop_assert!(m.eval(f, &full));
+            }
+        }
+    }
+
+    #[test]
+    fn support_is_sound(e in expr_strategy(N)) {
+        let mut m = BddManager::new(N);
+        let f = to_bdd(&e, &mut m);
+        let support = m.support(f);
+        // Variables outside the support never change the value.
+        for v in 0..N {
+            if support.contains(&v) {
+                continue;
+            }
+            for mv in 0..(1u32 << N) {
+                let mut asg: Vec<bool> = (0..N).map(|i| (mv >> i) & 1 == 1).collect();
+                let a = m.eval(f, &asg);
+                asg[v] = !asg[v];
+                prop_assert_eq!(a, m.eval(f, &asg));
+            }
+        }
+    }
+}

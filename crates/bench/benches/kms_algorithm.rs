@@ -1,0 +1,90 @@
+//! End-to-end KMS algorithm benchmarks over carry-skip adder sizes (the
+//! paper's Table I family), plus the component transforms.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kms_core::{kms_on_copy, Condition, KmsOptions};
+use kms_netlist::DelayModel;
+use kms_opt::{bypass_transform, naive_redundancy_removal, BypassOptions};
+use kms_timing::InputArrivals;
+
+fn bench_kms_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kms/full");
+    g.sample_size(10);
+    for (bits, block) in [(2usize, 2usize), (4, 4), (8, 4)] {
+        let net = kms_bench::table1_csa(bits, block);
+        g.bench_function(format!("csa_{bits}.{block}"), |b| {
+            b.iter(|| {
+                let (after, report) =
+                    kms_on_copy(black_box(&net), &InputArrivals::zero(), KmsOptions::default())
+                        .unwrap();
+                black_box((after.simple_gate_count(), report.iterations.len()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_conditions(c: &mut Criterion) {
+    let net = kms_bench::table1_csa(4, 4);
+    let mut g = c.benchmark_group("kms/condition");
+    g.sample_size(10);
+    for (name, condition) in [
+        ("static_sens", Condition::StaticSensitization),
+        ("viability", Condition::Viability),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, report) = kms_on_copy(
+                    black_box(&net),
+                    &InputArrivals::zero(),
+                    KmsOptions {
+                        condition,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                black_box(report.duplicated_gates)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_naive_baseline(c: &mut Criterion) {
+    let net = kms_bench::table1_csa(8, 4);
+    let mut g = c.benchmark_group("kms/baseline");
+    g.sample_size(10);
+    g.bench_function("naive_removal_csa8.4", |b| {
+        b.iter(|| {
+            let mut copy = net.clone();
+            let report = naive_redundancy_removal(&mut copy, kms_atpg::Engine::Sat);
+            black_box(report.removed.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_bypass_transform(c: &mut Criterion) {
+    let base = kms_gen::adders::ripple_carry_adder(16, DelayModel::Unit);
+    let cin = base.input_by_name("cin").expect("cin exists");
+    let arr = InputArrivals::zero().with(cin, 20);
+    c.bench_function("opt/bypass_ripple16", |b| {
+        b.iter(|| {
+            let mut net = base.clone();
+            let r = bypass_transform(&mut net, &arr, BypassOptions::default());
+            assert!(r.applied);
+            black_box(net.simple_gate_count())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kms_full,
+    bench_conditions,
+    bench_naive_baseline,
+    bench_bypass_transform
+);
+criterion_main!(benches);

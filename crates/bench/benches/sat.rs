@@ -1,0 +1,85 @@
+//! SAT solver benchmarks: structured UNSAT (pigeonhole), circuit miters
+//! (the equivalence checks every KMS invariant rests on), and incremental
+//! assumption solving (the static-sensitization inner loop).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kms_netlist::DelayModel;
+use kms_sat::{check_equivalence, NetworkCnf, SatResult, Solver, Var};
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+    for _ in 0..pigeons * holes {
+        s.new_var();
+    }
+    for p in 0..pigeons {
+        let clause: Vec<_> = (0..holes).map(|h| var(p, h).positive()).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                s.add_clause(&[var(p1, h).negative(), var(p2, h).negative()]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat/pigeonhole");
+    for n in [6usize, 7, 8] {
+        g.bench_function(format!("php_{}_{}", n + 1, n), |b| {
+            b.iter(|| {
+                let mut s = pigeonhole(n + 1, n);
+                assert_eq!(s.solve(), SatResult::Unsat);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_miter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat/miter");
+    for bits in [4usize, 8, 16] {
+        let csa = kms_gen::adders::carry_skip_adder(bits, 4, DelayModel::Unit);
+        let rca = kms_gen::adders::ripple_carry_adder(bits, DelayModel::Unit);
+        g.bench_function(format!("csa_vs_ripple_{bits}b"), |b| {
+            b.iter(|| {
+                assert!(check_equivalence(black_box(&csa), black_box(&rca))
+                    .is_equivalent())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_assumptions(c: &mut Criterion) {
+    // One encode, many assumption queries: the sensitization-oracle shape.
+    let net = kms_bench::table1_csa(8, 4);
+    c.bench_function("sat/incremental_assumptions", |b| {
+        let mut solver = Solver::new();
+        let cnf = NetworkCnf::encode(&net, &mut solver);
+        let gates: Vec<_> = net.gate_ids().collect();
+        b.iter(|| {
+            let mut sat = 0;
+            for (i, &gid) in gates.iter().enumerate().take(64) {
+                let lit = cnf.lit(gid, i % 2 == 0);
+                if solver.solve_with(&[lit]) == SatResult::Sat {
+                    sat += 1;
+                }
+            }
+            black_box(sat)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pigeonhole,
+    bench_miter,
+    bench_incremental_assumptions
+);
+criterion_main!(benches);

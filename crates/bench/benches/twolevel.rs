@@ -1,0 +1,66 @@
+//! Two-level minimization benchmarks: the espresso-style loop vs exact
+//! Quine–McCluskey on the arithmetic benchmark functions.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kms_gen::mcnc;
+use kms_twolevel::{espresso, minimize_exact, synth, Cover};
+
+fn rd73_covers() -> Vec<(Cover, Cover)> {
+    let pla = mcnc::rd73();
+    (0..pla.num_outputs)
+        .map(|o| synth::pla_output_covers(&pla, o))
+        .collect()
+}
+
+fn bench_espresso(c: &mut Criterion) {
+    let covers = rd73_covers();
+    c.bench_function("twolevel/espresso_rd73", |b| {
+        b.iter(|| {
+            let mut cubes = 0;
+            for (on, dc) in &covers {
+                let m = espresso(black_box(on), dc, Default::default());
+                cubes += m.len();
+            }
+            black_box(cubes)
+        })
+    });
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let covers = rd73_covers();
+    let mut g = c.benchmark_group("twolevel/exact");
+    g.sample_size(10);
+    g.bench_function("qm_rd73", |b| {
+        b.iter(|| {
+            let mut cubes = 0;
+            for (on, dc) in &covers {
+                let m = minimize_exact(black_box(on), dc);
+                cubes += m.len();
+            }
+            black_box(cubes)
+        })
+    });
+    g.finish();
+}
+
+fn bench_complement_tautology(c: &mut Criterion) {
+    let pla = mcnc::z4ml();
+    let (on, _) = synth::pla_output_covers(&pla, 3);
+    c.bench_function("twolevel/complement_z4ml_o3", |b| {
+        b.iter(|| {
+            let comp = black_box(&on).complement();
+            black_box(comp.len())
+        })
+    });
+    c.bench_function("twolevel/tautology_z4ml_o3", |b| {
+        let taut = on.union(&on.complement());
+        b.iter(|| {
+            assert!(black_box(&taut).is_tautology());
+        })
+    });
+}
+
+criterion_group!(benches, bench_espresso, bench_exact, bench_complement_tautology);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! The Section VI.2 fanout accounting: the paper handles duplication-
+//! induced fanout growth by drive sizing ("high"/"super" cells, TILOS) and
+//! reports that for the 2-bit carry-skip adder the increase is at most one.
+//! This binary reports the measured fanout growth per Table I row.
+
+use kms_timing::InputArrivals;
+
+fn main() {
+    println!("fanout growth under KMS (Section VI.2 accounting)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "circuit", "max fo init", "max fo fin", "mean init", "mean fin"
+    );
+    for (bits, block) in [(2usize, 2usize), (4, 4), (8, 2), (8, 4)] {
+        let net = kms_bench::table1_csa(bits, block);
+        let before = kms_netlist::NetworkStats::of(&net);
+        let (after, report) = kms_core::kms_on_copy(
+            &net,
+            &InputArrivals::zero(),
+            kms_core::KmsOptions::default(),
+        )
+        .expect("simple gates");
+        let after_stats = kms_netlist::NetworkStats::of(&after);
+        println!(
+            "{:<10} {:>12} {:>12} {:>7}.{:03} {:>7}.{:03}",
+            format!("csa {bits}.{block}"),
+            report.max_fanout_before,
+            report.max_fanout_after,
+            before.mean_fanout_milli / 1000,
+            before.mean_fanout_milli % 1000,
+            after_stats.mean_fanout_milli / 1000,
+            after_stats.mean_fanout_milli % 1000,
+        );
+    }
+    println!();
+    println!("paper: fanout can at most double per iteration; on the 2-bit");
+    println!("carry-skip adder the observed increase is at most one, handled");
+    println!("by cell selection / transistor sizing — outside the delay model.");
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use kms_netlist::NetlistError;
+
+/// Errors produced while reading BLIF or PLA text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BlifError {
+    /// Malformed text.
+    Syntax {
+        /// 1-based line number (0 when unknown).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A referenced signal is never defined.
+    Undefined {
+        /// The signal's name.
+        signal: String,
+    },
+    /// A signal is driven by more than one node (or is also an input).
+    MultiplyDriven {
+        /// The signal's name.
+        signal: String,
+    },
+    /// Combinational cycle through `.names` nodes.
+    Cyclic {
+        /// A signal on the cycle.
+        signal: String,
+    },
+    /// The elaborated network failed structural validation.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for BlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlifError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            BlifError::Undefined { signal } => write!(f, "undefined signal {signal:?}"),
+            BlifError::MultiplyDriven { signal } => {
+                write!(f, "signal {signal:?} is multiply driven")
+            }
+            BlifError::Cyclic { signal } => {
+                write!(f, "combinational cycle through {signal:?}")
+            }
+            BlifError::Netlist(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl Error for BlifError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BlifError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BlifError::Syntax {
+            line: 3,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(BlifError::Undefined {
+            signal: "x".into()
+        }
+        .to_string()
+        .contains("\"x\""));
+    }
+}

@@ -1,0 +1,38 @@
+//! BLIF and espresso-PLA I/O for the KMS reproduction.
+//!
+//! The paper's experimental flow lives inside MIS-II, whose interchange
+//! format is BLIF; the MCNC benchmarks of Table I are distributed as PLA
+//! truth tables. This crate provides both formats:
+//!
+//! * [`parse_blif`] / [`write_blif`] — the combinational `.model/.inputs/
+//!   .outputs/.names/.latch` subset, with latches cut into pseudo inputs
+//!   and outputs (paper Section I: "extracting the combinational portion").
+//! * [`parse_pla`] / [`PlaFile`] — espresso-format PLAs with direct
+//!   two-level elaboration into a [`kms_netlist::Network`].
+//!
+//! # Example
+//!
+//! ```
+//! use kms_blif::{parse_blif, write_blif};
+//! let text = ".model inv\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n";
+//! let circuit = parse_blif(text)?;
+//! assert_eq!(circuit.network.eval_bool(&[false]), vec![true]);
+//! let round = parse_blif(&write_blif(&circuit.network))?;
+//! circuit.network.exhaustive_equiv(&round.network).unwrap();
+//! # Ok::<(), kms_blif::BlifError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod iscas;
+mod pla;
+mod read;
+mod write;
+
+pub use error::BlifError;
+pub use iscas::{parse_iscas, write_iscas, C17};
+pub use pla::{parse_pla, OutVal, PlaCube, PlaFile, Tri};
+pub use read::{parse_blif, BlifCircuit, Latch};
+pub use write::write_blif;

@@ -1,0 +1,353 @@
+//! Espresso-format PLA reading, writing, and direct two-level elaboration.
+//!
+//! The MCNC benchmarks the paper evaluates (5xp1, clip, rd73, sao2, z4ml, …)
+//! are distributed as `.pla` truth tables; MIS-II reads them, minimizes, and
+//! decomposes to multi-level logic. This module provides the `.pla` side of
+//! that flow (the minimizer itself lives in `kms-twolevel`).
+
+use std::fmt::Write as _;
+
+use kms_netlist::{Delay, GateId, GateKind, Network};
+
+use crate::error::BlifError;
+
+/// A ternary input literal in a PLA cube.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tri {
+    /// Input must be 0.
+    Zero,
+    /// Input must be 1.
+    One,
+    /// Input unconstrained.
+    DontCare,
+}
+
+/// How a cube affects one output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OutVal {
+    /// Cube is in this output's ON-set.
+    On,
+    /// Cube says nothing about this output.
+    Off,
+    /// Cube is in this output's DC-set (espresso `-` in type `fd`).
+    Dc,
+}
+
+/// One PLA row: an input plane and one [`OutVal`] per output.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlaCube {
+    /// The input plane, one [`Tri`] per input.
+    pub inputs: Vec<Tri>,
+    /// The output plane.
+    pub outputs: Vec<OutVal>,
+}
+
+/// A parsed espresso-format PLA.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlaFile {
+    /// Number of inputs (`.i`).
+    pub num_inputs: usize,
+    /// Number of outputs (`.o`).
+    pub num_outputs: usize,
+    /// Input labels (`.ilb`), generated if absent.
+    pub input_labels: Vec<String>,
+    /// Output labels (`.ob`), generated if absent.
+    pub output_labels: Vec<String>,
+    /// The cubes, in file order.
+    pub cubes: Vec<PlaCube>,
+}
+
+impl PlaFile {
+    /// An empty PLA with generated labels.
+    pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
+        PlaFile {
+            num_inputs,
+            num_outputs,
+            input_labels: (0..num_inputs).map(|i| format!("i{i}")).collect(),
+            output_labels: (0..num_outputs).map(|o| format!("o{o}")).collect(),
+            cubes: Vec::new(),
+        }
+    }
+
+    /// Adds a cube from text planes, e.g. `add_cube("1-0", "10")`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or invalid characters.
+    pub fn add_cube(&mut self, inputs: &str, outputs: &str) {
+        assert_eq!(inputs.len(), self.num_inputs, "input plane width");
+        assert_eq!(outputs.len(), self.num_outputs, "output plane width");
+        let ins = inputs
+            .chars()
+            .map(|c| match c {
+                '0' => Tri::Zero,
+                '1' => Tri::One,
+                '-' | 'x' | 'X' | '2' => Tri::DontCare,
+                other => panic!("invalid input plane character {other:?}"),
+            })
+            .collect();
+        let outs = outputs
+            .chars()
+            .map(|c| match c {
+                '1' | '4' => OutVal::On,
+                '0' | '~' => OutVal::Off,
+                '-' | '2' => OutVal::Dc,
+                other => panic!("invalid output plane character {other:?}"),
+            })
+            .collect();
+        self.cubes.push(PlaCube {
+            inputs: ins,
+            outputs: outs,
+        });
+    }
+
+    /// Elaborates the ON-sets directly as a two-level AND/OR network
+    /// with zero delays (DC rows are ignored, as in espresso type `fd`
+    /// when realized).
+    pub fn to_network(&self, name: &str) -> Network {
+        let mut net = Network::new(name);
+        let ins: Vec<GateId> = self
+            .input_labels
+            .iter()
+            .map(|l| net.add_input(l.clone()))
+            .collect();
+        let invs: Vec<GateId> = ins
+            .iter()
+            .map(|&i| net.add_gate(GateKind::Not, &[i], Delay::ZERO))
+            .collect();
+        for (o, label) in self.output_labels.iter().enumerate() {
+            let mut terms: Vec<GateId> = Vec::new();
+            for cube in &self.cubes {
+                if cube.outputs[o] != OutVal::On {
+                    continue;
+                }
+                let lits: Vec<GateId> = cube
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t {
+                        Tri::One => Some(ins[i]),
+                        Tri::Zero => Some(invs[i]),
+                        Tri::DontCare => None,
+                    })
+                    .collect();
+                let term = match lits.len() {
+                    0 => net.add_const(true),
+                    1 => lits[0],
+                    _ => net.add_gate(GateKind::And, &lits, Delay::ZERO),
+                };
+                terms.push(term);
+            }
+            let out = match terms.len() {
+                0 => net.add_const(false),
+                1 => terms[0],
+                _ => net.add_gate(GateKind::Or, &terms, Delay::ZERO),
+            };
+            net.add_output(label.clone(), out);
+        }
+        kms_netlist::transform::sweep(&mut net);
+        net
+    }
+
+    /// Renders the PLA in espresso format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, ".i {}", self.num_inputs);
+        let _ = writeln!(s, ".o {}", self.num_outputs);
+        let _ = writeln!(s, ".ilb {}", self.input_labels.join(" "));
+        let _ = writeln!(s, ".ob {}", self.output_labels.join(" "));
+        let _ = writeln!(s, ".p {}", self.cubes.len());
+        for c in &self.cubes {
+            let ins: String = c
+                .inputs
+                .iter()
+                .map(|t| match t {
+                    Tri::Zero => '0',
+                    Tri::One => '1',
+                    Tri::DontCare => '-',
+                })
+                .collect();
+            let outs: String = c
+                .outputs
+                .iter()
+                .map(|v| match v {
+                    OutVal::On => '1',
+                    OutVal::Off => '0',
+                    OutVal::Dc => '-',
+                })
+                .collect();
+            let _ = writeln!(s, "{ins} {outs}");
+        }
+        let _ = writeln!(s, ".e");
+        s
+    }
+}
+
+/// Parses espresso PLA text (`.i/.o/.ilb/.ob/.p/.type/.e` and cube rows).
+///
+/// # Errors
+///
+/// Returns [`BlifError::Syntax`] on malformed headers or rows.
+pub fn parse_pla(text: &str) -> Result<PlaFile, BlifError> {
+    let mut num_inputs = None;
+    let mut num_outputs = None;
+    let mut ilb: Option<Vec<String>> = None;
+    let mut ob: Option<Vec<String>> = None;
+    let mut rows: Vec<(usize, String, String)> = Vec::new();
+    for (lineno0, raw) in text.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: &str| BlifError::Syntax {
+            line: lineno,
+            message: m.to_string(),
+        };
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut toks = rest.split_whitespace();
+            match toks.next() {
+                Some("i") => {
+                    num_inputs = Some(
+                        toks.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err("bad .i"))?,
+                    )
+                }
+                Some("o") => {
+                    num_outputs = Some(
+                        toks.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err("bad .o"))?,
+                    )
+                }
+                Some("ilb") => ilb = Some(toks.map(str::to_string).collect()),
+                Some("ob") => ob = Some(toks.map(str::to_string).collect()),
+                Some("p") | Some("type") | Some("phase") | Some("pair") => {}
+                Some("e") | Some("end") => break,
+                Some(other) => return Err(err(&format!("unsupported directive .{other}"))),
+                None => return Err(err("empty directive")),
+            }
+        } else {
+            let mut toks = line.split_whitespace();
+            let ins = toks.next().ok_or_else(|| err("missing input plane"))?;
+            let outs = toks.next().ok_or_else(|| err("missing output plane"))?;
+            rows.push((lineno, ins.to_string(), outs.to_string()));
+        }
+    }
+    let ni = num_inputs.ok_or(BlifError::Syntax {
+        line: 0,
+        message: "missing .i".into(),
+    })?;
+    let no = num_outputs.ok_or(BlifError::Syntax {
+        line: 0,
+        message: "missing .o".into(),
+    })?;
+    let mut pla = PlaFile::new(ni, no);
+    if let Some(l) = ilb {
+        if l.len() == ni {
+            pla.input_labels = l;
+        }
+    }
+    if let Some(l) = ob {
+        if l.len() == no {
+            pla.output_labels = l;
+        }
+    }
+    for (lineno, ins, outs) in rows {
+        if ins.len() != ni || outs.len() != no {
+            return Err(BlifError::Syntax {
+                line: lineno,
+                message: "plane width mismatch".into(),
+            });
+        }
+        if ins
+            .chars()
+            .any(|c| !matches!(c, '0' | '1' | '-' | 'x' | 'X' | '2'))
+            || outs
+                .chars()
+                .any(|c| !matches!(c, '0' | '1' | '-' | '~' | '2' | '4'))
+        {
+            return Err(BlifError::Syntax {
+                line: lineno,
+                message: "invalid plane character".into(),
+            });
+        }
+        pla.add_cube(&ins, &outs);
+    }
+    Ok(pla)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XOR_PLA: &str = "\
+.i 2
+.o 1
+.ilb a b
+.ob y
+.p 2
+10 1
+01 1
+.e
+";
+
+    #[test]
+    fn parse_and_elaborate_xor() {
+        let pla = parse_pla(XOR_PLA).unwrap();
+        assert_eq!(pla.num_inputs, 2);
+        assert_eq!(pla.cubes.len(), 2);
+        let net = pla.to_network("xor");
+        assert_eq!(net.eval_bool(&[true, false]), vec![true]);
+        assert_eq!(net.eval_bool(&[true, true]), vec![false]);
+        assert_eq!(net.input_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let pla = parse_pla(XOR_PLA).unwrap();
+        let back = parse_pla(&pla.to_text()).unwrap();
+        assert_eq!(pla, back);
+    }
+
+    #[test]
+    fn dont_cares_and_multi_output() {
+        let mut pla = PlaFile::new(3, 2);
+        pla.add_cube("1--", "10");
+        pla.add_cube("-11", "01");
+        pla.add_cube("000", "-1"); // DC for output 0, ON for output 1
+        let net = pla.to_network("t");
+        // y0 = a; y1 = b·c + ā·b̄·c̄
+        assert_eq!(net.eval_bool(&[true, false, false]), vec![true, false]);
+        assert_eq!(net.eval_bool(&[false, true, true]), vec![false, true]);
+        assert_eq!(net.eval_bool(&[false, false, false]), vec![false, true]);
+    }
+
+    #[test]
+    fn empty_on_set_is_constant_zero() {
+        let pla = PlaFile::new(2, 1);
+        let net = pla.to_network("zero");
+        assert_eq!(net.eval_bool(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn tautology_cube() {
+        let mut pla = PlaFile::new(2, 1);
+        pla.add_cube("--", "1");
+        let net = pla.to_network("one");
+        assert_eq!(net.eval_bool(&[false, false]), vec![true]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_pla(".i 2\n10 1\n").is_err()); // missing .o
+        assert!(parse_pla(".i 2\n.o 1\n101 1\n").is_err()); // width
+        assert!(parse_pla(".i 2\n.o 1\n1z 1\n").is_err()); // bad char
+        assert!(parse_pla(".i 2\n.o 1\n.weird\n").is_err());
+    }
+}

@@ -1,0 +1,494 @@
+//! BLIF reader.
+//!
+//! Supports the combinational subset used by MIS-II-era benchmarks:
+//! `.model`, `.inputs`, `.outputs`, `.names` (single-output SOP nodes),
+//! `.latch`, `.end`, line continuations with `\`, and `#` comments.
+//!
+//! Latches are cut into a pseudo primary input (the latch output) and a
+//! pseudo primary output (the latch input), following the paper's Section I:
+//! the algorithm "may be generalized to sequential circuits by extracting
+//! the combinational portion", since cycle time is set by the combinational
+//! logic between latches.
+
+use std::collections::HashMap;
+
+use kms_netlist::{Delay, GateId, GateKind, Network};
+
+use crate::error::BlifError;
+
+/// A latch cut out of the sequential circuit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Latch {
+    /// Signal feeding the latch (exposed as a pseudo primary output).
+    pub input: String,
+    /// Signal driven by the latch (exposed as a pseudo primary input).
+    pub output: String,
+    /// Initial value, if declared (0, 1, 2 = don't care, 3 = unknown).
+    pub init: Option<u8>,
+}
+
+/// A parsed BLIF model: the extracted combinational network plus the latch
+/// boundary.
+#[derive(Clone, Debug)]
+pub struct BlifCircuit {
+    /// The combinational network. Latch outputs appear as primary inputs
+    /// and latch inputs as primary outputs (suffix-free, original names).
+    pub network: Network,
+    /// The latches that were cut.
+    pub latches: Vec<Latch>,
+}
+
+/// One `.names` node before elaboration.
+struct NamesNode {
+    inputs: Vec<String>,
+    output: String,
+    cubes: Vec<String>,
+    out_value: bool,
+}
+
+/// Parses BLIF text into a combinational network.
+///
+/// All `.names` nodes are elaborated as two-level AND/OR/NOT logic with
+/// zero delays; apply a [`kms_netlist::DelayModel`] afterwards.
+///
+/// # Errors
+///
+/// Returns [`BlifError`] on syntax errors, undefined signals, multiply
+/// driven signals, or mixed on/off-set covers.
+pub fn parse_blif(text: &str) -> Result<BlifCircuit, BlifError> {
+    let mut name = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<Latch> = Vec::new();
+    let mut nodes: Vec<NamesNode> = Vec::new();
+    let mut current: Option<NamesNode> = None;
+
+    for (lineno, raw) in logical_lines(text) {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| BlifError::Syntax {
+            line: lineno,
+            message: msg.to_string(),
+        };
+        if let Some(rest) = line.strip_prefix('.') {
+            if let Some(node) = current.take() {
+                nodes.push(node);
+            }
+            let mut toks = rest.split_whitespace();
+            match toks.next() {
+                Some("model") => {
+                    if let Some(n) = toks.next() {
+                        name = n.to_string();
+                    }
+                }
+                Some("inputs") => inputs.extend(toks.map(str::to_string)),
+                Some("outputs") => outputs.extend(toks.map(str::to_string)),
+                Some("names") => {
+                    let mut sigs: Vec<String> = toks.map(str::to_string).collect();
+                    let output = sigs.pop().ok_or_else(|| err(".names needs an output"))?;
+                    current = Some(NamesNode {
+                        inputs: sigs,
+                        output,
+                        cubes: Vec::new(),
+                        out_value: true,
+                    });
+                }
+                Some("latch") => {
+                    let input = toks
+                        .next()
+                        .ok_or_else(|| err(".latch needs an input"))?
+                        .to_string();
+                    let output = toks
+                        .next()
+                        .ok_or_else(|| err(".latch needs an output"))?
+                        .to_string();
+                    // Remaining tokens: optional [type ctrl] [init].
+                    let rest: Vec<&str> = toks.collect();
+                    let init = rest.last().and_then(|t| t.parse::<u8>().ok());
+                    latches.push(Latch {
+                        input,
+                        output,
+                        init,
+                    });
+                }
+                Some("end") => break,
+                Some("exdc") => break, // external don't-cares: not modeled
+                Some(other) => {
+                    return Err(err(&format!("unsupported directive .{other}")));
+                }
+                None => return Err(err("empty directive")),
+            }
+        } else {
+            // A cover line for the current .names node.
+            let node = current
+                .as_mut()
+                .ok_or_else(|| err("cover line outside .names"))?;
+            let mut toks = line.split_whitespace();
+            if node.inputs.is_empty() {
+                // Constant node: the single token is the output value.
+                let v = toks.next().ok_or_else(|| err("empty cover line"))?;
+                node.out_value = v == "1";
+                node.cubes.push(String::new());
+            } else {
+                let plane = toks
+                    .next()
+                    .ok_or_else(|| err("missing input plane"))?
+                    .to_string();
+                let out = toks.next().ok_or_else(|| err("missing output value"))?;
+                if plane.len() != node.inputs.len() {
+                    return Err(err("input plane width mismatch"));
+                }
+                let out_value = out == "1";
+                if !node.cubes.is_empty() && out_value != node.out_value {
+                    return Err(err("mixed on-set and off-set cover"));
+                }
+                node.out_value = out_value;
+                node.cubes.push(plane);
+            }
+        }
+    }
+    if let Some(node) = current.take() {
+        nodes.push(node);
+    }
+
+    elaborate(name, inputs, outputs, latches, nodes)
+}
+
+/// Joins `\`-continued lines, strips comments, and yields (line number,
+/// text).
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut pending = String::new();
+    let mut start_line = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        if pending.is_empty() {
+            start_line = i + 1;
+        }
+        if let Some(stripped) = line.trim_end().strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+        } else {
+            pending.push_str(line);
+            out.push((start_line, std::mem::take(&mut pending)));
+        }
+    }
+    if !pending.is_empty() {
+        out.push((start_line, pending));
+    }
+    out
+}
+
+fn elaborate(
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    latches: Vec<Latch>,
+    nodes: Vec<NamesNode>,
+) -> Result<BlifCircuit, BlifError> {
+    let mut net = Network::new(name);
+    let mut sig: HashMap<String, GateId> = HashMap::new();
+    for i in &inputs {
+        sig.insert(i.clone(), net.add_input(i.clone()));
+    }
+    // Latch outputs become pseudo primary inputs.
+    for l in &latches {
+        if !sig.contains_key(&l.output) {
+            sig.insert(l.output.clone(), net.add_input(l.output.clone()));
+        }
+    }
+    // Two passes: declare a placeholder for each node output, then build
+    // logic (covers may reference nodes defined later in the file).
+    // Placeholders are single-input BUFs patched below; we instead do a
+    // topological elaboration by name using recursion-free iteration:
+    // create all node gates as OR-of-ANDs referencing signals lazily.
+    //
+    // Simpler approach: first create a placeholder gate id per node output
+    // by allocating the node's final OR gate up-front with dummy pins, then
+    // fill pins once all names are known. To keep the network immutable-ish
+    // we instead elaborate in dependency order discovered by name.
+    let mut defined: HashMap<String, usize> = HashMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if defined.insert(n.output.clone(), i).is_some() {
+            return Err(BlifError::MultiplyDriven {
+                signal: n.output.clone(),
+            });
+        }
+        if sig.contains_key(&n.output) {
+            return Err(BlifError::MultiplyDriven {
+                signal: n.output.clone(),
+            });
+        }
+    }
+    // Topological elaboration with an explicit stack (cycle detection).
+    let mut state = vec![0u8; nodes.len()]; // 0 = new, 1 = visiting, 2 = done
+    for root in 0..nodes.len() {
+        let mut stack = vec![(root, 0usize)];
+        while let Some(&mut (ni, ref mut dep)) = stack.last_mut() {
+            if state[ni] == 2 {
+                stack.pop();
+                continue;
+            }
+            state[ni] = 1;
+            let node = &nodes[ni];
+            // Ensure dependencies are elaborated first.
+            let mut descended = false;
+            while *dep < node.inputs.len() {
+                let d = &node.inputs[*dep];
+                *dep += 1;
+                if sig.contains_key(d) {
+                    continue;
+                }
+                match defined.get(d) {
+                    Some(&di) => {
+                        if state[di] == 1 {
+                            return Err(BlifError::Cyclic {
+                                signal: d.clone(),
+                            });
+                        }
+                        if state[di] == 0 {
+                            stack.push((di, 0));
+                            descended = true;
+                            break;
+                        }
+                    }
+                    None => {
+                        return Err(BlifError::Undefined {
+                            signal: d.clone(),
+                        })
+                    }
+                }
+            }
+            if descended {
+                continue;
+            }
+            // All inputs available: build the SOP.
+            let id = build_sop(&mut net, node, &sig)?;
+            sig.insert(node.output.clone(), id);
+            state[ni] = 2;
+            stack.pop();
+        }
+    }
+
+    for o in &outputs {
+        let id = *sig.get(o).ok_or_else(|| BlifError::Undefined {
+            signal: o.clone(),
+        })?;
+        net.add_output(o.clone(), id);
+    }
+    // Latch inputs become pseudo primary outputs.
+    for l in &latches {
+        let id = *sig.get(&l.input).ok_or_else(|| BlifError::Undefined {
+            signal: l.input.clone(),
+        })?;
+        net.add_output(l.input.clone(), id);
+    }
+    net.validate().map_err(BlifError::Netlist)?;
+    Ok(BlifCircuit {
+        network: net,
+        latches,
+    })
+}
+
+fn build_sop(
+    net: &mut Network,
+    node: &NamesNode,
+    sig: &HashMap<String, GateId>,
+) -> Result<GateId, BlifError> {
+    if node.inputs.is_empty() {
+        // Constant: empty cover is 0; "1" lines make it out_value.
+        let v = !node.cubes.is_empty() && node.out_value;
+        return Ok(net.add_const(v));
+    }
+    if node.cubes.is_empty() {
+        return Ok(net.add_const(false));
+    }
+    let ins: Vec<GateId> = node
+        .inputs
+        .iter()
+        .map(|n| {
+            sig.get(n).copied().ok_or_else(|| BlifError::Undefined {
+                signal: n.clone(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    // Cache inverters per input.
+    let mut inverters: HashMap<GateId, GateId> = HashMap::new();
+    let mut terms: Vec<GateId> = Vec::new();
+    for plane in &node.cubes {
+        let mut lits: Vec<GateId> = Vec::new();
+        for (ch, &inp) in plane.chars().zip(&ins) {
+            match ch {
+                '1' => lits.push(inp),
+                '0' => {
+                    let inv = *inverters.entry(inp).or_insert_with(|| {
+                        net.add_gate(GateKind::Not, &[inp], Delay::ZERO)
+                    });
+                    lits.push(inv);
+                }
+                '-' => {}
+                other => {
+                    return Err(BlifError::Syntax {
+                        line: 0,
+                        message: format!("invalid plane character {other:?}"),
+                    })
+                }
+            }
+        }
+        let term = match lits.len() {
+            0 => net.add_const(true), // all-don't-care cube: tautology
+            1 => lits[0],
+            _ => net.add_gate(GateKind::And, &lits, Delay::ZERO),
+        };
+        terms.push(term);
+    }
+    let sop = match terms.len() {
+        1 => terms[0],
+        _ => net.add_gate(GateKind::Or, &terms, Delay::ZERO),
+    };
+    let out = if node.out_value {
+        // Guarantee the named node owns a distinct gate so names stay
+        // unambiguous even for single-literal covers.
+        if terms.len() == 1 && node.cubes.len() == 1 {
+            net.add_gate(GateKind::Buf, &[sop], Delay::ZERO)
+        } else {
+            sop
+        }
+    } else {
+        net.add_gate(GateKind::Not, &[sop], Delay::ZERO)
+    };
+    net.set_gate_name(out, node.output.clone());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL_ADDER: &str = "\
+# a one-bit full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn full_adder_parses_and_computes() {
+        let c = parse_blif(FULL_ADDER).unwrap();
+        let net = &c.network;
+        assert_eq!(net.name(), "fa");
+        assert_eq!(net.inputs().len(), 3);
+        assert_eq!(net.outputs().len(), 2);
+        for v in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            let ones = bits.iter().filter(|&&b| b).count();
+            let out = net.eval_bool(&bits);
+            assert_eq!(out[0], ones % 2 == 1, "sum at {v}");
+            assert_eq!(out[1], ones >= 2, "cout at {v}");
+        }
+    }
+
+    #[test]
+    fn off_set_cover_is_complemented() {
+        let text = ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+        let c = parse_blif(text).unwrap();
+        // y = NOT(a AND b)
+        assert_eq!(c.network.eval_bool(&[true, true]), vec![false]);
+        assert_eq!(c.network.eval_bool(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn constants() {
+        let text = ".model t\n.inputs a\n.outputs z o u\n.names z\n.names o\n1\n.names a u\n1 1\n.end\n";
+        let c = parse_blif(text).unwrap();
+        assert_eq!(
+            c.network.eval_bool(&[false]),
+            vec![false, true, false]
+        );
+    }
+
+    #[test]
+    fn latches_are_cut() {
+        let text = "\
+.model seq
+.inputs d
+.outputs q2
+.latch nd q 0
+.names d nd
+0 1
+.names q q2
+1 1
+.end
+";
+        let c = parse_blif(text).unwrap();
+        assert_eq!(c.latches.len(), 1);
+        assert_eq!(c.latches[0].init, Some(0));
+        // Combinational view: inputs d and q; outputs q2 and nd.
+        assert_eq!(c.network.inputs().len(), 2);
+        assert_eq!(c.network.outputs().len(), 2);
+        assert!(c.network.input_by_name("q").is_some());
+        assert!(c.network.output_by_name("nd").is_some());
+    }
+
+    #[test]
+    fn out_of_order_names_resolve() {
+        let text = "\
+.model ooo
+.inputs a b
+.outputs y
+.names t y
+1 1
+.names a b t
+11 1
+.end
+";
+        let c = parse_blif(text).unwrap();
+        assert_eq!(c.network.eval_bool(&[true, true]), vec![true]);
+        assert_eq!(c.network.eval_bool(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model c\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let c = parse_blif(text).unwrap();
+        assert_eq!(c.network.inputs().len(), 2);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(
+            parse_blif(".model t\n.inputs a\n.outputs y\n.end\n"),
+            Err(BlifError::Undefined { .. })
+        ));
+        assert!(matches!(
+            parse_blif(
+                ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n"
+            ),
+            Err(BlifError::MultiplyDriven { .. })
+        ));
+        assert!(matches!(
+            parse_blif(".model t\n.inputs a\n.outputs y\n.names y y\n1 1\n.end\n"),
+            Err(BlifError::Cyclic { .. })
+        ));
+        assert!(matches!(
+            parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n"),
+            Err(BlifError::Syntax { .. })
+        ));
+        assert!(parse_blif(".model t\n.garbage\n").is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! BLIF writer: renders a [`Network`] as `.names` nodes.
+//!
+//! Each gate becomes one `.names` node with the canonical cover for its
+//! kind; the result round-trips through [`crate::parse_blif`] to an
+//! equivalent network (structure may differ — covers are re-elaborated).
+
+use std::fmt::Write as _;
+
+use kms_netlist::{GateId, GateKind, Network};
+
+fn signal_name(net: &Network, id: GateId) -> String {
+    match &net.gate(id).name {
+        Some(n) => n.clone(),
+        None => format!("n{}", id.index()),
+    }
+}
+
+/// Renders `net` as BLIF text.
+///
+/// Unnamed gates get generated names `n<id>`. Gate and wire delays are not
+/// representable in BLIF and are dropped; re-apply a
+/// [`kms_netlist::DelayModel`] after reading back.
+pub fn write_blif(net: &Network) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {}", net.name());
+    let inames: Vec<String> = net
+        .inputs()
+        .iter()
+        .map(|&i| signal_name(net, i))
+        .collect();
+    let _ = writeln!(s, ".inputs {}", inames.join(" "));
+    let onames: Vec<String> = net.outputs().iter().map(|o| o.name.clone()).collect();
+    let _ = writeln!(s, ".outputs {}", onames.join(" "));
+
+    for id in net.topo_order() {
+        let g = net.gate(id);
+        let out = signal_name(net, id);
+        let ins: Vec<String> = g.pins.iter().map(|p| signal_name(net, p.src)).collect();
+        match g.kind {
+            GateKind::Input => {}
+            GateKind::Const(v) => {
+                let _ = writeln!(s, ".names {out}");
+                if v {
+                    let _ = writeln!(s, "1");
+                }
+            }
+            GateKind::Buf => {
+                let _ = writeln!(s, ".names {} {out}\n1 1", ins[0]);
+            }
+            GateKind::Not => {
+                let _ = writeln!(s, ".names {} {out}\n0 1", ins[0]);
+            }
+            GateKind::And | GateKind::Nand => {
+                let _ = writeln!(s, ".names {} {out}", ins.join(" "));
+                let ones = "1".repeat(ins.len());
+                let bit = if g.kind == GateKind::And { 1 } else { 0 };
+                let _ = writeln!(s, "{ones} {bit}");
+            }
+            GateKind::Or | GateKind::Nor => {
+                let _ = writeln!(s, ".names {} {out}", ins.join(" "));
+                if g.kind == GateKind::Or {
+                    for k in 0..ins.len() {
+                        let mut plane = vec!['-'; ins.len()];
+                        plane[k] = '1';
+                        let _ =
+                            writeln!(s, "{} 1", plane.into_iter().collect::<String>());
+                    }
+                } else {
+                    let zeros = "0".repeat(ins.len());
+                    let _ = writeln!(s, "{zeros} 1");
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let _ = writeln!(s, ".names {} {out}", ins.join(" "));
+                let want_odd = g.kind == GateKind::Xor;
+                for m in 0..(1u32 << ins.len()) {
+                    let ones = m.count_ones() as usize;
+                    if (ones % 2 == 1) == want_odd {
+                        let plane: String = (0..ins.len())
+                            .map(|i| if (m >> i) & 1 == 1 { '1' } else { '0' })
+                            .collect();
+                        let _ = writeln!(s, "{plane} 1");
+                    }
+                }
+            }
+            GateKind::Mux => {
+                let _ = writeln!(s, ".names {} {} {} {out}", ins[0], ins[1], ins[2]);
+                let _ = writeln!(s, "01- 1\n1-1 1");
+            }
+        }
+    }
+    // Emit buffers for outputs driven by inputs or by gates whose names
+    // differ from the output name.
+    for o in net.outputs() {
+        let drv = signal_name(net, o.src);
+        if drv != o.name {
+            let _ = writeln!(s, ".names {drv} {}\n1 1", o.name);
+        }
+    }
+    let _ = writeln!(s, ".end");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::parse_blif;
+    use kms_netlist::{Delay, GateKind, Network};
+
+    fn roundtrip(net: &Network) {
+        let text = write_blif(net);
+        let back = parse_blif(&text).expect("written BLIF parses");
+        net.exhaustive_equiv(&back.network).expect("roundtrip equivalence");
+    }
+
+    #[test]
+    fn roundtrip_all_gate_kinds() {
+        let mut net = Network::new("kinds");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g1 = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::Or, &[b, c], Delay::UNIT);
+        let g3 = net.add_gate(GateKind::Nand, &[g1, g2], Delay::UNIT);
+        let g4 = net.add_gate(GateKind::Nor, &[a, g2], Delay::UNIT);
+        let g5 = net.add_gate(GateKind::Xor, &[g3, g4], Delay::UNIT);
+        let g6 = net.add_gate(GateKind::Xnor, &[g5, c], Delay::UNIT);
+        let g7 = net.add_gate(GateKind::Mux, &[a, g5, g6], Delay::UNIT);
+        let g8 = net.add_gate(GateKind::Not, &[g7], Delay::UNIT);
+        let g9 = net.add_gate(GateKind::Buf, &[g8], Delay::ZERO);
+        net.add_output("y", g9);
+        roundtrip(&net);
+    }
+
+    #[test]
+    fn roundtrip_constants_and_input_outputs() {
+        let mut net = Network::new("consts");
+        let a = net.add_input("a");
+        let c1 = net.add_const(true);
+        let c0 = net.add_const(false);
+        net.add_output("ao", a); // output driven directly by an input
+        net.add_output("one", c1);
+        net.add_output("zero", c0);
+        roundtrip(&net);
+    }
+
+    #[test]
+    fn written_text_shape() {
+        let mut net = Network::new("shape");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::Or, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        let text = write_blif(&net);
+        assert!(text.contains(".model shape"));
+        assert!(text.contains(".inputs a b"));
+        assert!(text.contains(".outputs y"));
+        assert!(text.contains("1- 1"));
+        assert!(text.contains("-1 1"));
+        assert!(text.ends_with(".end\n"));
+    }
+}

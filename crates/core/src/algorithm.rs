@@ -1,0 +1,530 @@
+//! The KMS algorithm (Fig. 3 of the paper): redundancy removal with no
+//! increase in delay.
+//!
+//! ```text
+//! /* Circuit η has only simple gates. */
+//! While (all longest paths in η are not statically sensitizable/viable) {
+//!     Choose a longest path P.
+//!     Find n, the gate in P closest to the output that has fanout > 1.
+//!     If n exists { duplicate the gates of P up to n; move edge e to n′ }
+//!     Else P′ is the same as P.
+//!     If P′ is not statically sensitizable {
+//!         Set first edge of P′ to constant; propagate; remove useless gates.
+//!     }
+//! }
+//! Remove remaining redundancies in any order.
+//! ```
+//!
+//! Theorem 7.1 (duplication preserves every path length, node function, and
+//! the computed delay) and Theorem 7.2 (setting the first edge of an
+//! unsensitizable single-fanout longest path to a constant cannot increase
+//! the computed delay) guarantee the loop invariant; both are re-proved as
+//! property tests in this repository.
+
+use kms_atpg::{Engine, Fault};
+use kms_netlist::{transform, GateId, Network, NetlistError, Path};
+use kms_opt::naive_redundancy_removal;
+use kms_timing::{
+    is_statically_sensitizable, InputArrivals, PathEnumerator, Time, ViabilityAnalysis,
+};
+
+/// The sensitization condition used in the while-loop header (Section VI:
+/// "the user may choose whether viability or static sensitization is
+/// used").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Condition {
+    /// Static sensitization (Definition 4.11) — cheaper; may trigger an
+    /// unnecessary duplication on a path that is viable but not
+    /// statically sensitizable (the paper's stated trade-off). This is
+    /// what the paper's own implementation used (Section VIII).
+    #[default]
+    StaticSensitization,
+    /// Viability (Section V.1) — tighter, dearer.
+    Viability,
+}
+
+/// Options for [`kms`].
+#[derive(Clone, Copy, Debug)]
+pub struct KmsOptions {
+    /// The while-loop condition.
+    pub condition: Condition,
+    /// The ATPG engine for the final remove-remaining-redundancies phase.
+    pub engine: Engine,
+    /// Iteration cap for the while loop (safety net; the paper argues the
+    /// count is bounded by the number of nonviable longest paths).
+    pub max_iterations: usize,
+    /// How many equal-length longest paths to examine per iteration.
+    pub max_longest_paths: usize,
+    /// Path-enumeration effort cap per iteration.
+    pub effort_cap: usize,
+    /// Run a structural-hashing area-recovery pass after the removal
+    /// phase, merging duplicates the loop created that ended up with
+    /// identical fanins. Delay-safe (merged gates have identical kind,
+    /// delay, and sources, so every path maps to an equal-length one);
+    /// off by default to match the paper's algorithm exactly.
+    pub strash: bool,
+}
+
+impl Default for KmsOptions {
+    fn default() -> Self {
+        KmsOptions {
+            condition: Condition::default(),
+            engine: Engine::Sat,
+            max_iterations: 10_000,
+            max_longest_paths: 256,
+            effort_cap: 1 << 22,
+            strash: false,
+        }
+    }
+}
+
+/// One iteration of the while loop, for tracing/reporting.
+#[derive(Clone, Debug)]
+pub struct KmsIteration {
+    /// The length of the longest paths this iteration looked at.
+    pub longest_length: Time,
+    /// Human-readable description of the chosen path `P`.
+    pub path: String,
+    /// Number of gates duplicated (0 when every gate on `P` already had
+    /// fanout one).
+    pub duplicated: usize,
+    /// The constant asserted on the first edge of `P′`.
+    pub constant: bool,
+    /// Simple-gate count after the iteration.
+    pub gates_after: usize,
+}
+
+/// The full report of a [`kms`] run.
+#[derive(Clone, Debug)]
+pub struct KmsReport {
+    /// Per-iteration trace of the while loop.
+    pub iterations: Vec<KmsIteration>,
+    /// Redundant faults removed in the final phase, in removal order.
+    pub removed_redundancies: Vec<Fault>,
+    /// Simple-gate count before the run (the paper's "Initial" column).
+    pub gates_before: usize,
+    /// Simple-gate count after (the paper's "Final" column).
+    pub gates_after: usize,
+    /// Total gates created by duplication.
+    pub duplicated_gates: usize,
+    /// Topological delay before/after.
+    pub topological_before: Time,
+    /// See [`KmsReport::topological_before`].
+    pub topological_after: Time,
+    /// Largest fanout of any gate before/after (the Section VI.2 fanout
+    /// accounting: the paper handles growth by drive sizing, we report it).
+    pub max_fanout_before: usize,
+    /// See [`KmsReport::max_fanout_before`].
+    pub max_fanout_after: usize,
+    /// `true` if the iteration cap stopped the loop early (never observed
+    /// on the paper's circuits; reported for safety).
+    pub capped: bool,
+}
+
+fn max_fanout(net: &Network) -> usize {
+    let fo = net.fanouts();
+    net.gate_ids()
+        .map(|g| {
+            fo[g.index()].len() + net.outputs().iter().filter(|o| o.src == g).count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Total fanout (connections + primary outputs) of `gate`.
+fn fanout_count(net: &Network, fo: &[Vec<kms_netlist::ConnRef>], gate: GateId) -> usize {
+    fo[gate.index()].len() + net.outputs().iter().filter(|o| o.src == gate).count()
+}
+
+/// A per-iteration condition oracle: the SAT encoding (or the BDD node
+/// functions) is built once per network state and shared across the
+/// longest-path checks of that iteration.
+enum ConditionOracle<'a> {
+    Sens(kms_timing::SensitizationOracle),
+    Via(ViabilityAnalysis<'a>),
+}
+
+impl<'a> ConditionOracle<'a> {
+    fn new(net: &'a Network, arrivals: &InputArrivals, condition: Condition) -> Self {
+        match condition {
+            Condition::StaticSensitization => {
+                ConditionOracle::Sens(kms_timing::SensitizationOracle::new(net))
+            }
+            Condition::Viability => {
+                ConditionOracle::Via(ViabilityAnalysis::new(net, arrivals))
+            }
+        }
+    }
+
+    fn satisfies(&mut self, net: &Network, path: &Path) -> Result<bool, NetlistError> {
+        match self {
+            ConditionOracle::Sens(o) => o.is_sensitizable(net, path),
+            ConditionOracle::Via(v) => v.is_viable(path),
+        }
+    }
+}
+
+/// Runs the KMS algorithm on `net` in place.
+///
+/// On return the network is logically equivalent to the input, fully
+/// single-stuck-at testable, and — under the viability delay model — no
+/// slower (Theorems 7.1/7.2). The network must consist of simple gates
+/// (run [`transform::decompose_to_simple`] first).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::NotSimple`] if a complex gate is present.
+pub fn kms(
+    net: &mut Network,
+    arrivals: &InputArrivals,
+    options: KmsOptions,
+) -> Result<KmsReport, NetlistError> {
+    if let Some(bad) = net
+        .gate_ids()
+        .find(|&g| !net.gate(g).kind.is_source() && !net.gate(g).kind.is_simple())
+    {
+        return Err(NetlistError::NotSimple {
+            gate: bad,
+            kind: net.gate(bad).kind,
+        });
+    }
+    let gates_before = net.simple_gate_count();
+    let topological_before = kms_timing::Sta::run(net, arrivals).delay();
+    let max_fanout_before = max_fanout(net);
+    let mut iterations = Vec::new();
+    let mut duplicated_gates = 0usize;
+    let mut capped = false;
+
+    for _iter in 0.. {
+        if _iter >= options.max_iterations {
+            capped = true;
+            break;
+        }
+        // Collect the longest paths (all of maximal length, capped).
+        let mut en =
+            PathEnumerator::new(net, arrivals).with_effort_cap(options.effort_cap);
+        let mut longest: Vec<Path> = Vec::new();
+        let mut longest_length: Option<Time> = None;
+        for (p, len) in en.by_ref() {
+            match longest_length {
+                None => {
+                    longest_length = Some(len);
+                    longest.push(p);
+                }
+                Some(l) if len == l => {
+                    if longest.len() < options.max_longest_paths {
+                        longest.push(p);
+                    } else {
+                        break;
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        let Some(longest_length) = longest_length else {
+            break; // no IO-paths at all (constant circuit)
+        };
+        // While-loop header: stop when some longest path satisfies the
+        // condition — then that path determines the delay and the
+        // remaining redundancies may go in any order.
+        let mut target: Option<Path> = None;
+        let mut any_sensitizable = false;
+        {
+            let net_ref: &Network = net;
+            let mut oracle = ConditionOracle::new(net_ref, arrivals, options.condition);
+            for p in &longest {
+                if oracle.satisfies(net_ref, p)? {
+                    any_sensitizable = true;
+                    break;
+                } else if target.is_none() {
+                    target = Some(p.clone());
+                }
+            }
+        }
+        if any_sensitizable {
+            break;
+        }
+        let Some(path) = target else { break };
+
+        // Find n: the gate in P closest to the output with fanout > 1.
+        let fo = net.fanouts();
+        let mut n_pos: Option<usize> = None;
+        for (i, g) in path.gates().enumerate() {
+            if fanout_count(net, &fo, g) > 1 {
+                n_pos = Some(i); // keep the last (closest to the output)
+            }
+        }
+        let (p_prime, dup_count) = match n_pos {
+            Some(upto) => {
+                let dup = transform::duplicate_path_prefix(net, &path, upto);
+                duplicated_gates += dup.mapping.len();
+                (dup.new_path, dup.mapping.len())
+            }
+            None => (path.clone(), 0),
+        };
+
+        // P′ computes the same functions (Theorem 7.1), so it is still not
+        // statically sensitizable; both stuck faults on its first edge are
+        // untestable because every gate on P′ has fanout one. Set the
+        // first edge to the controlling value of the gate it feeds — this
+        // deletes that gate (the paper's stated preference).
+        debug_assert!(
+            !is_statically_sensitizable(net, &p_prime)?,
+            "duplication must preserve unsensitizability (Theorem 7.1)"
+        );
+        let first = p_prime.first_conn();
+        let first_kind = net.gate(first.gate).kind;
+        let value = first_kind.controlling_value().unwrap_or(false);
+        transform::set_conn_const(net, first, value);
+
+        iterations.push(KmsIteration {
+            longest_length,
+            path: path.to_string(),
+            duplicated: dup_count,
+            constant: value,
+            gates_after: net.simple_gate_count(),
+        });
+    }
+
+    // Final phase: remove remaining redundancies in any order.
+    let naive = naive_redundancy_removal(net, options.engine);
+    if options.strash {
+        transform::structural_hash(net);
+        transform::sweep(net);
+        // Merging can in principle re-expose redundancies through changed
+        // observability? No: merged gates computed identical functions, so
+        // the circuit function and fault behaviour per remaining site are
+        // unchanged; full testability is preserved (checked in tests).
+    }
+
+    Ok(KmsReport {
+        iterations,
+        removed_redundancies: naive.removed,
+        gates_before,
+        gates_after: net.simple_gate_count(),
+        duplicated_gates,
+        topological_before,
+        topological_after: kms_timing::Sta::run(net, arrivals).delay(),
+        max_fanout_before,
+        max_fanout_after: max_fanout(net),
+        capped,
+    })
+}
+
+/// Runs [`kms`] on a copy, returning the transformed network and report.
+///
+/// # Errors
+///
+/// See [`kms`].
+pub fn kms_on_copy(
+    net: &Network,
+    arrivals: &InputArrivals,
+    options: KmsOptions,
+) -> Result<(Network, KmsReport), NetlistError> {
+    let mut copy = net.clone();
+    let report = kms(&mut copy, arrivals, options)?;
+    Ok((copy, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_atpg::analyze;
+    use kms_gen::paper::fig4_c2_cone;
+    use kms_netlist::{Delay, GateKind};
+    use kms_sat::check_equivalence;
+    use kms_timing::{computed_delay, PathCondition};
+
+    fn assert_invariants(before: &Network, after: &Network, arrivals: &InputArrivals) {
+        // (1) Logical equivalence.
+        assert!(
+            check_equivalence(before, after).is_equivalent(),
+            "KMS must preserve the function"
+        );
+        // (2) Full single-stuck-at testability.
+        assert!(
+            analyze(after, Engine::Sat).fully_testable(),
+            "KMS must yield an irredundant circuit"
+        );
+        // (3) No delay increase under the viability model.
+        let db = computed_delay(before, arrivals, PathCondition::Viability, 1 << 22)
+            .unwrap();
+        let da = computed_delay(after, arrivals, PathCondition::Viability, 1 << 22)
+            .unwrap();
+        assert!(
+            da.delay <= db.delay,
+            "viable delay grew: {} -> {}",
+            db.delay,
+            da.delay
+        );
+    }
+
+    #[test]
+    fn rejects_complex_gates() {
+        let mut net = Network::new("m");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::Xor, &[a, b], Delay::new(2));
+        net.add_output("y", g);
+        assert!(matches!(
+            kms(&mut net, &InputArrivals::zero(), KmsOptions::default()),
+            Err(NetlistError::NotSimple { .. })
+        ));
+    }
+
+    #[test]
+    fn already_irredundant_is_untouched_logically() {
+        let mut net = Network::new("c");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        let before = net.clone();
+        let report = kms(&mut net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
+        assert!(report.iterations.is_empty());
+        assert!(report.removed_redundancies.is_empty());
+        assert_eq!(report.gates_before, report.gates_after);
+        assert_invariants(&before, &net, &InputArrivals::zero());
+    }
+
+    #[test]
+    fn fig4_cone_both_conditions() {
+        for condition in [Condition::StaticSensitization, Condition::Viability] {
+            let net = fig4_c2_cone();
+            let cin = net.input_by_name("cin").unwrap();
+            let arr = InputArrivals::zero().with(cin, 5);
+            let (after, report) = kms_on_copy(
+                &net,
+                &arr,
+                KmsOptions {
+                    condition,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                !report.iterations.is_empty(),
+                "{condition:?}: the c0 path is unsensitizable, loop must fire"
+            );
+            assert_invariants(&net, &after, &arr);
+            // The paper's Section VI.3 walk-through: the c2 cone needs no
+            // duplication (no gate on the longest path has fanout > 1).
+            assert_eq!(report.iterations[0].duplicated, 0, "{condition:?}");
+            // Delay: the viable delay is at most the Section III critical
+            // path of 8 ("equal or less delay"; here it improves to 7, as
+            // in Fig. 6 where the ripple feed is replaced by input b0).
+            let after_delay =
+                computed_delay(&after, &arr, PathCondition::Viability, 1 << 22).unwrap();
+            assert!(after_delay.delay <= 8, "{condition:?}: {}", after_delay.delay);
+        }
+    }
+
+    #[test]
+    fn textbook_redundancy_removed_without_loop() {
+        // y = a + a·b: the longest path (through the AND) — is it
+        // sensitizable? Side inputs: b at the AND… the path a→AND→OR has
+        // side inputs b (AND) and a (OR); a=0 required at the OR side but
+        // a=1 required… take the b→AND→OR path: sides a (AND, needs 1)
+        // and a (OR, needs 0): unsensitizable! The loop fires.
+        let mut net = Network::new("r");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let t = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let y = net.add_gate(GateKind::Or, &[a, t], Delay::UNIT);
+        net.add_output("y", y);
+        let before = net.clone();
+        let report = kms(&mut net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
+        assert_invariants(&before, &net, &InputArrivals::zero());
+        assert!(net.simple_gate_count() <= before.simple_gate_count());
+        let _ = report;
+    }
+
+    #[test]
+    fn duplication_branch_exercised() {
+        // Force a multi-fanout gate onto an unsensitizable longest path:
+        // slow chain through t = a·b feeding both the conflicting AND and
+        // a second output.
+        let mut net = Network::new("d");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let s = net.add_input("s");
+        let ns = net.add_gate(GateKind::Not, &[s], Delay::ZERO);
+        let t = net.add_gate(GateKind::And, &[a, b], Delay::new(3)); // slow, fanout 2
+        let g = net.add_gate(GateKind::And, &[t, s, ns], Delay::UNIT); // unsensitizable sink
+        net.add_output("y", g);
+        net.add_output("z", t);
+        let before = net.clone();
+        let report = kms(&mut net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
+        assert!(
+            report.duplicated_gates > 0,
+            "t has fanout 2 on the longest path; duplication required"
+        );
+        assert_invariants(&before, &net, &InputArrivals::zero());
+    }
+
+    #[test]
+    fn report_bookkeeping() {
+        let net = fig4_c2_cone();
+        let cin = net.input_by_name("cin").unwrap();
+        let arr = InputArrivals::zero().with(cin, 5);
+        let (_, report) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+        assert!(!report.capped);
+        assert_eq!(report.gates_before, net.simple_gate_count());
+        // Topological delay may only shrink: the transforms never add a
+        // longer path than the longest they started from (Theorem 7.1/7.2).
+        assert!(report.topological_after <= report.topological_before);
+        assert!(report.max_fanout_before > 0);
+    }
+}
+
+#[cfg(test)]
+mod strash_option_tests {
+    use super::*;
+    use kms_atpg::analyze;
+    use kms_sat::check_equivalence;
+
+    #[test]
+    fn strash_recovers_area_and_preserves_invariants() {
+        // csa 8.4 decomposed with unit delays: the loop duplicates a lot;
+        // strash must claw some of it back without breaking anything.
+        let mut net = kms_gen::adders::carry_skip_adder(
+            8,
+            4,
+            kms_netlist::DelayModel::Unit,
+        );
+        transform::decompose_to_simple(&mut net);
+        net.apply_delay_model(kms_netlist::DelayModel::Unit);
+        let arr = InputArrivals::zero();
+        let (plain, _) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+        let (hashed, rep) = kms_on_copy(
+            &net,
+            &arr,
+            KmsOptions {
+                strash: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(rep.gates_after <= plain.simple_gate_count());
+        assert!(check_equivalence(&net, &hashed).is_equivalent());
+        assert!(analyze(&hashed, Engine::Sat).fully_testable());
+        // Delay guarantee intact.
+        let before = kms_timing::computed_delay(
+            &net,
+            &arr,
+            kms_timing::PathCondition::Viability,
+            1 << 22,
+        )
+        .unwrap()
+        .delay;
+        let after = kms_timing::computed_delay(
+            &hashed,
+            &arr,
+            kms_timing::PathCondition::Viability,
+            1 << 22,
+        )
+        .unwrap()
+        .delay;
+        assert!(after <= before);
+    }
+}

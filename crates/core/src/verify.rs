@@ -1,0 +1,125 @@
+//! Machine-checkable statements of the paper's correctness claims, shared
+//! by the test suites, examples, and benchmark harness.
+
+use kms_atpg::{analyze, Engine};
+use kms_netlist::{Network, NetlistError};
+use kms_sat::check_equivalence;
+use kms_timing::{computed_delay, InputArrivals, PathCondition, Time};
+
+/// The verdict of [`verify_kms_invariants`].
+#[derive(Clone, Debug)]
+pub struct InvariantReport {
+    /// The networks compute the same function (SAT miter).
+    pub equivalent: bool,
+    /// Every single stuck-at fault of the result is testable.
+    pub fully_testable: bool,
+    /// Viability-model delay of the input circuit.
+    pub delay_before: Time,
+    /// Viability-model delay of the result.
+    pub delay_after: Time,
+    /// Longest statically sensitizable path, before/after.
+    pub static_delay_before: Time,
+    /// See [`InvariantReport::static_delay_before`].
+    pub static_delay_after: Time,
+}
+
+impl InvariantReport {
+    /// `true` iff all three of the paper's guarantees hold: equivalence,
+    /// irredundancy, and no viable-delay increase.
+    pub fn holds(&self) -> bool {
+        self.equivalent && self.fully_testable && self.delay_after <= self.delay_before
+    }
+}
+
+/// Checks the three KMS guarantees for a (before, after) pair under the
+/// given arrival times, measuring delay with the viability model (the
+/// paper's). For circuits too wide for the BDD-backed viability oracle,
+/// use [`verify_kms_invariants_with`] and the SAT-backed
+/// [`PathCondition::StaticSensitization`] metric instead.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::NotSimple`] from the sensitization oracles.
+pub fn verify_kms_invariants(
+    before: &Network,
+    after: &Network,
+    arrivals: &InputArrivals,
+) -> Result<InvariantReport, NetlistError> {
+    verify_kms_invariants_with(before, after, arrivals, PathCondition::Viability, 1 << 22)
+}
+
+/// As [`verify_kms_invariants`], with an explicit delay metric and path
+/// enumeration effort cap. The `delay_before`/`delay_after` fields carry
+/// the chosen metric; the static-sensitization fields are always filled
+/// (they share the metric when it *is* static sensitization).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::NotSimple`] from the sensitization oracles.
+pub fn verify_kms_invariants_with(
+    before: &Network,
+    after: &Network,
+    arrivals: &InputArrivals,
+    condition: PathCondition,
+    effort_cap: usize,
+) -> Result<InvariantReport, NetlistError> {
+    let equivalent = check_equivalence(before, after).is_equivalent();
+    let fully_testable = analyze(after, Engine::Sat).fully_testable();
+    let db = computed_delay(before, arrivals, condition, effort_cap)?;
+    let da = computed_delay(after, arrivals, condition, effort_cap)?;
+    let (sb, sa) = if condition == PathCondition::StaticSensitization {
+        (db.delay, da.delay)
+    } else {
+        let sb =
+            computed_delay(before, arrivals, PathCondition::StaticSensitization, effort_cap)?;
+        let sa =
+            computed_delay(after, arrivals, PathCondition::StaticSensitization, effort_cap)?;
+        (sb.delay, sa.delay)
+    };
+    Ok(InvariantReport {
+        equivalent,
+        fully_testable,
+        delay_before: db.delay,
+        delay_after: da.delay,
+        static_delay_before: sb,
+        static_delay_after: sa,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{kms_on_copy, KmsOptions};
+    use kms_gen::paper::fig4_c2_cone;
+
+    #[test]
+    fn fig4_invariants_hold() {
+        let net = fig4_c2_cone();
+        let cin = net.input_by_name("cin").unwrap();
+        let arr = InputArrivals::zero().with(cin, 5);
+        let (after, _) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+        let inv = verify_kms_invariants(&net, &after, &arr).unwrap();
+        assert!(inv.holds(), "{inv:?}");
+        assert_eq!(inv.delay_before, 8, "Section III critical path");
+        // The algorithm guarantees "equal or less delay"; on this cone it
+        // actually improves (the Fig. 6 circuit reads b0 directly).
+        assert!(inv.delay_after <= 8, "{inv:?}");
+    }
+
+    #[test]
+    fn violations_detected() {
+        // Deliberately wrong "after" circuit: inverted output.
+        let net = fig4_c2_cone();
+        let mut broken = net.clone();
+        let o = broken.outputs()[0].src;
+        let inv_gate = broken.add_gate(
+            kms_netlist::GateKind::Not,
+            &[o],
+            kms_netlist::Delay::ZERO,
+        );
+        broken.set_output_src(0, inv_gate);
+        let inv = verify_kms_invariants(&net, &broken, &InputArrivals::zero()).unwrap();
+        assert!(!inv.equivalent);
+        assert!(!inv.holds());
+    }
+}

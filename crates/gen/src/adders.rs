@@ -1,0 +1,308 @@
+//! Adder generators: ripple-carry, carry-skip (the paper's Fig. 1
+//! construction, Lehman–Burla, ref. 13 of the paper), and carry-select (extension).
+//!
+//! Inputs are named `a0…`, `b0…`, `cin`; outputs `s0…`, `cout`. The
+//! carry-skip adder `csa n.b` of Table I is [`carry_skip_adder`]`(n, b)`:
+//! a ripple adder with, per block, "an extra AND gate and a MUX" that let
+//! the carry skip the block when all propagate bits are high (Section III).
+
+use kms_netlist::{Delay, DelayModel, GateId, GateKind, Network};
+
+/// Builds an `n`-bit ripple-carry adder.
+///
+/// Per bit: `p = a⊕b`, `s = p⊕c`, `c' = a·b + p·c`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_carry_adder(bits: usize, model: DelayModel) -> Network {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut net = Network::new(format!("ripple_{bits}"));
+    let a: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("b{i}"))).collect();
+    let cin = net.add_input("cin");
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let (sum, cout) = full_adder_bit(&mut net, a[i], b[i], carry, model, i);
+        sums.push(sum);
+        carry = cout;
+    }
+    for (i, s) in sums.into_iter().enumerate() {
+        net.add_output(format!("s{i}"), s);
+    }
+    net.add_output("cout", carry);
+    net
+}
+
+/// One ripple bit; returns (sum, carry-out). Gate roles follow Fig. 1:
+/// XOR propagate, XOR sum, AND generate, AND propagate·carry, OR carry.
+fn full_adder_bit(
+    net: &mut Network,
+    a: GateId,
+    b: GateId,
+    c: GateId,
+    model: DelayModel,
+    i: usize,
+) -> (GateId, GateId) {
+    let dx = model.gate_delay(GateKind::Xor);
+    let da = model.gate_delay(GateKind::And);
+    let dor = model.gate_delay(GateKind::Or);
+    let p = net.add_gate(GateKind::Xor, &[a, b], dx);
+    net.set_gate_name(p, format!("p{i}"));
+    let s = net.add_gate(GateKind::Xor, &[p, c], dx);
+    let g = net.add_gate(GateKind::And, &[a, b], da);
+    net.set_gate_name(g, format!("g{i}"));
+    let t = net.add_gate(GateKind::And, &[p, c], da);
+    let co = net.add_gate(GateKind::Or, &[g, t], dor);
+    net.set_gate_name(co, format!("c{}", i + 1));
+    (s, co)
+}
+
+/// Builds the `csa n.b` carry-skip adder of Table I: an `n`-bit ripple
+/// adder partitioned into blocks of `block_size` bits, each with a skip
+/// AND (the block propagate) and a skip MUX on its carry-out.
+///
+/// The final block's size is `n mod block_size` when that is nonzero
+/// (blocks of one bit get no skip logic — skipping a single bit's ripple
+/// is never profitable and adds no redundancy).
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `block_size == 0`.
+pub fn carry_skip_adder(bits: usize, block_size: usize, model: DelayModel) -> Network {
+    assert!(bits > 0 && block_size > 0, "degenerate adder shape");
+    let mut net = Network::new(format!("csa_{bits}.{block_size}"));
+    let a: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("b{i}"))).collect();
+    let cin = net.add_input("cin");
+    let da = model.gate_delay(GateKind::And);
+    let dm = model.gate_delay(GateKind::Mux);
+    let mut block_cin = cin;
+    let mut sums = Vec::with_capacity(bits);
+    let mut lo = 0;
+    let mut block_no = 0;
+    while lo < bits {
+        let hi = (lo + block_size).min(bits);
+        let mut carry = block_cin;
+        let mut props = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let (sum, cout) = full_adder_bit(&mut net, a[i], b[i], carry, model, i);
+            // The propagate gate is the first gate added by full_adder_bit.
+            let p = net
+                .gate_by_name(&format!("p{i}"))
+                .expect("propagate named just above");
+            props.push(p);
+            sums.push(sum);
+            carry = cout;
+        }
+        let block_cout = if hi - lo >= 2 {
+            // Skip logic: BP = AND(p…); cout = BP ? block_cin : ripple.
+            let bp = net.add_gate(GateKind::And, &props, da);
+            net.set_gate_name(bp, format!("bp{block_no}"));
+            let mux = net.add_gate(GateKind::Mux, &[bp, carry, block_cin], dm);
+            net.set_gate_name(mux, format!("skip{block_no}"));
+            mux
+        } else {
+            carry
+        };
+        block_cin = block_cout;
+        lo = hi;
+        block_no += 1;
+    }
+    for (i, s) in sums.into_iter().enumerate() {
+        net.add_output(format!("s{i}"), s);
+    }
+    net.add_output("cout", block_cin);
+    net
+}
+
+/// Builds an `n`-bit carry-select adder (extension beyond the paper):
+/// each block computes both carry-in hypotheses and a MUX picks. Like the
+/// carry-skip adder, the selection logic introduces redundancy-prone
+/// structure, making it a further test bed for the algorithm.
+pub fn carry_select_adder(bits: usize, block_size: usize, model: DelayModel) -> Network {
+    assert!(bits > 0 && block_size > 0, "degenerate adder shape");
+    let mut net = Network::new(format!("csel_{bits}.{block_size}"));
+    let a: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("b{i}"))).collect();
+    let cin = net.add_input("cin");
+    let dm = model.gate_delay(GateKind::Mux);
+    let mut block_cin = cin;
+    let mut sums: Vec<GateId> = Vec::with_capacity(bits);
+    let mut lo = 0;
+    while lo < bits {
+        let hi = (lo + block_size).min(bits);
+        if lo == 0 {
+            // First block: plain ripple from cin.
+            let mut carry = block_cin;
+            for i in lo..hi {
+                let (s, c) = full_adder_bit(&mut net, a[i], b[i], carry, model, i);
+                sums.push(s);
+                carry = c;
+            }
+            block_cin = carry;
+        } else {
+            // Two hypothesis chains (cin = 0 and cin = 1), then select.
+            let c0 = net.add_const(false);
+            let c1 = net.add_const(true);
+            let mut carry0 = c0;
+            let mut carry1 = c1;
+            let mut s0s = Vec::new();
+            let mut s1s = Vec::new();
+            for i in lo..hi {
+                let (s0, co0) =
+                    full_adder_bit(&mut net, a[i], b[i], carry0, model, 1000 + i);
+                let (s1, co1) =
+                    full_adder_bit(&mut net, a[i], b[i], carry1, model, 2000 + i);
+                s0s.push(s0);
+                s1s.push(s1);
+                carry0 = co0;
+                carry1 = co1;
+            }
+            for (s0, s1) in s0s.into_iter().zip(s1s) {
+                let m = net.add_gate(GateKind::Mux, &[block_cin, s0, s1], dm);
+                sums.push(m);
+            }
+            block_cin = net.add_gate(GateKind::Mux, &[block_cin, carry0, carry1], dm);
+        }
+        lo = hi;
+    }
+    for (i, s) in sums.into_iter().enumerate() {
+        net.add_output(format!("s{i}"), s);
+    }
+    net.add_output("cout", block_cin);
+    // Name collisions from the hypothesis chains are harmless but ugly;
+    // strip the synthetic names.
+    net
+}
+
+/// Applies an adder network to concrete operands; returns (sum, carry).
+/// Test helper shared by the suites and examples.
+pub fn apply_adder(net: &Network, bits: usize, a: u64, b: u64, cin: bool) -> (u64, bool) {
+    let mut inputs = Vec::with_capacity(2 * bits + 1);
+    for i in 0..bits {
+        inputs.push((a >> i) & 1 == 1);
+    }
+    for i in 0..bits {
+        inputs.push((b >> i) & 1 == 1);
+    }
+    inputs.push(cin);
+    let out = net.eval_bool(&inputs);
+    let mut sum = 0u64;
+    for (i, &bit) in out.iter().take(bits).enumerate() {
+        if bit {
+            sum |= 1 << i;
+        }
+    }
+    (sum, out[bits])
+}
+
+/// Gate delay sanity constant: the paper's Section III model.
+pub fn section3_model() -> DelayModel {
+    DelayModel::section3()
+}
+
+/// The unit-delay model of Table I.
+pub fn unit_model() -> DelayModel {
+    DelayModel::Unit
+}
+
+/// The zero-delay placeholder (delays assigned later).
+pub fn zero_delay() -> Delay {
+    Delay::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_adds(net: &Network, bits: usize) {
+        let limit = 1u64 << bits;
+        // Exhaustive for tiny adders, sampled for larger ones.
+        let step = if bits <= 4 { 1 } else { (limit / 16).max(1) | 1 };
+        let mut a = 0;
+        while a < limit {
+            let mut b = 0;
+            while b < limit {
+                for cin in [false, true] {
+                    let (s, c) = apply_adder(net, bits, a, b, cin);
+                    let expect = a + b + u64::from(cin);
+                    assert_eq!(s, expect & (limit - 1), "{a}+{b}+{cin}");
+                    assert_eq!(c, expect >= limit, "{a}+{b}+{cin} carry");
+                }
+                b += step;
+            }
+            a += step;
+        }
+    }
+
+    #[test]
+    fn ripple_adds_correctly() {
+        for bits in [1, 2, 3, 4] {
+            let net = ripple_carry_adder(bits, DelayModel::Unit);
+            net.validate().unwrap();
+            check_adds(&net, bits);
+        }
+    }
+
+    #[test]
+    fn carry_skip_adds_correctly() {
+        for (bits, block) in [(2, 2), (4, 2), (4, 4), (8, 2), (8, 4), (8, 3), (5, 2)] {
+            let net = carry_skip_adder(bits, block, DelayModel::Unit);
+            net.validate().unwrap();
+            check_adds(&net, bits);
+        }
+    }
+
+    #[test]
+    fn carry_select_adds_correctly() {
+        for (bits, block) in [(4, 2), (8, 4), (6, 3)] {
+            let net = carry_select_adder(bits, block, DelayModel::Unit);
+            net.validate().unwrap();
+            check_adds(&net, bits);
+        }
+    }
+
+    #[test]
+    fn carry_skip_equivalent_to_ripple() {
+        let csa = carry_skip_adder(6, 3, DelayModel::Unit);
+        let rca = ripple_carry_adder(6, DelayModel::Unit);
+        csa.exhaustive_equiv(&rca).unwrap();
+    }
+
+    #[test]
+    fn skip_blocks_have_mux_and_and() {
+        let net = carry_skip_adder(8, 4, DelayModel::Unit);
+        let muxes = net
+            .gate_ids()
+            .filter(|&g| net.gate(g).kind == GateKind::Mux)
+            .count();
+        assert_eq!(muxes, 2, "one skip mux per block");
+        assert!(net.gate_by_name("bp0").is_some());
+        assert!(net.gate_by_name("bp1").is_some());
+    }
+
+    #[test]
+    fn single_bit_blocks_get_no_skip() {
+        let net = carry_skip_adder(3, 2, DelayModel::Unit);
+        // Blocks: [0,1] with skip, [2] without.
+        let muxes = net
+            .gate_ids()
+            .filter(|&g| net.gate(g).kind == GateKind::Mux)
+            .count();
+        assert_eq!(muxes, 1);
+        check_adds(&net, 3);
+    }
+
+    #[test]
+    fn section3_delays_applied() {
+        let net = carry_skip_adder(2, 2, DelayModel::section3());
+        let p0 = net.gate_by_name("p0").unwrap();
+        let skip = net.gate_by_name("skip0").unwrap();
+        assert_eq!(net.gate(p0).delay, Delay::new(2));
+        assert_eq!(net.gate(skip).delay, Delay::new(2));
+        let bp = net.gate_by_name("bp0").unwrap();
+        assert_eq!(net.gate(bp).delay, Delay::new(1));
+    }
+}

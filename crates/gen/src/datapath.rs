@@ -1,0 +1,315 @@
+//! Further datapath generators (extensions beyond the paper's adders):
+//! array multiplier, magnitude comparator, priority encoder, and a small
+//! ALU slice. They widen the workload pool for the property suites and the
+//! scaling benches — all built from the same gate vocabulary.
+
+use kms_netlist::{DelayModel, GateId, GateKind, Network};
+
+/// An `n×n` array multiplier (`2n` product outputs) built from AND partial
+/// products and ripple-carry compression rows.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn array_multiplier(bits: usize, model: DelayModel) -> Network {
+    assert!(bits > 0, "multiplier needs at least one bit");
+    let mut net = Network::new(format!("mul_{bits}"));
+    let a: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("b{i}"))).collect();
+    let da = model.gate_delay(GateKind::And);
+    let dx = model.gate_delay(GateKind::Xor);
+    let dor = model.gate_delay(GateKind::Or);
+    // Partial products.
+    let pp = |net: &mut Network, i: usize, j: usize| -> GateId {
+        net.add_gate(GateKind::And, &[a[i], b[j]], da)
+    };
+    // Row-by-row carry-save-ish accumulation with ripple rows.
+    let mut row: Vec<GateId> = (0..bits).map(|i| pp(&mut net, i, 0)).collect();
+    let mut outputs: Vec<GateId> = vec![row[0]];
+    for j in 1..bits {
+        let adds: Vec<GateId> = (0..bits).map(|i| pp(&mut net, i, j)).collect();
+        // Add `adds` to row[1..] with a ripple chain.
+        let mut next: Vec<GateId> = Vec::with_capacity(bits);
+        let mut carry: Option<GateId> = None;
+        for i in 0..bits {
+            let x = if i + 1 < row.len() {
+                Some(row[i + 1])
+            } else {
+                None
+            };
+            let y = adds[i];
+            let (sum, cout) = match (x, carry) {
+                (Some(x), Some(c)) => {
+                    // Full adder.
+                    let p = net.add_gate(GateKind::Xor, &[x, y], dx);
+                    let s = net.add_gate(GateKind::Xor, &[p, c], dx);
+                    let g1 = net.add_gate(GateKind::And, &[x, y], da);
+                    let g2 = net.add_gate(GateKind::And, &[p, c], da);
+                    let co = net.add_gate(GateKind::Or, &[g1, g2], dor);
+                    (s, Some(co))
+                }
+                (Some(x), None) => {
+                    // Half adder.
+                    let s = net.add_gate(GateKind::Xor, &[x, y], dx);
+                    let co = net.add_gate(GateKind::And, &[x, y], da);
+                    (s, Some(co))
+                }
+                (None, Some(c)) => {
+                    let s = net.add_gate(GateKind::Xor, &[y, c], dx);
+                    let co = net.add_gate(GateKind::And, &[y, c], da);
+                    (s, Some(co))
+                }
+                (None, None) => (y, None),
+            };
+            next.push(sum);
+            carry = cout;
+        }
+        if let Some(c) = carry {
+            next.push(c);
+        }
+        outputs.push(next[0]);
+        row = next;
+    }
+    for (k, &g) in row.iter().enumerate().skip(1) {
+        outputs.push(g);
+        let _ = k;
+    }
+    for (k, g) in outputs.into_iter().take(2 * bits).enumerate() {
+        net.add_output(format!("p{k}"), g);
+    }
+    net
+}
+
+/// An `n`-bit magnitude comparator: outputs `lt`, `eq`, `gt`.
+pub fn comparator(bits: usize, model: DelayModel) -> Network {
+    assert!(bits > 0, "comparator needs at least one bit");
+    let mut net = Network::new(format!("cmp_{bits}"));
+    let a: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("b{i}"))).collect();
+    let da = model.gate_delay(GateKind::And);
+    let dor = model.gate_delay(GateKind::Or);
+    let dx = model.gate_delay(GateKind::Xor);
+    let dn = model.gate_delay(GateKind::Not);
+    // eq_i = a_i XNOR b_i; walk from the MSB: gt = OR_i (a_i·b̄_i·eq_above).
+    let eqs: Vec<GateId> = (0..bits)
+        .map(|i| net.add_gate(GateKind::Xnor, &[a[i], b[i]], dx))
+        .collect();
+    let mut gt_terms = Vec::new();
+    let mut lt_terms = Vec::new();
+    for i in (0..bits).rev() {
+        let nb = net.add_gate(GateKind::Not, &[b[i]], dn);
+        let na = net.add_gate(GateKind::Not, &[a[i]], dn);
+        let mut gt_lits = vec![a[i], nb];
+        let mut lt_lits = vec![na, b[i]];
+        for &e in &eqs[i + 1..] {
+            gt_lits.push(e);
+            lt_lits.push(e);
+        }
+        gt_terms.push(net.add_gate(GateKind::And, &gt_lits, da));
+        lt_terms.push(net.add_gate(GateKind::And, &lt_lits, da));
+    }
+    let gt = if gt_terms.len() == 1 {
+        gt_terms[0]
+    } else {
+        net.add_gate(GateKind::Or, &gt_terms, dor)
+    };
+    let lt = if lt_terms.len() == 1 {
+        lt_terms[0]
+    } else {
+        net.add_gate(GateKind::Or, &lt_terms, dor)
+    };
+    let eq = net.add_gate(GateKind::And, &eqs, da);
+    net.add_output("lt", lt);
+    net.add_output("eq", eq);
+    net.add_output("gt", gt);
+    net
+}
+
+/// An `n`-input priority encoder: `log2ceil(n)` index outputs plus a
+/// `valid` flag; the highest-indexed asserted input wins.
+pub fn priority_encoder(inputs: usize, model: DelayModel) -> Network {
+    assert!(inputs >= 2, "encoder needs at least two inputs");
+    let mut net = Network::new(format!("prio_{inputs}"));
+    let req: Vec<GateId> = (0..inputs)
+        .map(|i| net.add_input(format!("r{i}")))
+        .collect();
+    let da = model.gate_delay(GateKind::And);
+    let dor = model.gate_delay(GateKind::Or);
+    let dn = model.gate_delay(GateKind::Not);
+    // win_i = r_i AND NOT r_{i+1} AND … AND NOT r_{n-1}.
+    let nots: Vec<GateId> = req
+        .iter()
+        .map(|&r| net.add_gate(GateKind::Not, &[r], dn))
+        .collect();
+    let wins: Vec<GateId> = (0..inputs)
+        .map(|i| {
+            let mut lits = vec![req[i]];
+            lits.extend_from_slice(&nots[i + 1..]);
+            if lits.len() == 1 {
+                req[i]
+            } else {
+                net.add_gate(GateKind::And, &lits, da)
+            }
+        })
+        .collect();
+    let width = usize::BITS as usize - (inputs - 1).leading_zeros() as usize;
+    for bit in 0..width.max(1) {
+        let terms: Vec<GateId> = (0..inputs)
+            .filter(|i| (i >> bit) & 1 == 1)
+            .map(|i| wins[i])
+            .collect();
+        let out = match terms.len() {
+            0 => net.add_const(false),
+            1 => terms[0],
+            _ => net.add_gate(GateKind::Or, &terms, dor),
+        };
+        net.add_output(format!("idx{bit}"), out);
+    }
+    let valid = net.add_gate(GateKind::Or, &req, dor);
+    net.add_output("valid", valid);
+    net
+}
+
+/// A 2-function ALU slice over `n`-bit operands: `op = 0` adds
+/// (ripple-carry), `op = 1` ANDs; outputs `n` result bits plus the adder
+/// carry. The op MUXes give it carry-skip-like selection structure.
+pub fn alu_slice(bits: usize, model: DelayModel) -> Network {
+    assert!(bits > 0, "alu needs at least one bit");
+    let mut net = Network::new(format!("alu_{bits}"));
+    let a: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..bits).map(|i| net.add_input(format!("b{i}"))).collect();
+    let op = net.add_input("op");
+    let da = model.gate_delay(GateKind::And);
+    let dx = model.gate_delay(GateKind::Xor);
+    let dor = model.gate_delay(GateKind::Or);
+    let dm = model.gate_delay(GateKind::Mux);
+    let mut carry: Option<GateId> = None;
+    for i in 0..bits {
+        let p = net.add_gate(GateKind::Xor, &[a[i], b[i]], dx);
+        let sum = match carry {
+            None => p,
+            Some(c) => net.add_gate(GateKind::Xor, &[p, c], dx),
+        };
+        let g = net.add_gate(GateKind::And, &[a[i], b[i]], da);
+        let co = match carry {
+            None => g,
+            Some(c) => {
+                let t = net.add_gate(GateKind::And, &[p, c], da);
+                net.add_gate(GateKind::Or, &[g, t], dor)
+            }
+        };
+        carry = Some(co);
+        let anded = net.add_gate(GateKind::And, &[a[i], b[i]], da);
+        let out = net.add_gate(GateKind::Mux, &[op, sum, anded], dm);
+        net.add_output(format!("y{i}"), out);
+    }
+    net.add_output("carry", carry.expect("bits > 0"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_word(net: &Network, bits: &[bool]) -> u64 {
+        net.eval_bool(bits)
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        for bits in [2usize, 3, 4] {
+            let net = array_multiplier(bits, DelayModel::Unit);
+            net.validate().unwrap();
+            for x in 0..(1u64 << bits) {
+                for y in 0..(1u64 << bits) {
+                    let mut ins = Vec::new();
+                    for i in 0..bits {
+                        ins.push((x >> i) & 1 == 1);
+                    }
+                    for i in 0..bits {
+                        ins.push((y >> i) & 1 == 1);
+                    }
+                    assert_eq!(eval_word(&net, &ins), x * y, "{x}*{y} ({bits}b)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let bits = 3;
+        let net = comparator(bits, DelayModel::Unit);
+        net.validate().unwrap();
+        for x in 0..(1u64 << bits) {
+            for y in 0..(1u64 << bits) {
+                let mut ins = Vec::new();
+                for i in 0..bits {
+                    ins.push((x >> i) & 1 == 1);
+                }
+                for i in 0..bits {
+                    ins.push((y >> i) & 1 == 1);
+                }
+                let out = net.eval_bool(&ins);
+                assert_eq!(out[0], x < y, "{x} < {y}");
+                assert_eq!(out[1], x == y, "{x} == {y}");
+                assert_eq!(out[2], x > y, "{x} > {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_picks_highest() {
+        let n = 6;
+        let net = priority_encoder(n, DelayModel::Unit);
+        net.validate().unwrap();
+        for m in 0..(1u64 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            let out = net.eval_bool(&ins);
+            let valid = *out.last().unwrap();
+            assert_eq!(valid, m != 0);
+            if m != 0 {
+                let expect = 63 - m.leading_zeros() as u64;
+                let got = out[..out.len() - 1]
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+                assert_eq!(got, expect, "inputs {m:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_adds_and_ands() {
+        let bits = 3;
+        let net = alu_slice(bits, DelayModel::Unit);
+        net.validate().unwrap();
+        for x in 0..(1u64 << bits) {
+            for y in 0..(1u64 << bits) {
+                for op in [false, true] {
+                    let mut ins = Vec::new();
+                    for i in 0..bits {
+                        ins.push((x >> i) & 1 == 1);
+                    }
+                    for i in 0..bits {
+                        ins.push((y >> i) & 1 == 1);
+                    }
+                    ins.push(op);
+                    let out = net.eval_bool(&ins);
+                    let word = out[..bits]
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+                    if op {
+                        assert_eq!(word, x & y, "{x} & {y}");
+                    } else {
+                        assert_eq!(word, (x + y) & ((1 << bits) - 1), "{x}+{y}");
+                        assert_eq!(out[bits], x + y >= (1 << bits));
+                    }
+                }
+            }
+        }
+    }
+}

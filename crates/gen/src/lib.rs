@@ -1,0 +1,31 @@
+//! Circuit generators for the KMS reproduction.
+//!
+//! * [`adders`] — ripple-carry, carry-skip (`csa n.b` of Table I, built
+//!   exactly as Fig. 1: per-block skip AND + MUX), and carry-select.
+//! * [`paper`] — the worked fixtures of Sections III and VI: the Fig. 1
+//!   2-bit block and the Fig. 4 single-output `c2` cone.
+//! * [`mcnc`] — the MCNC-substitute benchmark suite of Table I (exact
+//!   re-creations where the function is public, seeded stand-ins with the
+//!   original I/O shape otherwise; see DESIGN.md §4).
+//! * [`random`] — seeded random simple-gate networks for property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use kms_gen::adders::{carry_skip_adder, apply_adder};
+//! use kms_netlist::DelayModel;
+//!
+//! let csa = carry_skip_adder(8, 4, DelayModel::Unit);
+//! let (sum, carry) = apply_adder(&csa, 8, 200, 100, false);
+//! assert_eq!(sum, (200 + 100) & 0xFF);
+//! assert!(carry);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adders;
+pub mod datapath;
+pub mod mcnc;
+pub mod paper;
+pub mod random;

@@ -1,0 +1,102 @@
+//! The paper's worked fixtures: the 2-bit carry-skip block of Fig. 1 and
+//! the single-output `c2` cone of Fig. 4.
+//!
+//! Section III's timing numbers use the per-kind model (AND/OR = 1,
+//! XOR/MUX = 2) with the block carry-in `cin` arriving at t = 5; set that
+//! arrival with `kms_timing::InputArrivals` at the call site (this crate
+//! deliberately does not depend on the timing crate).
+
+use kms_netlist::{cone, transform, DelayModel, Network};
+
+use crate::adders::carry_skip_adder;
+
+/// The Fig. 1 2-bit carry-skip block (complex gates: XOR propagate/sum
+/// gates and the skip MUX), with Section III delays.
+///
+/// Inputs `a0 b0 a1 b1 cin` (declared `a0 a1 b0 b1 cin`), outputs
+/// `s0 s1 cout`.
+pub fn fig1_carry_skip_block() -> Network {
+    let mut net = carry_skip_adder(2, 2, DelayModel::section3());
+    net.set_name("fig1");
+    net
+}
+
+/// The Fig. 4 fixture: the Fig. 1 block lowered to simple gates (complex
+/// gate delays on the last gate of each expansion, Section VI) and sliced
+/// to the carry-output cone `c2` — the single-output circuit the paper
+/// walks the algorithm through (Section VI.3).
+pub fn fig4_c2_cone() -> Network {
+    let mut net = fig1_carry_skip_block();
+    transform::decompose_to_simple(&mut net);
+    let co = net
+        .output_by_name("cout")
+        .expect("carry-skip adders expose cout");
+    let (mut cone, _) = cone::extract_cone(&net, &[co]);
+    cone.set_name("fig4");
+    cone
+}
+
+/// The Fig. 1 block lowered to simple gates with *all* outputs kept
+/// (the multi-output variant mentioned at the end of Section VI.3).
+pub fn fig1_simple_gates() -> Network {
+    let mut net = fig1_carry_skip_block();
+    transform::decompose_to_simple(&mut net);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adders::{apply_adder, ripple_carry_adder};
+    use kms_netlist::GateKind;
+
+    #[test]
+    fn fig1_is_a_2bit_adder() {
+        let net = fig1_carry_skip_block();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                for cin in [false, true] {
+                    let (s, c) = apply_adder(&net, 2, a, b, cin);
+                    let e = a + b + u64::from(cin);
+                    assert_eq!(s, e & 3);
+                    assert_eq!(c, e >= 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_is_simple_and_single_output() {
+        let net = fig4_c2_cone();
+        assert!(net.is_simple());
+        assert_eq!(net.outputs().len(), 1);
+        assert_eq!(net.inputs().len(), 5);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn fig4_computes_the_carry() {
+        let net = fig4_c2_cone();
+        let rca = ripple_carry_adder(2, DelayModel::section3());
+        // fig4's single output must match the ripple adder's cout.
+        for m in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let got = net.eval_bool(&bits)[0];
+            let expect = *rca.eval_bool(&bits).last().unwrap();
+            assert_eq!(got, expect, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn fig1_simple_gates_has_no_complex_gates() {
+        let net = fig1_simple_gates();
+        assert!(net.is_simple());
+        assert!(net
+            .gate_ids()
+            .all(|g| net.gate(g).kind != GateKind::Mux && net.gate(g).kind != GateKind::Xor));
+        // Still a 2-bit adder.
+        let (s, c) = apply_adder(&net, 2, 3, 3, true);
+        assert_eq!(s, 3);
+        assert!(c);
+    }
+}

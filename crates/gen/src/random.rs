@@ -1,0 +1,117 @@
+//! Seeded random simple-gate networks, the workhorse of the cross-crate
+//! property-test suites (Theorem 7.1/7.2 invariants are checked on these).
+
+use kms_netlist::{Delay, GateId, GateKind, Network};
+
+/// Shape parameters for [`random_network`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomNetworkSpec {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of logic gates.
+    pub gates: usize,
+    /// Number of primary outputs (drawn from the last gates).
+    pub outputs: usize,
+    /// Maximum fanin per gate (≥ 2).
+    pub max_fanin: usize,
+    /// Maximum gate delay in units (delays drawn from 1..=max).
+    pub max_delay: i64,
+}
+
+impl Default for RandomNetworkSpec {
+    fn default() -> Self {
+        RandomNetworkSpec {
+            inputs: 6,
+            gates: 20,
+            outputs: 2,
+            max_fanin: 3,
+            max_delay: 3,
+        }
+    }
+}
+
+/// Generates a random acyclic simple-gate network. Deterministic in
+/// `seed`. Every gate draws its fanins from earlier gates/inputs, so the
+/// result is a DAG by construction; outputs are the topologically last
+/// gates, which keeps most of the circuit live.
+pub fn random_network(seed: u64, spec: RandomNetworkSpec) -> Network {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut net = Network::new(format!("rand_{seed:x}"));
+    let mut pool: Vec<GateId> = (0..spec.inputs)
+        .map(|i| net.add_input(format!("x{i}")))
+        .collect();
+    for _ in 0..spec.gates {
+        let kind = match next() % 10 {
+            0..=3 => GateKind::And,
+            4..=7 => GateKind::Or,
+            8 => GateKind::Not,
+            _ => GateKind::Buf,
+        };
+        let fanin = match kind {
+            GateKind::Not | GateKind::Buf => 1,
+            _ => 2 + (next() % (spec.max_fanin.max(2) as u64 - 1)) as usize,
+        };
+        let srcs: Vec<GateId> = (0..fanin)
+            .map(|_| pool[(next() % pool.len() as u64) as usize])
+            .collect();
+        let delay = Delay::new(1 + (next() % spec.max_delay.max(1) as u64) as i64);
+        let g = net.add_gate(kind, &srcs, delay);
+        pool.push(g);
+    }
+    let n_outputs = spec.outputs.min(spec.gates.max(1));
+    for (k, &g) in pool.iter().rev().take(n_outputs).enumerate() {
+        net.add_output(format!("y{k}"), g);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_valid() {
+        let spec = RandomNetworkSpec::default();
+        let a = random_network(123, spec);
+        let b = random_network(123, spec);
+        a.validate().unwrap();
+        a.exhaustive_equiv(&b).unwrap();
+        assert!(a.is_simple());
+        assert_eq!(a.inputs().len(), 6);
+        assert_eq!(a.outputs().len(), 2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = RandomNetworkSpec::default();
+        let a = random_network(1, spec);
+        let b = random_network(2, spec);
+        // Structurally different with overwhelming probability.
+        assert!(a.random_equiv(&b, 256, 7).is_err() || a.dump() != b.dump());
+    }
+
+    #[test]
+    fn respects_shape() {
+        let spec = RandomNetworkSpec {
+            inputs: 4,
+            gates: 50,
+            outputs: 5,
+            max_fanin: 4,
+            max_delay: 2,
+        };
+        let net = random_network(99, spec);
+        net.validate().unwrap();
+        assert_eq!(net.outputs().len(), 5);
+        for g in net.gate_ids() {
+            let gate = net.gate(g);
+            assert!(gate.pins.len() <= 4);
+            assert!(gate.delay.units() <= 2);
+        }
+    }
+}

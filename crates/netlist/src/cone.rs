@@ -1,0 +1,204 @@
+//! Transitive-fanin queries and cone extraction.
+//!
+//! Section III of the paper analyzes the single-output subcircuit that
+//! implements the carry bit `c2` of the 2-bit carry-skip adder (Fig. 4);
+//! [`extract_cone`] produces exactly that kind of slice: a standalone
+//! network containing the transitive fanin of selected outputs, with only
+//! the primary inputs in their support.
+
+use std::collections::HashMap;
+
+use crate::gate::{GateId, GateKind};
+use crate::network::Network;
+
+/// Marks the transitive fanin of `roots` (inclusive). Returned as a bitmap
+/// indexed by gate arena index.
+pub fn transitive_fanin(net: &Network, roots: &[GateId]) -> Vec<bool> {
+    let mut seen = vec![false; net.num_gate_slots()];
+    let mut stack: Vec<GateId> = roots.to_vec();
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        for p in &net.gate(id).pins {
+            stack.push(p.src);
+        }
+    }
+    seen
+}
+
+/// `true` if `a` is in the transitive fanin of `b` (or equal to it).
+pub fn is_in_tfi(net: &Network, a: GateId, b: GateId) -> bool {
+    transitive_fanin(net, &[b])[a.index()]
+}
+
+/// Extracts the logic cone of the selected primary outputs as a standalone
+/// network. Only primary inputs in the cone's support are kept, in their
+/// original relative order. Returns the new network and the mapping from
+/// old gate ids to new ones.
+///
+/// # Panics
+///
+/// Panics if any index in `outputs` is out of range.
+///
+/// ```
+/// use kms_netlist::{Network, GateKind, Delay, cone};
+/// let mut net = Network::new("two");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+/// let h = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+/// net.add_output("y0", g);
+/// net.add_output("y1", h);
+/// let (cone, _map) = cone::extract_cone(&net, &[1]);
+/// assert_eq!(cone.inputs().len(), 1); // only `a` supports y1
+/// assert_eq!(cone.outputs().len(), 1);
+/// ```
+pub fn extract_cone(
+    net: &Network,
+    outputs: &[usize],
+) -> (Network, HashMap<GateId, GateId>) {
+    let roots: Vec<GateId> = outputs.iter().map(|&i| net.outputs()[i].src).collect();
+    let keep = transitive_fanin(net, &roots);
+    let mut out = Network::new(format!("{}_cone", net.name()));
+    let mut map: HashMap<GateId, GateId> = HashMap::new();
+    // Inputs first, preserving declaration order.
+    for &i in net.inputs() {
+        if keep[i.index()] {
+            let name = net.gate(i).name.clone().unwrap_or_else(|| i.to_string());
+            map.insert(i, out.add_input(name));
+        }
+    }
+    for id in net.topo_order() {
+        if !keep[id.index()] || map.contains_key(&id) {
+            continue;
+        }
+        let g = net.gate(id);
+        let new_id = match g.kind {
+            GateKind::Input => continue, // unsupported inputs are dropped
+            GateKind::Const(v) => out.add_const(v),
+            kind => {
+                let pins = g
+                    .pins
+                    .iter()
+                    .map(|p| crate::Pin::with_delay(map[&p.src], p.wire_delay))
+                    .collect();
+                out.add_gate_pins(kind, pins, g.delay)
+            }
+        };
+        if let Some(name) = &g.name {
+            out.set_gate_name(new_id, name.clone());
+        }
+        map.insert(id, new_id);
+    }
+    for &oi in outputs {
+        let o = &net.outputs()[oi];
+        out.add_output(o.name.clone(), map[&o.src]);
+    }
+    (out, map)
+}
+
+/// Duplicates an entire network (dense, tombstone-free), preserving names
+/// and delays. Equivalent to `extract_cone` over all outputs but keeps all
+/// primary inputs even if unused.
+pub fn duplicate_network(net: &Network) -> Network {
+    let mut out = Network::new(net.name());
+    let mut map: HashMap<GateId, GateId> = HashMap::new();
+    for &i in net.inputs() {
+        let name = net.gate(i).name.clone().unwrap_or_else(|| i.to_string());
+        map.insert(i, out.add_input(name));
+    }
+    for id in net.topo_order() {
+        if map.contains_key(&id) {
+            continue;
+        }
+        let g = net.gate(id);
+        let new_id = match g.kind {
+            GateKind::Input => continue,
+            GateKind::Const(v) => out.add_const(v),
+            kind => {
+                let pins = g
+                    .pins
+                    .iter()
+                    .map(|p| crate::Pin::with_delay(map[&p.src], p.wire_delay))
+                    .collect();
+                out.add_gate_pins(kind, pins, g.delay)
+            }
+        };
+        if let Some(name) = &g.name {
+            out.set_gate_name(new_id, name.clone());
+        }
+        map.insert(id, new_id);
+    }
+    for o in net.outputs() {
+        out.add_output(o.name.clone(), map[&o.src]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delay, GateKind};
+
+    fn two_cone_net() -> Network {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g1 = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::Or, &[b, c], Delay::UNIT);
+        net.add_output("y0", g1);
+        net.add_output("y1", g2);
+        net
+    }
+
+    #[test]
+    fn tfi_marks_support() {
+        let net = two_cone_net();
+        let y0 = net.outputs()[0].src;
+        let seen = transitive_fanin(&net, &[y0]);
+        let a = net.input_by_name("a").unwrap();
+        let c = net.input_by_name("c").unwrap();
+        assert!(seen[a.index()]);
+        assert!(!seen[c.index()]);
+        assert!(is_in_tfi(&net, a, y0));
+        assert!(!is_in_tfi(&net, y0, a));
+    }
+
+    #[test]
+    fn extract_single_cone() {
+        let net = two_cone_net();
+        let (cone, map) = extract_cone(&net, &[0]);
+        cone.validate().unwrap();
+        assert_eq!(cone.inputs().len(), 2); // a, b
+        assert_eq!(cone.input_names(), vec!["a", "b"]);
+        assert_eq!(cone.outputs().len(), 1);
+        assert_eq!(cone.simple_gate_count(), 1);
+        let g1 = net.outputs()[0].src;
+        assert!(map.contains_key(&g1));
+        // Function preserved on the shared support.
+        assert_eq!(cone.eval_bool(&[true, true]), vec![true]);
+        assert_eq!(cone.eval_bool(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn extract_both_cones_is_whole_net() {
+        let net = two_cone_net();
+        let (cone, _) = extract_cone(&net, &[0, 1]);
+        cone.validate().unwrap();
+        assert_eq!(cone.inputs().len(), 3);
+        net.exhaustive_equiv(&cone).unwrap();
+    }
+
+    #[test]
+    fn duplicate_is_equivalent() {
+        let net = two_cone_net();
+        let dup = duplicate_network(&net);
+        dup.validate().unwrap();
+        net.exhaustive_equiv(&dup).unwrap();
+        assert_eq!(dup.simple_gate_count(), net.simple_gate_count());
+        assert_eq!(dup.input_names(), net.input_names());
+    }
+}

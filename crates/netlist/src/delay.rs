@@ -1,0 +1,214 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::gate::GateKind;
+
+/// A delay quantity in abstract integer time units.
+///
+/// The paper's results are proved for a timing model with arbitrary gate and
+/// connection delays (Definition 4.1); all of the paper's measurements use
+/// small integer delays (unit delays for Table I, AND/OR = 1 and XOR/MUX = 2
+/// for the Section III case study). Integer units keep comparisons exact.
+///
+/// ```
+/// use kms_netlist::Delay;
+/// assert_eq!(Delay::new(3) + Delay::new(5), Delay::new(8));
+/// assert!(Delay::ZERO < Delay::new(1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Delay(i64);
+
+impl Delay {
+    /// The zero delay (wires, duplicated-gate stubs, constants).
+    pub const ZERO: Delay = Delay(0);
+
+    /// One abstract time unit.
+    pub const UNIT: Delay = Delay(1);
+
+    /// Creates a delay of `units` abstract time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is negative; delays are nonnegative quantities.
+    pub fn new(units: i64) -> Self {
+        assert!(units >= 0, "delays must be nonnegative, got {units}");
+        Delay(units)
+    }
+
+    /// The raw number of time units.
+    pub fn units(self) -> i64 {
+        self.0
+    }
+
+    /// `true` if this delay is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of `self` and `other`.
+    pub fn max(self, other: Delay) -> Delay {
+        Delay(self.0.max(other.0))
+    }
+}
+
+impl Add for Delay {
+    type Output = Delay;
+    fn add(self, rhs: Delay) -> Delay {
+        Delay(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Delay {
+    fn add_assign(&mut self, rhs: Delay) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Delay {
+    type Output = Delay;
+    /// Saturating difference: never produces a negative delay.
+    fn sub(self, rhs: Delay) -> Delay {
+        Delay((self.0 - rhs.0).max(0))
+    }
+}
+
+impl Sum for Delay {
+    fn sum<I: Iterator<Item = Delay>>(iter: I) -> Delay {
+        iter.fold(Delay::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Delay {
+    fn from(units: i64) -> Self {
+        Delay::new(units)
+    }
+}
+
+/// Assigns a delay to each gate kind when constructing or re-timing a
+/// network.
+///
+/// * [`DelayModel::Unit`] — every logic gate costs one unit. This is the
+///   model used for Table I of the paper.
+/// * [`DelayModel::PerKind`] — AND/OR/NAND/NOR cost 1, inverters and buffers
+///   cost `inv`, XOR/XNOR/MUX cost 2. With `inv = 0` and the defaults this
+///   is the Section III model (AND/OR = 1, XOR/MUX = 2).
+///
+/// ```
+/// use kms_netlist::{DelayModel, GateKind, Delay};
+/// let m = DelayModel::section3();
+/// assert_eq!(m.gate_delay(GateKind::And), Delay::new(1));
+/// assert_eq!(m.gate_delay(GateKind::Xor), Delay::new(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Default)]
+pub enum DelayModel {
+    /// Every logic gate (including inverters and buffers) costs one unit.
+    #[default]
+    Unit,
+    /// Two-input simple gates cost `and_or`, inverters/buffers cost `inv`,
+    /// XOR/XNOR/MUX cost `xor_mux`.
+    PerKind {
+        /// Delay of AND, OR, NAND, NOR gates.
+        and_or: Delay,
+        /// Delay of NOT and BUF gates.
+        inv: Delay,
+        /// Delay of XOR, XNOR and MUX gates.
+        xor_mux: Delay,
+    },
+}
+
+impl DelayModel {
+    /// The Section III model: AND/OR = 1, XOR/MUX = 2, inverters free.
+    ///
+    /// The paper assigns "a gate delay of 1 for the AND and OR gates and
+    /// gate delays of 2 for the XOR and MUX gates"; inverters are not
+    /// mentioned and are treated as free, which matches the path lengths
+    /// reported in Section III.
+    pub fn section3() -> Self {
+        DelayModel::PerKind {
+            and_or: Delay::new(1),
+            inv: Delay::ZERO,
+            xor_mux: Delay::new(2),
+        }
+    }
+
+    /// The delay this model assigns to a gate of kind `kind`.
+    ///
+    /// Inputs and constants always have zero delay.
+    pub fn gate_delay(self, kind: GateKind) -> Delay {
+        match kind {
+            GateKind::Input | GateKind::Const(_) => Delay::ZERO,
+            _ => match self {
+                DelayModel::Unit => Delay::UNIT,
+                DelayModel::PerKind {
+                    and_or,
+                    inv,
+                    xor_mux,
+                } => match kind {
+                    GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => and_or,
+                    GateKind::Not | GateKind::Buf => inv,
+                    GateKind::Xor | GateKind::Xnor | GateKind::Mux => xor_mux,
+                    GateKind::Input | GateKind::Const(_) => Delay::ZERO,
+                },
+            },
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Delay::new(2) + Delay::new(3), Delay::new(5));
+        assert_eq!(Delay::new(2) - Delay::new(3), Delay::ZERO);
+        assert_eq!(Delay::new(7) - Delay::new(3), Delay::new(4));
+        assert_eq!(
+            [Delay::new(1), Delay::new(2), Delay::new(3)]
+                .into_iter()
+                .sum::<Delay>(),
+            Delay::new(6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_rejected() {
+        let _ = Delay::new(-1);
+    }
+
+    #[test]
+    fn unit_model() {
+        assert_eq!(DelayModel::Unit.gate_delay(GateKind::And), Delay::UNIT);
+        assert_eq!(DelayModel::Unit.gate_delay(GateKind::Mux), Delay::UNIT);
+        assert_eq!(DelayModel::Unit.gate_delay(GateKind::Input), Delay::ZERO);
+        assert_eq!(
+            DelayModel::Unit.gate_delay(GateKind::Const(true)),
+            Delay::ZERO
+        );
+    }
+
+    #[test]
+    fn section3_model() {
+        let m = DelayModel::section3();
+        assert_eq!(m.gate_delay(GateKind::Or), Delay::new(1));
+        assert_eq!(m.gate_delay(GateKind::Mux), Delay::new(2));
+        assert_eq!(m.gate_delay(GateKind::Not), Delay::ZERO);
+    }
+
+    #[test]
+    fn display_and_ord() {
+        assert_eq!(Delay::new(11).to_string(), "11");
+        assert!(Delay::new(8) < Delay::new(11));
+        assert_eq!(Delay::new(4).max(Delay::new(9)), Delay::new(9));
+    }
+}

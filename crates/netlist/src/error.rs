@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::{GateId, GateKind};
+
+/// Structural errors detected by [`crate::Network::validate`] and the
+/// transforms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetlistError {
+    /// The gate graph contains a cycle; combinational networks must be
+    /// acyclic (Definition 4.1).
+    Cyclic,
+    /// A gate has a pin count that is invalid for its kind.
+    BadArity {
+        /// The offending gate.
+        gate: GateId,
+        /// Its kind.
+        kind: GateKind,
+        /// The observed pin count.
+        pins: usize,
+    },
+    /// A gate references a dead or out-of-range gate.
+    DanglingPin {
+        /// The gate with the dangling pin.
+        gate: GateId,
+    },
+    /// A primary output references a dead or out-of-range gate.
+    DanglingOutput {
+        /// The output's name.
+        name: String,
+    },
+    /// An operation that requires a simple-gate network (the KMS algorithm,
+    /// Section VI) was applied to a network with complex gates.
+    NotSimple {
+        /// A complex gate found in the network.
+        gate: GateId,
+        /// Its kind.
+        kind: GateKind,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Cyclic => write!(f, "network contains a combinational cycle"),
+            NetlistError::BadArity { gate, kind, pins } => {
+                write!(f, "gate {gate} of kind {kind} has invalid pin count {pins}")
+            }
+            NetlistError::DanglingPin { gate } => {
+                write!(f, "gate {gate} references a dead or missing gate")
+            }
+            NetlistError::DanglingOutput { name } => {
+                write!(f, "output {name:?} references a dead or missing gate")
+            }
+            NetlistError::NotSimple { gate, kind } => write!(
+                f,
+                "network is not composed of simple gates: gate {gate} is {kind}"
+            ),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetlistError::Cyclic.to_string().contains("cycle"));
+        let e = NetlistError::BadArity {
+            gate: GateId::from_index(2),
+            kind: GateKind::Mux,
+            pins: 2,
+        };
+        assert!(e.to_string().contains("g2"));
+        assert!(e.to_string().contains("mux"));
+        let e = NetlistError::DanglingOutput {
+            name: "y".to_string(),
+        };
+        assert!(e.to_string().contains("\"y\""));
+    }
+}

@@ -1,0 +1,125 @@
+//! Balanced tree decomposition of wide gates — the depth-reduction half of
+//! the timing optimizations the paper cites ([23] Singh et al., [12]
+//! Keutzer–Vancura).
+//!
+//! A flat sum-of-products network (as produced by `kms-twolevel`) has
+//! n-ary AND/OR gates; realizing them as balanced binary trees minimizes
+//! gate depth under the unit-delay model.
+
+use kms_netlist::{GateId, GateKind, Network, Pin};
+
+/// Rewrites every AND/OR gate with more than `max_fanin` pins as a
+/// balanced tree of `max_fanin`-input gates of the same kind. The original
+/// gate id survives as the tree root (keeping consumers valid); new inner
+/// gates inherit the root's delay.
+///
+/// # Panics
+///
+/// Panics if `max_fanin < 2`.
+pub fn balance_fanin(net: &mut Network, max_fanin: usize) {
+    assert!(max_fanin >= 2, "fanin bound must be at least 2");
+    let ids: Vec<GateId> = net.gate_ids().collect();
+    for id in ids {
+        let g = net.gate(id);
+        if !matches!(g.kind, GateKind::And | GateKind::Or) || g.pins.len() <= max_fanin {
+            continue;
+        }
+        let kind = g.kind;
+        let delay = g.delay;
+        let mut layer: Vec<Pin> = g.pins.clone();
+        // Reduce layer by layer until at most max_fanin pins remain; the
+        // final combination happens in the original gate.
+        while layer.len() > max_fanin {
+            let mut next: Vec<Pin> = Vec::with_capacity(layer.len() / max_fanin + 1);
+            for chunk in layer.chunks(max_fanin) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    let inner = net.add_gate_pins(kind, chunk.to_vec(), delay);
+                    next.push(Pin::new(inner));
+                }
+            }
+            layer = next;
+        }
+        net.gate_mut(id).pins = layer;
+    }
+    debug_assert!(net.validate().is_ok());
+}
+
+/// The depth (in gates) of a balanced tree over `n` leaves with the given
+/// fanin bound — used by tests and the ablation bench.
+pub fn balanced_depth(n: usize, max_fanin: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        let mut depth = 0;
+        let mut width = n;
+        while width > 1 {
+            width = width.div_ceil(max_fanin);
+            depth += 1;
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::{Delay, DelayModel};
+    use kms_timing::topological_delay;
+
+    #[test]
+    fn wide_and_becomes_tree() {
+        let mut net = Network::new("t");
+        let ins: Vec<_> = (0..9).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(GateKind::And, &ins, Delay::UNIT);
+        net.add_output("y", g);
+        let orig = net.clone();
+        balance_fanin(&mut net, 2);
+        net.validate().unwrap();
+        orig.exhaustive_equiv(&net).unwrap();
+        for id in net.gate_ids() {
+            assert!(net.gate(id).pins.len() <= 2);
+        }
+        net.apply_delay_model(DelayModel::Unit);
+        assert_eq!(
+            topological_delay(&net).units() as usize,
+            balanced_depth(9, 2)
+        );
+    }
+
+    #[test]
+    fn narrow_gates_untouched() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::Or, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        let before = net.num_gate_slots();
+        balance_fanin(&mut net, 2);
+        assert_eq!(net.num_gate_slots(), before);
+    }
+
+    #[test]
+    fn mixed_fanin_bound() {
+        let mut net = Network::new("t");
+        let ins: Vec<_> = (0..10).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(GateKind::Or, &ins, Delay::UNIT);
+        net.add_output("y", g);
+        let orig = net.clone();
+        balance_fanin(&mut net, 3);
+        orig.exhaustive_equiv(&net).unwrap();
+        for id in net.gate_ids() {
+            assert!(net.gate(id).pins.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn depth_formula() {
+        assert_eq!(balanced_depth(1, 2), 0);
+        assert_eq!(balanced_depth(2, 2), 1);
+        assert_eq!(balanced_depth(8, 2), 3);
+        assert_eq!(balanced_depth(9, 2), 4);
+        assert_eq!(balanced_depth(9, 3), 2);
+    }
+}

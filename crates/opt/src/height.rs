@@ -1,0 +1,169 @@
+//! Timing-driven tree-height reduction (the paper's reference [23],
+//! Singh et al., *Timing optimization of combinational logic*).
+//!
+//! [`crate::balance_fanin`] builds balanced trees, which minimize depth
+//! when all inputs arrive together. With skewed arrivals the optimal
+//! associative tree is the *Huffman* tree over arrival times: repeatedly
+//! combine the two earliest-arriving operands. [`timing_balance`] rebuilds
+//! every wide AND/OR gate that way, so late signals pass through as few
+//! gate levels as possible — the same instinct as the carry-skip bypass,
+//! but redundancy-free.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kms_netlist::{DelayModel, GateKind, Network, Pin};
+use kms_timing::{InputArrivals, Sta, Time};
+
+/// Rebuilds every AND/OR gate with more than two pins as an
+/// arrival-driven Huffman tree of 2-input gates of the same kind. The
+/// original gate id survives as the tree root. Returns the number of
+/// gates restructured.
+///
+/// Functionally a no-op (associativity/commutativity); under the given
+/// arrival times the output arrival of each rebuilt tree is minimal over
+/// all associative re-bracketings (the classic Huffman/Golumbic argument).
+pub fn timing_balance(
+    net: &mut Network,
+    arrivals: &InputArrivals,
+    model: DelayModel,
+) -> usize {
+    let mut restructured = 0;
+    // Iterate in topological order so upstream rebuilds settle arrival
+    // times before downstream trees are shaped.
+    let order = net.topo_order();
+    for id in order {
+        let g = net.gate(id);
+        if !matches!(g.kind, GateKind::And | GateKind::Or) || g.pins.len() <= 2 {
+            continue;
+        }
+        let kind = g.kind;
+        let gate_delay = model.gate_delay(kind);
+        // Fresh arrival times for the current network state.
+        let sta = Sta::run(net, arrivals);
+        let pins: Vec<(Time, Pin)> = net
+            .gate(id)
+            .pins
+            .iter()
+            .map(|&p| {
+                let a = sta.arrival(p.src);
+                let a = if a == kms_timing::NEVER {
+                    i64::MIN / 4 // constants: combine as early as possible
+                } else {
+                    a + p.wire_delay.units()
+                };
+                (a, p)
+            })
+            .collect();
+        // Huffman: repeatedly merge the two earliest-arriving operands.
+        let mut heap: BinaryHeap<(Reverse<Time>, usize)> = BinaryHeap::new();
+        let mut nodes: Vec<Pin> = Vec::with_capacity(pins.len() * 2);
+        for (a, p) in pins {
+            heap.push((Reverse(a), nodes.len()));
+            nodes.push(p);
+        }
+        while heap.len() > 2 {
+            let (Reverse(a1), i1) = heap.pop().expect("len > 2");
+            let (Reverse(a2), i2) = heap.pop().expect("len > 1");
+            let inner =
+                net.add_gate_pins(kind, vec![nodes[i1], nodes[i2]], gate_delay);
+            let arrival = a1.max(a2) + gate_delay.units();
+            heap.push((Reverse(arrival), nodes.len()));
+            nodes.push(Pin::new(inner));
+        }
+        let mut last: Vec<Pin> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(_, i)| nodes[i])
+            .collect();
+        last.sort_by_key(|p| p.src); // deterministic pin order at the root
+        net.gate_mut(id).pins = last;
+        restructured += 1;
+    }
+    debug_assert!(net.validate().is_ok());
+    restructured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::Delay;
+    use kms_timing::topological_delay;
+
+    #[test]
+    fn function_preserved_and_depth_optimal_for_uniform_arrivals() {
+        let mut net = Network::new("t");
+        let ins: Vec<_> = (0..8).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(GateKind::And, &ins, Delay::UNIT);
+        net.add_output("y", g);
+        let orig = net.clone();
+        let n = timing_balance(&mut net, &InputArrivals::zero(), DelayModel::Unit);
+        assert_eq!(n, 1);
+        net.apply_delay_model(DelayModel::Unit);
+        orig.exhaustive_equiv(&net).unwrap();
+        // Uniform arrivals: the Huffman tree is the balanced tree, depth 3.
+        assert_eq!(topological_delay(&net).units(), 3);
+    }
+
+    #[test]
+    fn late_input_gets_a_short_route() {
+        let mut net = Network::new("t");
+        let ins: Vec<_> = (0..8).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(GateKind::Or, &ins, Delay::UNIT);
+        net.add_output("y", g);
+        let orig = net.clone();
+        // Input 0 arrives at t = 10; everyone else at 0.
+        let arr = InputArrivals::zero().with(ins[0], 10);
+        timing_balance(&mut net, &arr, DelayModel::Unit);
+        orig.exhaustive_equiv(&net).unwrap();
+        // The late input must traverse at most 2 gates: total ≤ 12 — a
+        // balanced tree would give 13, a chain 17.
+        let sta = Sta::run(&net, &arr);
+        assert!(sta.delay() <= 12, "got {}", sta.delay());
+    }
+
+    #[test]
+    fn beats_balanced_tree_on_skewed_arrivals() {
+        let build = || {
+            let mut net = Network::new("t");
+            let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
+            let g = net.add_gate(GateKind::And, &ins, Delay::UNIT);
+            net.add_output("y", g);
+            (net, ins)
+        };
+        let (mut huff, ins) = build();
+        let mut arr = InputArrivals::zero();
+        for (i, &input) in ins.iter().enumerate() {
+            arr.set(input, i as i64 * 2); // staircase arrivals
+        }
+        timing_balance(&mut huff, &arr, DelayModel::Unit);
+        let (mut bal, ins2) = build();
+        let mut arr2 = InputArrivals::zero();
+        for (i, &input) in ins2.iter().enumerate() {
+            arr2.set(input, i as i64 * 2);
+        }
+        crate::balance_fanin(&mut bal, 2);
+        bal.apply_delay_model(DelayModel::Unit);
+        let dh = Sta::run(&huff, &arr).delay();
+        let db = Sta::run(&bal, &arr2).delay();
+        assert!(dh <= db, "huffman {dh} vs balanced {db}");
+        huff.exhaustive_equiv(&bal).unwrap();
+    }
+
+    #[test]
+    fn nested_wide_gates_all_rebuilt() {
+        let mut net = Network::new("t");
+        let ins: Vec<_> = (0..9).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g1 = net.add_gate(GateKind::And, &ins[0..4], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::Or, &[g1, ins[4], ins[5], ins[6]], Delay::UNIT);
+        let g3 = net.add_gate(GateKind::And, &[g2, ins[7], ins[8]], Delay::UNIT);
+        net.add_output("y", g3);
+        let orig = net.clone();
+        let n = timing_balance(&mut net, &InputArrivals::zero(), DelayModel::Unit);
+        assert_eq!(n, 3);
+        for id in net.gate_ids() {
+            assert!(net.gate(id).pins.len() <= 2);
+        }
+        orig.exhaustive_equiv(&net).unwrap();
+    }
+}

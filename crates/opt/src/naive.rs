@@ -1,0 +1,156 @@
+//! The **straightforward redundancy removal** baseline: remove untestable
+//! faults in arbitrary order by asserting the stuck value and propagating.
+//!
+//! This is the procedure the paper warns about (Sections I and III): on
+//! most circuits it is harmless, but on the carry-skip adder it deletes
+//! the skip logic and *slows the circuit down* to ripple speed. The KMS
+//! algorithm (in `kms-core`) is the delay-safe alternative; the
+//! `naive_vs_kms` experiment (E5) regenerates the comparison.
+
+use kms_atpg::{Engine, Fault, FaultSite};
+use kms_netlist::{transform, Network};
+
+/// What one naive removal pass did.
+#[derive(Clone, Debug)]
+pub struct NaiveRemovalReport {
+    /// The faults removed, in removal order.
+    pub removed: Vec<Fault>,
+    /// Simple-gate count before and after.
+    pub gates_before: usize,
+    /// See [`NaiveRemovalReport::gates_before`].
+    pub gates_after: usize,
+}
+
+/// Removes one redundant fault from `net` by asserting its stuck value
+/// and propagating constants (the function is unchanged because the fault
+/// is untestable).
+pub fn remove_fault(net: &mut Network, fault: Fault) {
+    match fault.site {
+        FaultSite::Conn(conn) => {
+            transform::set_conn_const(net, conn, fault.stuck);
+        }
+        FaultSite::GateOutput(g) => {
+            let c = net.add_const(fault.stuck);
+            if net.gate(g).kind == kms_netlist::GateKind::Input {
+                // A redundant input stem: rewire its consumers but keep
+                // the primary input itself (the circuit interface is
+                // preserved, as in the paper's gate-count bookkeeping).
+                let fanouts = net.fanouts();
+                for conn in &fanouts[g.index()] {
+                    net.gate_mut(conn.gate).pins[conn.pin].src = c;
+                }
+                for i in 0..net.outputs().len() {
+                    if net.outputs()[i].src == g {
+                        net.set_output_src(i, c);
+                    }
+                }
+                transform::propagate_constants(net);
+            } else {
+                transform::substitute_gate(net, g, c);
+                transform::propagate_constants(net);
+            }
+        }
+    }
+}
+
+/// Iteratively removes redundancies in discovery order until the circuit
+/// is fully testable. Redundancies are recomputed after each removal
+/// (removing one redundancy can create or destroy others — the paper's
+/// Fig. 3 note applies to the baseline too).
+///
+/// No delay bookkeeping is done: this is deliberately the delay-oblivious
+/// baseline. As in classic ATPG flows, test vectors found along the way
+/// are cached and fault-simulated first, so most faults are proved
+/// testable without a decision-procedure call.
+pub fn naive_redundancy_removal(net: &mut Network, engine: Engine) -> NaiveRemovalReport {
+    use kms_atpg::{collapsed_faults, fault_simulate, is_testable, Testability};
+    let gates_before = net.simple_gate_count();
+    let mut removed = Vec::new();
+    let mut tests: Vec<Vec<bool>> = kms_atpg::random_tests(net, 128, 0x4B4D_5332);
+    'restart: loop {
+        let faults = collapsed_faults(net);
+        // Cheap pass: drop every fault the cached tests already detect.
+        let coverage = fault_simulate(net, &faults, &tests);
+        for (f, hit) in faults.iter().zip(&coverage.detected_by) {
+            if hit.is_some() {
+                continue;
+            }
+            match is_testable(net, *f, engine) {
+                Testability::Testable(t) => tests.push(t),
+                Testability::Redundant => {
+                    remove_fault(net, *f);
+                    removed.push(*f);
+                    continue 'restart;
+                }
+                Testability::Unknown => {}
+            }
+        }
+        break;
+    }
+    NaiveRemovalReport {
+        removed,
+        gates_before,
+        gates_after: net.simple_gate_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_atpg::analyze;
+    use kms_gen::adders::carry_skip_adder;
+    use kms_netlist::{Delay, DelayModel, GateKind};
+    use kms_timing::topological_delay;
+
+    #[test]
+    fn removes_textbook_redundancy() {
+        // y = a + a·b → y = a.
+        let mut net = Network::new("r");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let t = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let y = net.add_gate(GateKind::Or, &[a, t], Delay::UNIT);
+        net.add_output("y", y);
+        let orig = net.clone();
+        let report = naive_redundancy_removal(&mut net, Engine::Sat);
+        assert!(!report.removed.is_empty());
+        assert!(report.gates_after < report.gates_before);
+        orig.exhaustive_equiv(&net).unwrap();
+        assert!(analyze(&net, Engine::Sat).fully_testable());
+    }
+
+    #[test]
+    fn carry_skip_slows_down_under_naive_removal() {
+        // The paper's headline pathology: naive removal reduces the
+        // carry-skip adder to (something as slow as) a ripple adder.
+        let mut net = carry_skip_adder(4, 4, DelayModel::Unit);
+        transform::decompose_to_simple(&mut net);
+        let orig = net.clone();
+        let before_topo = topological_delay(&net);
+        let report = naive_redundancy_removal(&mut net, Engine::Sat);
+        assert!(!report.removed.is_empty());
+        orig.exhaustive_equiv(&net).unwrap();
+        assert!(analyze(&net, Engine::Sat).fully_testable());
+        // The viable delay of the original beats the naive result: the
+        // skip logic is gone, so the true delay reverts to ripple. At the
+        // topological level the stripped circuit is no faster than the
+        // skip-removed ripple chain.
+        let after_topo = topological_delay(&net);
+        // The skip MUX added to the longest path; removing it shortens
+        // the *longest* path but the *viable* delay regresses — checked
+        // end-to-end in the integration suite where both metrics run.
+        assert!(after_topo <= before_topo);
+    }
+
+    #[test]
+    fn idempotent_on_clean_circuits() {
+        let mut net = Network::new("c");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        let report = naive_redundancy_removal(&mut net, Engine::Sat);
+        assert!(report.removed.is_empty());
+        assert_eq!(report.gates_before, report.gates_after);
+    }
+}

@@ -1,0 +1,281 @@
+//! Tseitin encoding of [`Network`]s into CNF.
+//!
+//! Every live gate receives a solver variable; the characteristic clauses of
+//! each gate kind constrain it to equal its function of the fanin variables.
+//! The encoding is linear in circuit size and is shared by the SAT-based
+//! ATPG, the static-sensitization oracle and the equivalence-checking miter.
+
+use kms_netlist::{GateId, GateKind, Network};
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// The result of encoding a network: a map from gate ids to solver
+/// variables (positive literal = gate output is 1).
+#[derive(Clone, Debug)]
+pub struct NetworkCnf {
+    vars: Vec<Option<Var>>,
+}
+
+impl NetworkCnf {
+    /// Encodes every live gate of `net` as fresh variables and clauses in
+    /// `solver`.
+    ///
+    /// ```
+    /// use kms_netlist::{Network, GateKind, Delay};
+    /// use kms_sat::{Solver, NetworkCnf, SatResult};
+    ///
+    /// let mut net = Network::new("t");
+    /// let a = net.add_input("a");
+    /// let b = net.add_input("b");
+    /// let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+    /// net.add_output("y", g);
+    ///
+    /// let mut solver = Solver::new();
+    /// let cnf = NetworkCnf::encode(&net, &mut solver);
+    /// // AND output forced to 1 forces both inputs to 1.
+    /// assert_eq!(solver.solve_with(&[cnf.lit(g, true)]), SatResult::Sat);
+    /// assert_eq!(solver.model_value(cnf.lit(a, true)), Some(true));
+    /// ```
+    pub fn encode(net: &Network, solver: &mut Solver) -> NetworkCnf {
+        NetworkCnf::encode_masked(net, solver, None)
+    }
+
+    /// Encodes only the gates with `mask[gate.index()] == true` (plus
+    /// nothing else). The mask must be fanin-closed: every pin source of a
+    /// kept gate must be kept. Used for cone-restricted miters in the
+    /// SAT-based ATPG, where encoding the whole network per fault would
+    /// dominate the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is not fanin-closed.
+    pub fn encode_masked(
+        net: &Network,
+        solver: &mut Solver,
+        mask: Option<&[bool]>,
+    ) -> NetworkCnf {
+        let mut vars: Vec<Option<Var>> = vec![None; net.num_gate_slots()];
+        for id in net.topo_order() {
+            if let Some(m) = mask {
+                if !m[id.index()] {
+                    continue;
+                }
+            }
+            let v = solver.new_var();
+            vars[id.index()] = Some(v);
+            let g = net.gate(id);
+            let out = v.positive();
+            let pin_lit = |p: usize| -> Lit {
+                vars[g.pins[p].src.index()]
+                    .expect("fanin encoded before fanout (topological order)")
+                    .positive()
+            };
+            match g.kind {
+                GateKind::Input => {}
+                GateKind::Const(b) => {
+                    solver.add_clause(&[if b { out } else { !out }]);
+                }
+                GateKind::Buf => {
+                    let a = pin_lit(0);
+                    solver.add_clause(&[!out, a]);
+                    solver.add_clause(&[out, !a]);
+                }
+                GateKind::Not => {
+                    let a = pin_lit(0);
+                    solver.add_clause(&[!out, !a]);
+                    solver.add_clause(&[out, a]);
+                }
+                GateKind::And | GateKind::Nand => {
+                    let o = if g.kind == GateKind::And { out } else { !out };
+                    // o -> each input; (all inputs) -> o.
+                    let mut big = vec![o];
+                    for p in 0..g.pins.len() {
+                        let a = pin_lit(p);
+                        solver.add_clause(&[!o, a]);
+                        big.push(!a);
+                    }
+                    solver.add_clause(&big);
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let o = if g.kind == GateKind::Or { out } else { !out };
+                    let mut big = vec![!o];
+                    for p in 0..g.pins.len() {
+                        let a = pin_lit(p);
+                        solver.add_clause(&[o, !a]);
+                        big.push(a);
+                    }
+                    solver.add_clause(&big);
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Chain: acc_{k} = acc_{k-1} XOR pin_k with fresh
+                    // intermediates; final equality (or inequality) to out.
+                    let mut acc = pin_lit(0);
+                    for p in 1..g.pins.len() {
+                        let b = pin_lit(p);
+                        let t = if p == g.pins.len() - 1 && g.kind == GateKind::Xor {
+                            out
+                        } else if p == g.pins.len() - 1 {
+                            !out
+                        } else {
+                            solver.new_var().positive()
+                        };
+                        // t <-> acc XOR b
+                        solver.add_clause(&[!t, acc, b]);
+                        solver.add_clause(&[!t, !acc, !b]);
+                        solver.add_clause(&[t, !acc, b]);
+                        solver.add_clause(&[t, acc, !b]);
+                        acc = t;
+                    }
+                    if g.pins.len() == 1 {
+                        // Degenerate single-input XOR is identity (XNOR is
+                        // negation).
+                        let a = pin_lit(0);
+                        let o = if g.kind == GateKind::Xor { out } else { !out };
+                        solver.add_clause(&[!o, a]);
+                        solver.add_clause(&[o, !a]);
+                    }
+                }
+                GateKind::Mux => {
+                    let s = pin_lit(0);
+                    let d0 = pin_lit(1);
+                    let d1 = pin_lit(2);
+                    // s=0: out <-> d0 ; s=1: out <-> d1.
+                    solver.add_clause(&[s, !out, d0]);
+                    solver.add_clause(&[s, out, !d0]);
+                    solver.add_clause(&[!s, !out, d1]);
+                    solver.add_clause(&[!s, out, !d1]);
+                }
+            }
+        }
+        NetworkCnf { vars }
+    }
+
+    /// The solver variable of gate `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was dead when the network was encoded.
+    pub fn var(&self, id: GateId) -> Var {
+        self.vars[id.index()].expect("gate was not encoded (dead at encode time)")
+    }
+
+    /// The literal asserting that gate `id`'s output is `value`.
+    pub fn lit(&self, id: GateId, value: bool) -> Lit {
+        self.var(id).lit(value)
+    }
+
+    /// The solver variable of gate `id`, or `None` when the gate was dead
+    /// or outside the encoding mask.
+    pub fn try_var(&self, id: GateId) -> Option<Var> {
+        self.vars.get(id.index()).copied().flatten()
+    }
+
+    /// Reads the model value of gate `id` after a satisfiable solve.
+    pub fn model_value(&self, solver: &Solver, id: GateId) -> Option<bool> {
+        solver.model_value(self.lit(id, true))
+    }
+
+    /// Extracts the primary-input assignment of the current model as a
+    /// Boolean vector in input order (unconstrained inputs default to
+    /// `false`).
+    pub fn model_inputs(&self, solver: &Solver, net: &Network) -> Vec<bool> {
+        net.inputs()
+            .iter()
+            .map(|&i| {
+                self.try_var(i)
+                    .and_then(|v| solver.model_value(v.positive()))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+    use kms_netlist::{Delay, GateKind, Network};
+
+    /// Exhaustively checks that the CNF encoding of a single gate agrees
+    /// with the simulator on all input minterms.
+    fn check_gate(kind: GateKind, nins: usize) {
+        let mut net = Network::new("g");
+        let ins: Vec<_> = (0..nins)
+            .map(|i| net.add_input(format!("i{i}")))
+            .collect();
+        let g = net.add_gate(kind, &ins, Delay::UNIT);
+        net.add_output("y", g);
+
+        for m in 0..(1u32 << nins) {
+            let bits: Vec<bool> = (0..nins).map(|i| (m >> i) & 1 == 1).collect();
+            let expect = net.eval_bool(&bits)[0];
+            let mut solver = Solver::new();
+            let cnf = NetworkCnf::encode(&net, &mut solver);
+            let mut assumptions: Vec<Lit> = ins
+                .iter()
+                .zip(&bits)
+                .map(|(&i, &b)| cnf.lit(i, b))
+                .collect();
+            assumptions.push(cnf.lit(g, expect));
+            assert_eq!(
+                solver.solve_with(&assumptions),
+                SatResult::Sat,
+                "{kind} minterm {m} should allow the simulated value"
+            );
+            assumptions.pop();
+            assumptions.push(cnf.lit(g, !expect));
+            assert_eq!(
+                solver.solve_with(&assumptions),
+                SatResult::Unsat,
+                "{kind} minterm {m} must forbid the complement"
+            );
+        }
+    }
+
+    #[test]
+    fn all_gate_encodings_match_simulation() {
+        check_gate(GateKind::Buf, 1);
+        check_gate(GateKind::Not, 1);
+        for k in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            check_gate(k, 2);
+            check_gate(k, 3);
+            check_gate(k, 4);
+        }
+        check_gate(GateKind::Mux, 3);
+    }
+
+    #[test]
+    fn constants_are_pinned() {
+        let mut net = Network::new("c");
+        let c1 = net.add_const(true);
+        let c0 = net.add_const(false);
+        let g = net.add_gate(GateKind::And, &[c1, c0], Delay::UNIT);
+        net.add_output("y", g);
+        let mut solver = Solver::new();
+        let cnf = NetworkCnf::encode(&net, &mut solver);
+        assert_eq!(solver.solve_with(&[cnf.lit(g, true)]), SatResult::Unsat);
+        assert_eq!(solver.solve_with(&[cnf.lit(g, false)]), SatResult::Sat);
+    }
+
+    #[test]
+    fn model_inputs_roundtrip() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        let mut solver = Solver::new();
+        let cnf = NetworkCnf::encode(&net, &mut solver);
+        assert_eq!(solver.solve_with(&[cnf.lit(g, true)]), SatResult::Sat);
+        let bits = cnf.model_inputs(&solver, &net);
+        assert_eq!(net.eval_bool(&bits), vec![true]);
+    }
+}

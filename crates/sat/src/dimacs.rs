@@ -1,0 +1,149 @@
+//! DIMACS CNF reading and writing, for test fixtures and benchmark inputs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// A parsed CNF formula.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Cnf {
+    /// Number of variables declared in the header (may exceed the largest
+    /// variable actually used).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh [`Solver`]. Returns `None` if the
+    /// formula is trivially unsatisfiable during loading.
+    pub fn to_solver(&self) -> Option<Solver> {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            if !s.add_clause(c) {
+                return None;
+            }
+        }
+        Some(s)
+    }
+
+    /// Renders the formula in DIMACS format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                let v = l.var().index() as i64 + 1;
+                let signed = if l.is_positive() { v } else { -v };
+                out.push_str(&signed.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+/// Error parsing DIMACS text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseDimacsError(String);
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DIMACS: {}", self.0)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns an error on malformed headers, non-integer tokens, variable
+/// indices exceeding the header count, or clauses not terminated by `0`.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(ParseDimacsError("expected 'p cnf'".into()));
+            }
+            let nv: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError("bad variable count".into()))?;
+            num_vars = Some(nv);
+            continue;
+        }
+        let nv = num_vars.ok_or_else(|| ParseDimacsError("clause before header".into()))?;
+        for tok in line.split_whitespace() {
+            let x: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError(format!("bad token {tok:?}")))?;
+            if x == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let v = x.unsigned_abs() as usize - 1;
+                if v >= nv {
+                    return Err(ParseDimacsError(format!("variable {x} out of range")));
+                }
+                current.push(Var::from_index(v).lit(x > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError("unterminated clause".into()));
+    }
+    Ok(Cnf {
+        num_vars: num_vars.ok_or_else(|| ParseDimacsError("missing header".into()))?,
+        clauses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+
+    #[test]
+    fn roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let re = parse_dimacs(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, re);
+    }
+
+    #[test]
+    fn solve_parsed() {
+        // Unit-propagation-refutable formula: caught while loading.
+        let cnf = parse_dimacs("p cnf 2 3\n1 0\n-1 2 0\n-2 -1 0\n").unwrap();
+        assert!(cnf.to_solver().is_none());
+        // A satisfiable formula loads and solves.
+        let cnf = parse_dimacs("p cnf 2 2\n1 2 0\n-1 -2 0\n").unwrap();
+        let mut s = cnf.to_solver().unwrap();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_dimacs("1 2 0").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n5 0").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n1").is_err());
+        assert!(parse_dimacs("p dnf 1 1\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\nfoo 0").is_err());
+    }
+}

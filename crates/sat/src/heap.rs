@@ -1,0 +1,165 @@
+//! Indexed max-heap over variables ordered by VSIDS activity.
+
+use crate::lit::Var;
+
+/// A binary max-heap of variables keyed by an external activity array, with
+/// O(log n) decrease/increase-key via an index map. Used for VSIDS decision
+/// ordering.
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+#[allow(dead_code)] // the full collection API is exercised by tests
+impl VarHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Ensures capacity for variables `0..n`.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, usize::MAX);
+        }
+    }
+
+    /// `true` if `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos
+            .get(v.index())
+            .is_some_and(|&p| p != usize::MAX)
+    }
+
+    /// Number of queued variables.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no variables are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn better(&self, a: Var, b: Var, act: &[f64]) -> bool {
+        act[a.index()] > act[b.index()]
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.better(self.heap[i], self.heap[parent], act) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.better(self.heap[l], self.heap[best], act) {
+                best = l;
+            }
+            if r < self.heap.len() && self.better(self.heap[r], self.heap[best], act) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i;
+        self.pos[self.heap[j].index()] = j;
+    }
+
+    /// Inserts `v` (no-op if already present).
+    pub fn insert(&mut self, v: Var, act: &[f64]) {
+        self.grow(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.len() - 1;
+        self.swap(0, last);
+        self.heap.pop();
+        self.pos[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap property after `v`'s activity increased.
+    pub fn bumped(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            let i = self.pos[v.index()];
+            self.sift_up(i, act);
+        }
+    }
+
+    /// Rebuilds the heap after all activities were rescaled (order is
+    /// unchanged by uniform rescaling, so this is a no-op kept for clarity).
+    pub fn rescaled(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..5 {
+            h.insert(Var::from_index(i), &act);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop(&act))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let act = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var::from_index(0), &act);
+        h.insert(Var::from_index(0), &act);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn bumped_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &act);
+        }
+        act[0] = 10.0;
+        h.bumped(Var::from_index(0), &act);
+        assert_eq!(h.pop(&act), Some(Var::from_index(0)));
+    }
+}

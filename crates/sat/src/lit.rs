@@ -1,0 +1,165 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable from its dense index.
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index exceeds u32"))
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// The literal of this variable with the given sign.
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation. Encoded as `2·var + sign` with
+/// sign bit 0 for positive.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates the literal of `var` that is true when the variable has the
+    /// given polarity.
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index for watch lists: `2·var + sign`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::index`].
+    pub fn from_index(index: usize) -> Lit {
+        Lit(u32::try_from(index).expect("literal index exceeds u32"))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// A three-valued assignment state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// Converts a Boolean.
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// The Boolean value, if assigned.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Negation (`Undef` stays `Undef`).
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode() {
+        let v = Var::from_index(7);
+        let p = v.positive();
+        let n = v.negative();
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(Lit::from_index(p.index()), p);
+        assert_eq!(v.lit(false), n);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(3);
+        assert_eq!(v.positive().to_string(), "v3");
+        assert_eq!(v.negative().to_string(), "!v3");
+    }
+
+    #[test]
+    fn lbool_ops() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::False.to_bool(), Some(false));
+        assert_eq!(LBool::Undef.to_bool(), None);
+    }
+}

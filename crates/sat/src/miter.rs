@@ -1,0 +1,176 @@
+//! SAT-based combinational equivalence checking.
+//!
+//! Builds the classic miter: both networks share primary-input variables,
+//! each pair of corresponding outputs feeds an XOR, and the OR of all XORs
+//! is asserted. UNSAT proves equivalence; a model is a distinguishing input
+//! vector. The KMS test-suite invariant "the irredundant circuit computes
+//! the same function" (Fig. 3 correctness) is discharged with this check
+//! whenever circuits are too wide for exhaustive simulation.
+
+use kms_netlist::Network;
+
+use crate::cnf::NetworkCnf;
+use crate::lit::Lit;
+use crate::solver::{SatResult, Solver};
+
+/// The verdict of an equivalence check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Equivalence {
+    /// The networks compute the same function on all inputs.
+    Equivalent,
+    /// The networks differ; the vector (in input order) distinguishes them.
+    CounterExample(Vec<bool>),
+}
+
+impl Equivalence {
+    /// `true` if the verdict is [`Equivalence::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Equivalence::Equivalent)
+    }
+}
+
+/// Checks functional equivalence of two networks with identical input and
+/// output counts (matched positionally).
+///
+/// # Panics
+///
+/// Panics if the input or output counts differ.
+///
+/// ```
+/// use kms_netlist::{Network, GateKind, Delay};
+/// use kms_sat::check_equivalence;
+///
+/// let mut n1 = Network::new("nand");
+/// let a = n1.add_input("a");
+/// let b = n1.add_input("b");
+/// let g = n1.add_gate(GateKind::Nand, &[a, b], Delay::UNIT);
+/// n1.add_output("y", g);
+///
+/// let mut n2 = Network::new("demorgan");
+/// let a = n2.add_input("a");
+/// let b = n2.add_input("b");
+/// let na = n2.add_gate(GateKind::Not, &[a], Delay::UNIT);
+/// let nb = n2.add_gate(GateKind::Not, &[b], Delay::UNIT);
+/// let g = n2.add_gate(GateKind::Or, &[na, nb], Delay::UNIT);
+/// n2.add_output("y", g);
+///
+/// assert!(check_equivalence(&n1, &n2).is_equivalent());
+/// ```
+pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
+    assert_eq!(
+        a.inputs().len(),
+        b.inputs().len(),
+        "input count mismatch in miter"
+    );
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "output count mismatch in miter"
+    );
+    let mut solver = Solver::new();
+    let ca = NetworkCnf::encode(a, &mut solver);
+    let cb = NetworkCnf::encode(b, &mut solver);
+    // Tie the primary inputs together.
+    for (&ia, &ib) in a.inputs().iter().zip(b.inputs()) {
+        let la = ca.lit(ia, true);
+        let lb = cb.lit(ib, true);
+        solver.add_clause(&[!la, lb]);
+        solver.add_clause(&[la, !lb]);
+    }
+    // XOR each output pair into a fresh difference variable.
+    let mut diffs: Vec<Lit> = Vec::with_capacity(a.outputs().len());
+    for (oa, ob) in a.outputs().iter().zip(b.outputs()) {
+        let la = ca.lit(oa.src, true);
+        let lb = cb.lit(ob.src, true);
+        let d = solver.new_var().positive();
+        solver.add_clause(&[!d, la, lb]);
+        solver.add_clause(&[!d, !la, !lb]);
+        solver.add_clause(&[d, !la, lb]);
+        solver.add_clause(&[d, la, !lb]);
+        diffs.push(d);
+    }
+    // Some output must differ.
+    solver.add_clause(&diffs);
+    match solver.solve() {
+        SatResult::Unsat => Equivalence::Equivalent,
+        SatResult::Sat => Equivalence::CounterExample(ca.model_inputs(&solver, a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::{Delay, GateKind, Network};
+
+    fn and_net() -> Network {
+        let mut n = Network::new("and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        n.add_output("y", g);
+        n
+    }
+
+    #[test]
+    fn identical_networks_equivalent() {
+        let n = and_net();
+        assert!(check_equivalence(&n, &n.clone()).is_equivalent());
+    }
+
+    #[test]
+    fn counterexample_is_real() {
+        let n1 = and_net();
+        let mut n2 = Network::new("or");
+        let a = n2.add_input("a");
+        let b = n2.add_input("b");
+        let g = n2.add_gate(GateKind::Or, &[a, b], Delay::UNIT);
+        n2.add_output("y", g);
+        match check_equivalence(&n1, &n2) {
+            Equivalence::CounterExample(v) => {
+                assert_ne!(n1.eval_bool(&v), n2.eval_bool(&v));
+            }
+            Equivalence::Equivalent => panic!("AND and OR are not equivalent"),
+        }
+    }
+
+    #[test]
+    fn multi_output_difference_found() {
+        // Two outputs; only the second differs.
+        let build = |second: GateKind| {
+            let mut n = Network::new("m");
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let g1 = n.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+            let g2 = n.add_gate(second, &[a, b], Delay::UNIT);
+            n.add_output("y0", g1);
+            n.add_output("y1", g2);
+            n
+        };
+        let n1 = build(GateKind::Xor);
+        let n2 = build(GateKind::Xnor);
+        assert!(!check_equivalence(&n1, &n2).is_equivalent());
+        assert!(check_equivalence(&n1, &n1.clone()).is_equivalent());
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_wide_fixture() {
+        // Parity tree vs flat XOR: same function, different structure.
+        let mut flat = Network::new("flat");
+        let ins: Vec<_> = (0..8).map(|i| flat.add_input(format!("i{i}"))).collect();
+        let g = flat.add_gate(GateKind::Xor, &ins, Delay::UNIT);
+        flat.add_output("y", g);
+
+        let mut tree = Network::new("tree");
+        let mut layer: Vec<_> = (0..8).map(|i| tree.add_input(format!("i{i}"))).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|c| tree.add_gate(GateKind::Xor, c, Delay::UNIT))
+                .collect();
+        }
+        tree.add_output("y", layer[0]);
+
+        assert!(check_equivalence(&flat, &tree).is_equivalent());
+        flat.exhaustive_equiv(&tree).unwrap();
+    }
+}

@@ -1,0 +1,841 @@
+//! A CDCL SAT solver in the MiniSat lineage: two-watched-literal
+//! propagation, first-UIP conflict analysis, VSIDS decision ordering, phase
+//! saving, Luby restarts, and activity-based learnt-clause reduction.
+//!
+//! The solver is the workhorse behind redundancy identification (SAT-based
+//! ATPG), static-sensitization queries and miter equivalence checks in the
+//! KMS reproduction. Instances arising from the paper's circuits are small
+//! (thousands of variables), but the solver is complete and general.
+
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// The verdict of a SAT query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment exists; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// No satisfying assignment exists (under the given assumptions).
+    Unsat,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+/// Solver statistics, useful for benchmarking.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of branching decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// ```
+/// use kms_sat::{Solver, SatResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.positive(), b.positive()]);
+/// s.add_clause(&[a.negative()]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.model_value(b.positive()), Some(true));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>, // indexed by Lit::index(); see `attach`
+    assign: Vec<LBool>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: VarHeap,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<LBool>,
+    conflict_core: Vec<Lit>,
+    stats: Stats,
+    num_learnts: usize,
+}
+
+impl Solver {
+    /// An empty solver with no variables or clauses.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(LBool::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// The number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            learnts: self.num_learnts as u64,
+            ..self.stats
+        }
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        let v = self.assign[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Adds a clause. Returns `false` if the formula became trivially
+    /// unsatisfiable (empty clause at level 0).
+    ///
+    /// Must be called at decision level 0 (i.e. between `solve` calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal references an unallocated variable, or if
+    /// called mid-search.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "add_clause only at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology / satisfied / falsified literal filtering at level 0.
+        let mut filtered = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable");
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: v and !v adjacent after sort
+            }
+            match self.value(l) {
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach(filtered, false);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        let ci = self.clauses.len() as u32;
+        let w0 = !lits[0];
+        let w1 = !lits[1];
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.watches[w0.index()].push(ci);
+        self.watches[w1.index()].push(ci);
+        ci
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assign[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let ci = ws[i];
+                i += 1;
+                if self.clauses[ci as usize].deleted {
+                    continue; // lazily drop deleted clauses from watch lists
+                }
+                // Normalize: the falsified watch (!p) sits at position 1.
+                {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.value(first) == LBool::True {
+                    self.watches[p.index()].push(ci);
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // Clause is unit or conflicting under the current trail.
+                self.watches[p.index()].push(ci);
+                if self.value(first) == LBool::False {
+                    // Conflict: restore remaining watchers and bail out.
+                    while i < ws.len() {
+                        self.watches[p.index()].push(ws[i]);
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(first, ci);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            self.heap.rescaled();
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_index(0)]; // slot 0 patched below
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let cur_level = self.decision_level() as u32;
+        loop {
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            // Clone the lits to appease the borrow checker; clauses are
+            // short and this loop runs once per conflict-graph node.
+            let lits = self.clauses[confl as usize].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            confl = self.reason[pl.var().index()];
+            debug_assert_ne!(confl, NO_REASON);
+            p = Some(pl);
+        }
+        // Compute the backjump level and move its literal to slot 1 so the
+        // watch invariant holds after backjumping.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()]
+                    > self.level[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt_level)
+    }
+
+    fn cancel_until(&mut self, lvl: usize) {
+        while self.decision_level() > lvl {
+            let lim = self.trail_lim.pop().expect("level exists");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail nonempty");
+                let v = l.var();
+                self.phase[v.index()] = l.is_positive();
+                self.assign[v.index()] = LBool::Undef;
+                self.reason[v.index()] = NO_REASON;
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn locked(&self, ci: u32) -> bool {
+        let c = &self.clauses[ci as usize];
+        let l0 = c.lits[0];
+        self.value(l0) == LBool::True && self.reason[l0.var().index()] == ci
+    }
+
+    /// Halves the learnt-clause database, keeping the most active clauses,
+    /// binary clauses, and clauses that are reasons for current
+    /// assignments.
+    fn reduce_db(&mut self) {
+        let mut learnt_ids: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&ci| {
+                let c = &self.clauses[ci as usize];
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.locked(ci)
+            })
+            .collect();
+        learnt_ids.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .expect("activities are finite")
+        });
+        for &ci in learnt_ids.iter().take(learnt_ids.len() / 2) {
+            self.clauses[ci as usize].deleted = true;
+            self.clauses[ci as usize].lits.clear();
+            self.clauses[ci as usize].lits.shrink_to_fit();
+            self.num_learnts -= 1;
+        }
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals. The learnt clauses and
+    /// activities persist across calls (incremental solving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assumption references an unallocated variable.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.conflict_core.clear();
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        for &a in assumptions {
+            assert!(a.var().index() < self.num_vars(), "unallocated variable");
+        }
+        let result = self.search(assumptions);
+        self.cancel_until(0);
+        result
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SatResult {
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_round = 1u64;
+        let mut restart_limit = 64 * luby(restart_round);
+        let mut max_learnts = (self.clauses.len() / 3).max(512);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(asserting, NO_REASON);
+                } else {
+                    let ci = self.attach(learnt, true);
+                    self.bump_clause(ci);
+                    self.enqueue(asserting, ci);
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_round += 1;
+                    restart_limit = 64 * luby(restart_round);
+                    self.cancel_until(0);
+                    continue;
+                }
+                if self.num_learnts > max_learnts {
+                    self.reduce_db();
+                    max_learnts += max_learnts / 10;
+                }
+                // Decision: assumptions first, then VSIDS.
+                let dl = self.decision_level();
+                let next = if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value(a) {
+                        LBool::True => {
+                            // Already implied: open a dummy level.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        LBool::False => {
+                            self.analyze_final(a);
+                            return SatResult::Unsat;
+                        }
+                        LBool::Undef => a,
+                    }
+                } else {
+                    let mut pick = None;
+                    while let Some(v) = self.heap.pop(&self.activity) {
+                        if self.assign[v.index()] == LBool::Undef {
+                            pick = Some(v);
+                            break;
+                        }
+                    }
+                    match pick {
+                        None => {
+                            // All variables assigned: satisfying model.
+                            self.model = self.assign.clone();
+                            return SatResult::Sat;
+                        }
+                        Some(v) => v.lit(self.phase[v.index()]),
+                    }
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.enqueue(next, NO_REASON);
+            }
+        }
+    }
+
+    /// Computes the subset of assumption literals responsible for
+    /// falsifying assumption `p` (the classic `analyzeFinal`): walks the
+    /// implication graph of `¬p` back to the assumption decisions. The
+    /// result, including `p` itself, lands in [`Solver::unsat_core`].
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            self.seen[v.index()] = false;
+            let r = self.reason[v.index()];
+            if r == NO_REASON {
+                // A decision below the assumption levels is an assumption.
+                self.conflict_core.push(l);
+            } else {
+                let lits = self.clauses[r as usize].lits.clone();
+                for q in &lits[1..] {
+                    if self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    /// After [`SatResult::Unsat`] from [`Solver::solve_with`]: a subset of
+    /// the assumptions that is already unsatisfiable together with the
+    /// clauses (the *failed assumptions* / unsat core over assumptions).
+    /// Empty when the formula is unsatisfiable without any assumptions.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// The value of `l` in the most recent satisfying model, or `None` if
+    /// the last call did not return [`SatResult::Sat`] (or `l`'s variable
+    /// was allocated later).
+    pub fn model_value(&self, l: Lit) -> Option<bool> {
+        let v = self.model.get(l.var().index())?;
+        v.to_bool().map(|b| b == l.is_positive())
+    }
+}
+
+/// The Luby restart sequence (1-indexed): 1, 1, 2, 1, 1, 2, 4, …
+fn luby(i: u64) -> u64 {
+    let mut x = i - 1;
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.model_value(a.positive()), Some(true));
+        assert!(!s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive(), a.negative()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn implication_chain() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..20).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(&[w[0].negative(), w[1].positive()]);
+        }
+        s.add_clause(&[vars[0].positive()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        for v in &vars {
+            assert_eq!(s.model_value(v.positive()), Some(true));
+        }
+    }
+
+    /// Pigeonhole PHP(n+1, n): classic small UNSAT family.
+    fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+        let mut s = Solver::new();
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        for _ in 0..pigeons * holes {
+            s.new_var();
+        }
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| var(p, h).positive()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=6 {
+            let mut s = pigeonhole(n + 1, n);
+            assert_eq!(s.solve(), SatResult::Unsat, "php({},{})", n + 1, n);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let mut s = pigeonhole(5, 5);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_are_incremental() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        assert_eq!(s.solve_with(&[a.negative()]), SatResult::Sat);
+        assert_eq!(s.model_value(b.positive()), Some(true));
+        assert_eq!(
+            s.solve_with(&[a.negative(), b.negative()]),
+            SatResult::Unsat
+        );
+        // The solver is still usable afterwards.
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let _ = s.new_var();
+        assert_eq!(
+            s.solve_with(&[a.positive(), a.negative()]),
+            SatResult::Unsat
+        );
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    /// Cross-check against brute force on random small 3-CNF formulas.
+    #[test]
+    fn random_3sat_matches_brute_force() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for round in 0..60 {
+            let nvars = 6 + (next() % 5) as usize; // 6..10
+            let nclauses = 2 * nvars + (next() % (3 * nvars as u64)) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nvars as u64) as usize;
+                    let sign = next() & 1 == 0;
+                    lits.push(Var::from_index(v).lit(sign));
+                }
+                clauses.push(lits);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u64 << nvars) {
+                for c in &clauses {
+                    if !c.iter().any(|l| {
+                        let bit = (m >> l.var().index()) & 1 == 1;
+                        bit == l.is_positive()
+                    }) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // Solver.
+            let mut s = Solver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            let mut consistent = true;
+            for c in &clauses {
+                if !s.add_clause(c) {
+                    consistent = false;
+                    break;
+                }
+            }
+            let got = consistent && s.solve() == SatResult::Sat;
+            assert_eq!(got, brute_sat, "round {round}");
+            if got {
+                // Verify the model actually satisfies every clause.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.model_value(l) == Some(true)),
+                        "model violates clause in round {round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = pigeonhole(6, 5);
+        let _ = s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.decisions > 0);
+        assert!(st.propagations > 0);
+    }
+}
+
+#[cfg(test)]
+mod core_tests {
+    use super::*;
+
+    #[test]
+    fn contradictory_assumptions_core() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let _ = b;
+        assert_eq!(
+            s.solve_with(&[a.positive(), a.negative()]),
+            SatResult::Unsat
+        );
+        let core = s.unsat_core().to_vec();
+        assert_eq!(core.len(), 2);
+        assert!(core.contains(&a.positive()));
+        assert!(core.contains(&a.negative()));
+    }
+
+    #[test]
+    fn implication_chain_core_excludes_irrelevant() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var(); // irrelevant
+        s.add_clause(&[a.negative(), b.positive()]); // a -> b
+        assert_eq!(
+            s.solve_with(&[c.positive(), a.positive(), b.negative()]),
+            SatResult::Unsat
+        );
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a.positive()) || core.contains(&b.negative()));
+        assert!(
+            !core.contains(&c.positive()),
+            "irrelevant assumption must not appear: {core:?}"
+        );
+        // The core really is unsatisfiable on its own.
+        assert_eq!(s.solve_with(&core), SatResult::Unsat);
+        // And the solver remains usable.
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn core_empty_without_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a.positive()]);
+        assert!(!s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn core_cleared_on_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert_eq!(s.solve_with(&[a.positive(), a.negative()]), SatResult::Unsat);
+        assert!(!s.unsat_core().is_empty());
+        assert_eq!(s.solve_with(&[a.positive()]), SatResult::Sat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn deep_propagation_core() {
+        // x0 -> x1 -> … -> x9; assume x0 and ¬x9 plus noise assumptions.
+        let mut s = Solver::new();
+        let xs: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
+        let noise: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        for w in xs.windows(2) {
+            s.add_clause(&[w[0].negative(), w[1].positive()]);
+        }
+        let mut assumptions: Vec<Lit> = noise.iter().map(|v| v.positive()).collect();
+        assumptions.push(xs[0].positive());
+        assumptions.push(xs[9].negative());
+        assert_eq!(s.solve_with(&assumptions), SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.len() <= 2, "only the chain endpoints matter: {core:?}");
+        assert_eq!(s.solve_with(&core), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based validation of the CDCL solver against brute force on
+//! random small formulas, including incremental solving under assumptions.
+
+use proptest::prelude::*;
+
+use kms_sat::{Lit, SatResult, Solver, Var};
+
+/// A random clause set over `nvars` variables.
+fn formula(nvars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..nvars, any::<bool>()), 1..4),
+        1..30,
+    )
+}
+
+fn brute_force(nvars: usize, clauses: &[Vec<(usize, bool)>]) -> Option<u64> {
+    'outer: for m in 0..(1u64 << nvars) {
+        for c in clauses {
+            if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                continue 'outer;
+            }
+        }
+        return Some(m);
+    }
+    None
+}
+
+fn load(nvars: usize, clauses: &[Vec<(usize, bool)>]) -> (Solver, bool) {
+    let mut s = Solver::new();
+    for _ in 0..nvars {
+        s.new_var();
+    }
+    let mut ok = true;
+    for c in clauses {
+        let lits: Vec<Lit> = c
+            .iter()
+            .map(|&(v, pos)| Var::from_index(v).lit(pos))
+            .collect();
+        if !s.add_clause(&lits) {
+            ok = false;
+            break;
+        }
+    }
+    (s, ok)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_matches_brute_force(clauses in formula(8)) {
+        let nvars = 8;
+        let expect = brute_force(nvars, &clauses).is_some();
+        let (mut s, ok) = load(nvars, &clauses);
+        let got = ok && s.solve() == SatResult::Sat;
+        prop_assert_eq!(got, expect);
+        if got {
+            // The model satisfies every clause.
+            for c in &clauses {
+                let satisfied = c
+                    .iter()
+                    .any(|&(v, pos)| s.model_value(Var::from_index(v).lit(pos)) == Some(true));
+                prop_assert!(satisfied);
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_match_brute_force(
+        clauses in formula(7),
+        assumption_bits in 0u8..8,
+        assumption_vals in 0u8..8,
+    ) {
+        let nvars = 7;
+        // Turn the two bytes into up to 3 assumption literals.
+        let assumptions: Vec<(usize, bool)> = (0..3)
+            .filter(|i| (assumption_bits >> i) & 1 == 1)
+            .map(|i| (i * 2, (assumption_vals >> i) & 1 == 1))
+            .collect();
+        let mut augmented = clauses.clone();
+        for &(v, pos) in &assumptions {
+            augmented.push(vec![(v, pos)]);
+        }
+        let expect = brute_force(nvars, &augmented).is_some();
+        let (mut s, ok) = load(nvars, &clauses);
+        let lits: Vec<Lit> = assumptions
+            .iter()
+            .map(|&(v, pos)| Var::from_index(v).lit(pos))
+            .collect();
+        let got = ok && s.solve_with(&lits) == SatResult::Sat;
+        prop_assert_eq!(got, expect);
+        // The solver stays reusable: a plain solve afterwards matches the
+        // formula without assumptions.
+        if ok {
+            let plain = brute_force(nvars, &clauses).is_some();
+            prop_assert_eq!(s.solve() == SatResult::Sat, plain);
+        }
+    }
+
+    #[test]
+    fn repeated_solves_are_stable(clauses in formula(6)) {
+        let (mut s, ok) = load(6, &clauses);
+        if ok {
+            let first = s.solve();
+            for _ in 0..3 {
+                prop_assert_eq!(s.solve(), first);
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Best-first enumeration of IO-paths in non-increasing length order.
+//!
+//! The KMS loop repeatedly asks for "the longest paths" and, after a
+//! transformation, for the next-longest (Fig. 3). The enumerator grows
+//! partial path suffixes backward from the primary outputs; the admissible
+//! bound `arrival(open end) + suffix length` is exact (arrival times are
+//! tight maxima), so paths pop in exactly non-increasing length order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use kms_netlist::{ConnRef, GateId, GateKind, Network, Path};
+
+use crate::sta::{InputArrivals, Sta, Time, NEVER};
+
+/// A partial path suffix: connections stored in reverse (last conn first);
+/// `open` is the gate driving the earliest chosen connection.
+#[derive(Clone, Debug)]
+struct Partial {
+    rev_conns: Vec<ConnRef>,
+    open: GateId,
+    bound: Time,
+    extra: Time,
+    po: usize,
+}
+
+impl PartialEq for Partial {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Partial {}
+impl PartialOrd for Partial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Partial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound.cmp(&other.bound)
+    }
+}
+
+/// Iterator over all IO-paths of a network, longest first.
+///
+/// Yields `(path, length)` pairs where `length` includes the path source's
+/// input-arrival offset. Paths through constants are skipped (constants
+/// never produce events).
+///
+/// ```
+/// use kms_netlist::{Network, GateKind, Delay};
+/// use kms_timing::{PathEnumerator, InputArrivals};
+///
+/// let mut net = Network::new("t");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let g1 = net.add_gate(GateKind::Not, &[a], Delay::new(2));
+/// let g2 = net.add_gate(GateKind::And, &[g1, b], Delay::new(1));
+/// net.add_output("y", g2);
+///
+/// let lengths: Vec<i64> = PathEnumerator::new(&net, &InputArrivals::zero())
+///     .map(|(_, len)| len)
+///     .collect();
+/// assert_eq!(lengths, vec![3, 1]); // a→g1→g2 then b→g2
+/// ```
+pub struct PathEnumerator<'a> {
+    net: &'a Network,
+    sta: Sta,
+    heap: BinaryHeap<Partial>,
+    floor: Option<Time>,
+    max_pops: usize,
+    pops: usize,
+}
+
+impl<'a> PathEnumerator<'a> {
+    /// Starts an enumeration over `net` with the given input arrivals.
+    pub fn new(net: &'a Network, arrivals: &InputArrivals) -> Self {
+        let sta = Sta::run(net, arrivals);
+        let mut heap = BinaryHeap::new();
+        for (po, o) in net.outputs().iter().enumerate() {
+            let d = o.src;
+            let kind = net.gate(d).kind;
+            if kind.is_source() {
+                continue; // a PO wired straight to a PI/constant has no path
+            }
+            let bound = sta.arrival(d);
+            if bound == NEVER {
+                continue;
+            }
+            heap.push(Partial {
+                rev_conns: Vec::new(),
+                open: d,
+                bound,
+                extra: 0,
+                po,
+            });
+        }
+        PathEnumerator {
+            net,
+            sta,
+            heap,
+            floor: None,
+            max_pops: usize::MAX,
+            pops: 0,
+        }
+    }
+
+    /// Discards all paths shorter than `floor` (pruning the search).
+    pub fn with_floor(mut self, floor: Time) -> Self {
+        self.floor = Some(floor);
+        self
+    }
+
+    /// Caps the total search effort; the iterator ends after this many
+    /// queue pops even if paths remain.
+    pub fn with_effort_cap(mut self, max_pops: usize) -> Self {
+        self.max_pops = max_pops;
+        self
+    }
+
+    /// The STA pass backing this enumeration.
+    pub fn sta(&self) -> &Sta {
+        &self.sta
+    }
+
+    /// `true` if the effort cap stopped the enumeration early.
+    pub fn truncated(&self) -> bool {
+        self.pops >= self.max_pops && !self.heap.is_empty()
+    }
+}
+
+impl Iterator for PathEnumerator<'_> {
+    type Item = (Path, Time);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(p) = {
+            if self.pops >= self.max_pops {
+                return None;
+            }
+            self.heap.pop()
+        } {
+            self.pops += 1;
+            if let Some(floor) = self.floor {
+                if p.bound < floor {
+                    return None; // everything left is shorter
+                }
+            }
+            let kind = self.net.gate(p.open).kind;
+            if kind == GateKind::Input {
+                let mut conns = p.rev_conns.clone();
+                conns.reverse();
+                debug_assert!(!conns.is_empty());
+                return Some((Path::new(conns, p.po), p.bound));
+            }
+            // Extend backward through each pin of the open gate.
+            let gate_delay = self.net.gate(p.open).delay.units();
+            for (pin_idx, pin) in self.net.gate(p.open).pins.iter().enumerate() {
+                let src_kind = self.net.gate(pin.src).kind;
+                if matches!(src_kind, GateKind::Const(_)) {
+                    continue;
+                }
+                let arr = self.sta.arrival(pin.src);
+                if arr == NEVER {
+                    continue;
+                }
+                let extra = p.extra + gate_delay + pin.wire_delay.units();
+                let bound = arr + extra;
+                if let Some(floor) = self.floor {
+                    if bound < floor {
+                        continue;
+                    }
+                }
+                let mut rev = p.rev_conns.clone();
+                rev.push(ConnRef::new(p.open, pin_idx));
+                self.heap.push(Partial {
+                    rev_conns: rev,
+                    open: pin.src,
+                    bound,
+                    extra,
+                    po: p.po,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// All IO-paths whose length equals the topological delay, up to `cap`
+/// paths. Returns the paths and the delay.
+pub fn longest_paths(
+    net: &Network,
+    arrivals: &InputArrivals,
+    cap: usize,
+) -> (Vec<Path>, Time) {
+    let mut it = PathEnumerator::new(net, arrivals);
+    let delay = it.sta().delay();
+    let mut out = Vec::new();
+    for (path, len) in it.by_ref() {
+        if len < delay || out.len() >= cap {
+            break;
+        }
+        out.push(path);
+    }
+    (out, delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::{Delay, GateKind, Network};
+
+    /// Two-output diamond with reconvergence.
+    fn diamond() -> Network {
+        let mut net = Network::new("d");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(GateKind::Not, &[a], Delay::new(1));
+        let g2 = net.add_gate(GateKind::Not, &[a], Delay::new(2));
+        let g3 = net.add_gate(GateKind::And, &[g1, g2, b], Delay::new(1));
+        net.add_output("y", g3);
+        net
+    }
+
+    #[test]
+    fn non_increasing_lengths() {
+        let net = diamond();
+        let lengths: Vec<Time> = PathEnumerator::new(&net, &InputArrivals::zero())
+            .map(|(_, l)| l)
+            .collect();
+        assert_eq!(lengths, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn emitted_lengths_match_path_lengths() {
+        let net = diamond();
+        for (path, len) in PathEnumerator::new(&net, &InputArrivals::zero()) {
+            assert!(path.validate(&net));
+            assert_eq!(path.length(&net).units(), len);
+        }
+    }
+
+    #[test]
+    fn longest_paths_extraction() {
+        let net = diamond();
+        let (paths, delay) = longest_paths(&net, &InputArrivals::zero(), 16);
+        assert_eq!(delay, 3);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 2); // a -> g2 -> g3
+    }
+
+    #[test]
+    fn arrival_offsets_reorder_paths() {
+        let net = diamond();
+        let b = net.input_by_name("b").unwrap();
+        let arr = InputArrivals::zero().with(b, 10);
+        let (paths, delay) = longest_paths(&net, &arr, 16);
+        assert_eq!(delay, 11);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].source(&net), b);
+    }
+
+    #[test]
+    fn parallel_equal_paths_all_enumerated() {
+        // Two distinct connections from the same gate pair: both paths
+        // must appear (Definition 4.2's reason for connection-paths).
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let g1 = net.add_gate(GateKind::Not, &[a], Delay::new(1));
+        let g2 = net.add_gate(GateKind::And, &[g1, g1], Delay::new(1));
+        net.add_output("y", g2);
+        let (paths, delay) = longest_paths(&net, &InputArrivals::zero(), 16);
+        assert_eq!(delay, 2);
+        assert_eq!(paths.len(), 2);
+        assert_ne!(paths[0], paths[1]);
+    }
+
+    #[test]
+    fn floor_prunes() {
+        let net = diamond();
+        let lengths: Vec<Time> = PathEnumerator::new(&net, &InputArrivals::zero())
+            .with_floor(2)
+            .map(|(_, l)| l)
+            .collect();
+        assert_eq!(lengths, vec![3, 2]);
+    }
+
+    #[test]
+    fn effort_cap_truncates() {
+        let net = diamond();
+        let mut it = PathEnumerator::new(&net, &InputArrivals::zero()).with_effort_cap(1);
+        let _ = it.by_ref().count();
+        assert!(it.truncated());
+    }
+
+    #[test]
+    fn constant_paths_skipped() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let c = net.add_const(true);
+        let g = net.add_gate(GateKind::And, &[a, c], Delay::new(1));
+        net.add_output("y", g);
+        let paths: Vec<_> = PathEnumerator::new(&net, &InputArrivals::zero()).collect();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].1, 1);
+    }
+
+    #[test]
+    fn output_driven_by_input_has_no_paths() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        net.add_output("y", a);
+        let paths: Vec<_> = PathEnumerator::new(&net, &InputArrivals::zero()).collect();
+        assert!(paths.is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+use std::fmt;
+
+use crate::cube::{mask, Cube};
+
+/// A sum-of-products: a set of [`Cube`]s over a fixed variable width
+/// (at most 64).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cover {
+    width: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0) over `width` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn empty(width: usize) -> Cover {
+        assert!(width <= 64, "covers support at most 64 variables");
+        Cover {
+            width,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// The universal cover (constant 1) over `width` variables.
+    pub fn universe(width: usize) -> Cover {
+        let mut c = Cover::empty(width);
+        c.push(Cube::UNIVERSE);
+        c
+    }
+
+    /// A cover from explicit cubes.
+    pub fn from_cubes(width: usize, cubes: Vec<Cube>) -> Cover {
+        let mut c = Cover::empty(width);
+        for cube in cubes {
+            c.push(cube);
+        }
+        c
+    }
+
+    /// A cover parsed from `"1-0"`-style rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rows of the wrong width or invalid characters.
+    pub fn parse(width: usize, rows: &[&str]) -> Cover {
+        let mut c = Cover::empty(width);
+        for r in rows {
+            assert_eq!(r.len(), width, "row width mismatch");
+            c.push(Cube::parse(r));
+        }
+        c
+    }
+
+    /// The variable width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// `true` if the cover has no cubes (constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Total literal count (the classic PLA cost function).
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(|c| c.literal_count()).sum()
+    }
+
+    /// Adds a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube mentions variables outside the width.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(
+            (cube.pos | cube.neg) & !mask(self.width),
+            0,
+            "cube exceeds cover width"
+        );
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the cover on a minterm.
+    pub fn eval(&self, m: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm(m))
+    }
+
+    /// The union of two covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn union(&self, other: &Cover) -> Cover {
+        assert_eq!(self.width, other.width, "cover width mismatch");
+        let mut out = self.clone();
+        out.cubes.extend(other.cubes.iter().copied());
+        out
+    }
+
+    /// Removes cubes covered by another single cube of the cover
+    /// (single-cube containment).
+    pub fn remove_contained(&mut self) {
+        let mut keep: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        // Larger cubes first so they absorb smaller ones.
+        let mut sorted = self.cubes.clone();
+        sorted.sort_by_key(|c| c.literal_count());
+        'outer: for &c in &sorted {
+            for &k in &keep {
+                if k.covers(c) {
+                    continue 'outer;
+                }
+            }
+            keep.push(c);
+        }
+        self.cubes = keep;
+    }
+
+    /// The cofactor of the cover with respect to `var = value`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Cover {
+        Cover {
+            width: self.width,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|c| c.cofactor(var, value))
+                .collect(),
+        }
+    }
+
+    /// The cofactor with respect to a cube: keep the cubes compatible with
+    /// `c`, with `c`'s literals dropped.
+    pub fn cofactor_cube(&self, c: Cube) -> Cover {
+        let lits = c.pos | c.neg;
+        Cover {
+            width: self.width,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|&k| {
+                    k.intersect(c).map(|_| Cube {
+                        pos: k.pos & !lits,
+                        neg: k.neg & !lits,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Picks the most *binate* variable (appearing in the most cubes, ties
+    /// broken toward balanced polarity), for unate-recursion splitting.
+    /// Returns `None` if no cube has a literal.
+    pub fn most_binate_var(&self) -> Option<usize> {
+        let mut best: Option<(usize, u32, u32)> = None; // (var, total, min_polarity)
+        for v in 0..self.width {
+            let bit = 1u64 << v;
+            let p = self.cubes.iter().filter(|c| c.pos & bit != 0).count() as u32;
+            let n = self.cubes.iter().filter(|c| c.neg & bit != 0).count() as u32;
+            if p + n == 0 {
+                continue;
+            }
+            let cand = (v, p + n, p.min(n));
+            match best {
+                None => best = Some(cand),
+                Some((_, t, mp)) => {
+                    // Prefer truly binate vars (both polarities), then the
+                    // most frequent.
+                    if (cand.2 > 0 && mp == 0)
+                        || (cand.2 > 0) == (mp > 0) && cand.1 > t
+                    {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        best.map(|(v, _, _)| v)
+    }
+
+    /// `true` if the cover is a tautology (covers every minterm), by unate
+    /// recursion.
+    pub fn is_tautology(&self) -> bool {
+        // Fast exits.
+        if self.cubes.contains(&Cube::UNIVERSE) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        match self.most_binate_var() {
+            None => false, // no literals and no universal cube: impossible
+            Some(v) => {
+                self.cofactor(v, false).is_tautology()
+                    && self.cofactor(v, true).is_tautology()
+            }
+        }
+    }
+
+    /// `true` if the cover covers the cube `c` (every minterm of `c`
+    /// satisfies the cover).
+    pub fn covers_cube(&self, c: Cube) -> bool {
+        self.cofactor_cube(c).is_tautology()
+    }
+
+    /// `true` if `self` functionally covers `other`.
+    pub fn covers_cover(&self, other: &Cover) -> bool {
+        other.cubes.iter().all(|&c| self.covers_cube(c))
+    }
+
+    /// `true` if both covers compute the same function.
+    pub fn equivalent(&self, other: &Cover) -> bool {
+        self.covers_cover(other) && other.covers_cover(self)
+    }
+
+    /// The complement of the cover, by Shannon expansion on binate
+    /// variables with De Morgan at single-cube leaves.
+    pub fn complement(&self) -> Cover {
+        if self.cubes.is_empty() {
+            return Cover::universe(self.width);
+        }
+        if self.cubes.contains(&Cube::UNIVERSE) {
+            return Cover::empty(self.width);
+        }
+        if self.cubes.len() == 1 {
+            // De Morgan on a single cube.
+            let c = self.cubes[0];
+            let mut out = Cover::empty(self.width);
+            for v in 0..self.width {
+                match c.literal(v) {
+                    Some(true) => out.push(Cube::new(0, 1 << v)),
+                    Some(false) => out.push(Cube::new(1 << v, 0)),
+                    None => {}
+                }
+            }
+            return out;
+        }
+        let v = self
+            .most_binate_var()
+            .expect("non-constant cover has a literal");
+        let c0 = self.cofactor(v, false).complement();
+        let c1 = self.cofactor(v, true).complement();
+        let mut out = Cover::empty(self.width);
+        for &c in c0.cubes() {
+            out.push(c.intersect(Cube::new(0, 1 << v)).expect("v unconstrained"));
+        }
+        for &c in c1.cubes() {
+            out.push(c.intersect(Cube::new(1 << v, 0)).expect("v unconstrained"));
+        }
+        out.remove_contained();
+        out
+    }
+
+    /// Enumerates the ON-set minterms (practical for `width ≤ 24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 24`.
+    pub fn minterms(&self) -> Vec<u64> {
+        assert!(self.width <= 24, "minterm enumeration limited to 24 vars");
+        (0..(1u64 << self.width)).filter(|&m| self.eval(m)).collect()
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.cubes {
+            writeln!(f, "{}", c.to_text(self.width))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2() -> Cover {
+        Cover::parse(2, &["10", "01"])
+    }
+
+    #[test]
+    fn eval_and_minterms() {
+        let f = xor2();
+        assert!(!f.eval(0b00));
+        assert!(f.eval(0b01));
+        assert!(f.eval(0b10));
+        assert!(!f.eval(0b11));
+        assert_eq!(f.minterms(), vec![1, 2]);
+        assert_eq!(f.literal_count(), 4);
+    }
+
+    #[test]
+    fn tautology_checks() {
+        assert!(Cover::universe(3).is_tautology());
+        assert!(!Cover::empty(3).is_tautology());
+        assert!(!xor2().is_tautology());
+        let full = Cover::parse(2, &["1-", "0-"]);
+        assert!(full.is_tautology());
+        let almost = Cover::parse(2, &["1-", "01"]);
+        assert!(!almost.is_tautology());
+        let deep = Cover::parse(3, &["1--", "-1-", "--1", "000"]);
+        assert!(deep.is_tautology());
+    }
+
+    #[test]
+    fn complement_matches_truth_table() {
+        for f in [
+            xor2(),
+            Cover::parse(3, &["1-0", "01-", "111"]),
+            Cover::empty(3),
+            Cover::universe(3),
+            Cover::parse(4, &["1---", "-1-0", "0011"]),
+        ] {
+            let g = f.complement();
+            for m in 0..(1u64 << f.width()) {
+                assert_eq!(f.eval(m), !g.eval(m), "minterm {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_containment() {
+        let f = Cover::parse(3, &["1--", "01-"]);
+        assert!(f.covers_cube(Cube::parse("11-")));
+        assert!(f.covers_cube(Cube::parse("010")));
+        assert!(!f.covers_cube(Cube::parse("0--")));
+        let g = Cover::parse(3, &["11-", "010"]);
+        assert!(f.covers_cover(&g));
+        assert!(!g.covers_cover(&f));
+        assert!(f.equivalent(&f.clone()));
+    }
+
+    #[test]
+    fn remove_contained_dedupes() {
+        let mut f = Cover::parse(3, &["1--", "11-", "111", "0-0"]);
+        f.remove_contained();
+        assert_eq!(f.len(), 2);
+        assert!(f.cubes().contains(&Cube::parse("1--")));
+        assert!(f.cubes().contains(&Cube::parse("0-0")));
+    }
+
+    #[test]
+    fn cofactor_cube_semantics() {
+        let f = Cover::parse(3, &["11-", "0-1"]);
+        // Cofactor by x0=1: keep cubes consistent, drop the literal.
+        let g = f.cofactor_cube(Cube::parse("1--"));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.cubes()[0], Cube::parse("-1-"));
+    }
+
+    #[test]
+    fn union_widths() {
+        let f = xor2();
+        let g = Cover::parse(2, &["11"]);
+        let u = f.union(&g);
+        assert_eq!(u.len(), 3);
+        assert!(u.eval(0b11));
+    }
+}

@@ -1,0 +1,239 @@
+use std::fmt;
+
+/// A product term over at most 64 Boolean variables, stored as a pair of
+/// literal masks: bit `i` of `pos` means the literal `xi`, bit `i` of `neg`
+/// means `x̄i`. A variable mentioned in neither mask is unconstrained.
+///
+/// This is the Definition 4.5 notion of a cube, specialized for the
+/// two-level algorithms (Quine–McCluskey and the espresso-style loop).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Cube {
+    /// Positive-literal mask.
+    pub pos: u64,
+    /// Negative-literal mask.
+    pub neg: u64,
+}
+
+impl Cube {
+    /// The universal cube (no literals; covers every minterm).
+    pub const UNIVERSE: Cube = Cube { pos: 0, neg: 0 };
+
+    /// A cube from explicit masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable appears in both masks (use
+    /// [`Cube::intersect`] for possibly-empty products).
+    pub fn new(pos: u64, neg: u64) -> Cube {
+        assert_eq!(pos & neg, 0, "contradictory cube");
+        Cube { pos, neg }
+    }
+
+    /// The cube matching exactly the minterm `m` over `width` variables.
+    pub fn minterm(m: u64, width: usize) -> Cube {
+        let mask = mask(width);
+        Cube {
+            pos: m & mask,
+            neg: !m & mask,
+        }
+    }
+
+    /// Parses `"1-0"`-style text (variable 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `0`, `1`, `-`.
+    pub fn parse(text: &str) -> Cube {
+        let mut pos = 0u64;
+        let mut neg = 0u64;
+        for (i, c) in text.chars().enumerate() {
+            match c {
+                '1' => pos |= 1 << i,
+                '0' => neg |= 1 << i,
+                '-' => {}
+                other => panic!("invalid cube character {other:?}"),
+            }
+        }
+        Cube { pos, neg }
+    }
+
+    /// Number of literals in the cube.
+    pub fn literal_count(self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// `true` if this cube covers `other` (every minterm of `other` is in
+    /// `self`): `self`'s literals are a subset of `other`'s.
+    pub fn covers(self, other: Cube) -> bool {
+        self.pos & !other.pos == 0 && self.neg & !other.neg == 0
+    }
+
+    /// `true` if minterm `m` satisfies every literal.
+    pub fn contains_minterm(self, m: u64) -> bool {
+        self.pos & !m == 0 && self.neg & m == 0
+    }
+
+    /// The product of two cubes, or `None` if they conflict on a variable.
+    pub fn intersect(self, other: Cube) -> Option<Cube> {
+        let pos = self.pos | other.pos;
+        let neg = self.neg | other.neg;
+        if pos & neg != 0 {
+            None
+        } else {
+            Some(Cube { pos, neg })
+        }
+    }
+
+    /// The number of variables on which the cubes take opposite literals.
+    pub fn distance(self, other: Cube) -> u32 {
+        ((self.pos & other.neg) | (self.neg & other.pos)).count_ones()
+    }
+
+    /// The smallest cube covering both (drop all conflicting or asymmetric
+    /// literals).
+    pub fn supercube(self, other: Cube) -> Cube {
+        Cube {
+            pos: self.pos & other.pos,
+            neg: self.neg & other.neg,
+        }
+    }
+
+    /// Cofactor with respect to `var = value`: `None` if the cube requires
+    /// the opposite value, otherwise the cube with that variable's literal
+    /// dropped.
+    pub fn cofactor(self, var: usize, value: bool) -> Option<Cube> {
+        let bit = 1u64 << var;
+        if value && self.neg & bit != 0 {
+            return None;
+        }
+        if !value && self.pos & bit != 0 {
+            return None;
+        }
+        Some(Cube {
+            pos: self.pos & !bit,
+            neg: self.neg & !bit,
+        })
+    }
+
+    /// The literal state of `var`: `Some(true)` for `x`, `Some(false)` for
+    /// `x̄`, `None` for unconstrained.
+    pub fn literal(self, var: usize) -> Option<bool> {
+        let bit = 1u64 << var;
+        if self.pos & bit != 0 {
+            Some(true)
+        } else if self.neg & bit != 0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Drops the literal on `var`, if any.
+    pub fn raise(self, var: usize) -> Cube {
+        let bit = 1u64 << var;
+        Cube {
+            pos: self.pos & !bit,
+            neg: self.neg & !bit,
+        }
+    }
+
+    /// Renders the cube as `"1-0"` text over `width` variables.
+    pub fn to_text(self, width: usize) -> String {
+        (0..width)
+            .map(|i| match self.literal(i) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = 64 - (self.pos | self.neg).leading_zeros() as usize;
+        f.write_str(&self.to_text(width.max(1)))
+    }
+}
+
+/// The all-ones mask for `width` variables.
+pub(crate) fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        !0
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_masks() {
+        let c = Cube::parse("1-0");
+        assert_eq!(c.pos, 0b001);
+        assert_eq!(c.neg, 0b100);
+        assert_eq!(c.literal_count(), 2);
+        assert_eq!(c.to_text(3), "1-0");
+        assert_eq!(c.literal(0), Some(true));
+        assert_eq!(c.literal(1), None);
+        assert_eq!(c.literal(2), Some(false));
+    }
+
+    #[test]
+    fn covering() {
+        let big = Cube::parse("1--");
+        let small = Cube::parse("1-0");
+        assert!(big.covers(small));
+        assert!(!small.covers(big));
+        assert!(Cube::UNIVERSE.covers(big));
+        assert!(big.covers(big));
+    }
+
+    #[test]
+    fn minterm_membership() {
+        let c = Cube::parse("1-0");
+        assert!(c.contains_minterm(0b001));
+        assert!(c.contains_minterm(0b011));
+        assert!(!c.contains_minterm(0b101)); // var2 = 1 violates the 0
+        assert!(!c.contains_minterm(0b000)); // var0 = 0 violates the 1
+    }
+
+    #[test]
+    fn intersect_and_distance() {
+        let a = Cube::parse("1-");
+        let b = Cube::parse("-0");
+        assert_eq!(a.intersect(b), Some(Cube::parse("10")));
+        let c = Cube::parse("0-");
+        assert_eq!(a.intersect(c), None);
+        assert_eq!(a.distance(c), 1);
+        assert_eq!(a.distance(b), 0);
+        assert_eq!(Cube::parse("10").distance(Cube::parse("01")), 2);
+    }
+
+    #[test]
+    fn supercube_and_raise() {
+        let a = Cube::parse("10");
+        let b = Cube::parse("11");
+        assert_eq!(a.supercube(b), Cube::parse("1-"));
+        assert_eq!(a.raise(1), Cube::parse("1-"));
+        assert_eq!(a.raise(0).raise(1), Cube::UNIVERSE);
+    }
+
+    #[test]
+    fn cofactors() {
+        let c = Cube::parse("1-0");
+        assert_eq!(c.cofactor(0, true), Some(Cube::parse("--0")));
+        assert_eq!(c.cofactor(0, false), None);
+        assert_eq!(c.cofactor(1, true), Some(Cube::parse("1-0").raise(1)));
+    }
+
+    #[test]
+    fn minterm_cube() {
+        let c = Cube::minterm(0b101, 3);
+        assert_eq!(c.to_text(3), "101");
+        assert!(c.contains_minterm(0b101));
+        assert!(!c.contains_minterm(0b100));
+    }
+}

@@ -1,0 +1,274 @@
+//! An espresso-style heuristic two-level minimizer: the classic
+//! EXPAND → IRREDUNDANT → REDUCE loop.
+//!
+//! MIS-II's node minimization (the "optimized for area" starting point of
+//! the paper's Table I benchmarks) is espresso applied per node; this module
+//! is our stand-in. It is heuristic — the guarantee is functional
+//! equivalence on the care-set, not minimality — and is validated against
+//! the exact Quine–McCluskey minimizer on small functions.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Options for the heuristic minimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct EspressoOptions {
+    /// Maximum number of EXPAND/IRREDUNDANT/REDUCE sweeps.
+    pub max_iterations: usize,
+}
+
+impl Default for EspressoOptions {
+    fn default() -> Self {
+        EspressoOptions { max_iterations: 8 }
+    }
+}
+
+/// Heuristically minimizes `on` against don't-cares `dc`.
+///
+/// The result covers every ON minterm, covers nothing outside `ON ∪ DC`,
+/// and has no single-cube-contained or fully redundant cubes.
+///
+/// ```
+/// use kms_twolevel::{Cover, espresso};
+/// // f = a·b + a·b̄ ( = a ), the classic merge.
+/// let on = Cover::parse(2, &["11", "10"]);
+/// let m = espresso(&on, &Cover::empty(2), Default::default());
+/// assert_eq!(m.len(), 1);
+/// assert!(m.equivalent(&on));
+/// ```
+pub fn espresso(on: &Cover, dc: &Cover, options: EspressoOptions) -> Cover {
+    if on.is_empty() {
+        return Cover::empty(on.width());
+    }
+    let care_union = on.union(dc);
+    if care_union.is_tautology() {
+        return Cover::universe(on.width());
+    }
+    let off = care_union.complement();
+    let mut current = on.clone();
+    current.remove_contained();
+    let mut best = current.clone();
+    let mut best_cost = cost(&best);
+    for _ in 0..options.max_iterations {
+        current = expand(&current, &off);
+        current = irredundant(&current, dc);
+        let c = cost(&current);
+        if c < best_cost {
+            best = current.clone();
+            best_cost = c;
+        } else {
+            break;
+        }
+        current = reduce(&current, dc);
+    }
+    best
+}
+
+/// Cost: (cube count, literal count) — lexicographic.
+fn cost(c: &Cover) -> (usize, u32) {
+    (c.len(), c.literal_count())
+}
+
+/// EXPAND: raise literals of each cube while the cube stays disjoint from
+/// the OFF-set; afterwards drop single-cube-contained cubes.
+fn expand(cover: &Cover, off: &Cover) -> Cover {
+    let width = cover.width();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Expand small cubes first: they benefit the most.
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    let mut out: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for &c in &cubes {
+        let mut cur = c;
+        // Try raising each literal; greedily keep raises that stay
+        // OFF-set-free. Literal order: ascending variable index (stable,
+        // deterministic).
+        for v in 0..width {
+            if cur.literal(v).is_none() {
+                continue;
+            }
+            let raised = cur.raise(v);
+            if !intersects(off, raised) {
+                cur = raised;
+            }
+        }
+        out.push(cur);
+    }
+    let mut cov = Cover::from_cubes(width, out);
+    cov.remove_contained();
+    cov
+}
+
+/// `true` if some cube of `cover` intersects `c`.
+fn intersects(cover: &Cover, c: Cube) -> bool {
+    cover.cubes().iter().any(|k| k.intersect(c).is_some())
+}
+
+/// IRREDUNDANT: greedily drop cubes covered by the rest of the cover plus
+/// the don't-care set.
+fn irredundant(cover: &Cover, dc: &Cover) -> Cover {
+    let width = cover.width();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Try to drop the largest cubes last (they are likely load-bearing);
+    // dropping small cubes first empirically removes more.
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    let mut keep: Vec<bool> = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        keep[i] = false;
+        let rest = Cover::from_cubes(
+            width,
+            cubes
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(&c, _)| c)
+                .collect(),
+        )
+        .union(dc);
+        if !rest.covers_cube(cubes[i]) {
+            keep[i] = true;
+        }
+    }
+    Cover::from_cubes(
+        width,
+        cubes
+            .into_iter()
+            .zip(keep)
+            .filter(|(_, k)| *k)
+            .map(|(c, _)| c)
+            .collect(),
+    )
+}
+
+/// REDUCE: shrink each cube to the supercube of the part of it not covered
+/// by the rest of the cover (plus DC), unsticking the next EXPAND.
+fn reduce(cover: &Cover, dc: &Cover) -> Cover {
+    let width = cover.width();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Reduce larger cubes first (classic heuristic order).
+    cubes.sort_by_key(|c| c.literal_count());
+    for i in 0..cubes.len() {
+        let rest = Cover::from_cubes(
+            width,
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, &c)| c)
+                .collect(),
+        )
+        .union(dc);
+        // The unique part of cubes[i]: cubes[i] ∩ ¬rest, then supercube.
+        let not_rest = rest.cofactor_cube(cubes[i]).complement();
+        if not_rest.is_empty() {
+            continue; // fully covered; IRREDUNDANT will handle it
+        }
+        let mut sup: Option<Cube> = None;
+        for &u in not_rest.cubes() {
+            // Map back into cubes[i]'s subspace: add cubes[i]'s literals.
+            if let Some(full) = u.intersect(cubes[i]) {
+                sup = Some(match sup {
+                    None => full,
+                    Some(s) => s.supercube(full),
+                });
+            }
+        }
+        if let Some(s) = sup {
+            debug_assert!(cubes[i].covers(s));
+            cubes[i] = s;
+        }
+    }
+    Cover::from_cubes(width, cubes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qm::minimize_exact;
+
+    fn verify(on: &Cover, dc: &Cover) -> Cover {
+        let m = espresso(on, dc, Default::default());
+        for mt in 0..(1u64 << on.width()) {
+            if on.eval(mt) && !dc.eval(mt) {
+                assert!(m.eval(mt), "ON minterm {mt} lost");
+            }
+            if m.eval(mt) {
+                assert!(on.eval(mt) || dc.eval(mt), "minterm {mt} added");
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn merges_adjacent_cubes() {
+        let on = Cover::parse(3, &["110", "111", "011"]);
+        let m = verify(&on, &Cover::empty(3));
+        assert!(m.len() <= 2);
+    }
+
+    #[test]
+    fn redundant_cube_removed() {
+        // The middle consensus cube is redundant.
+        let on = Cover::parse(2, &["1-", "-1", "11"]);
+        let m = verify(&on, &Cover::empty(2));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn dont_cares_used() {
+        // f = m(1), dc = m(3): expands to x0.
+        let on = Cover::parse(2, &["10"]);
+        let dc = Cover::parse(2, &["11"]);
+        let m = verify(&on, &dc);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.cubes()[0].literal_count(), 1);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(espresso(&Cover::empty(3), &Cover::empty(3), Default::default()).is_empty());
+        let m = espresso(&Cover::universe(3), &Cover::empty(3), Default::default());
+        assert!(m.is_tautology());
+        // ON ∪ DC tautology also collapses to the universe.
+        let on = Cover::parse(1, &["1"]);
+        let dc = Cover::parse(1, &["0"]);
+        let m = espresso(&on, &dc, Default::default());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.cubes()[0], Cube::UNIVERSE);
+    }
+
+    #[test]
+    fn tracks_exact_on_random_functions() {
+        let mut state = 0xFACE_FEED_u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut total_h = 0usize;
+        let mut total_e = 0usize;
+        for _ in 0..20 {
+            let width = 4 + (next() % 2) as usize;
+            let truth = next();
+            let mut on = Cover::empty(width);
+            for m in 0..(1u64 << width) {
+                if (truth >> m) & 1 == 1 {
+                    on.push(Cube::minterm(m, width));
+                }
+            }
+            if on.is_empty() {
+                continue;
+            }
+            let h = verify(&on, &Cover::empty(width));
+            let e = minimize_exact(&on, &Cover::empty(width));
+            total_h += h.len();
+            total_e += e.len();
+            assert!(h.equivalent(&e), "heuristic and exact must agree");
+        }
+        // The heuristic should stay within 40% of exact on these sizes.
+        assert!(
+            total_h as f64 <= total_e as f64 * 1.4,
+            "heuristic too weak: {total_h} vs exact {total_e}"
+        );
+    }
+}

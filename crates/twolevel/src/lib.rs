@@ -1,0 +1,38 @@
+//! Two-level (sum-of-products) logic substrate for the KMS reproduction.
+//!
+//! The paper's Table I benchmarks are PLA functions that MIS-II first
+//! optimizes for area — i.e. espresso-style two-level minimization per node
+//! — before timing optimization introduces the redundancies that the KMS
+//! algorithm then removes. This crate provides that area-optimization layer
+//! from scratch:
+//!
+//! * [`Cube`] / [`Cover`] — positional-cube algebra: intersection,
+//!   containment, cofactors, unate-recursive tautology, complementation.
+//! * [`minimize_exact`] — Quine–McCluskey prime generation with an exact
+//!   branch-and-bound cover (the test-suite reference).
+//! * [`espresso`] — the EXPAND → IRREDUNDANT → REDUCE heuristic loop.
+//! * [`synth`] — bridges to PLA files and gate-level networks.
+//!
+//! # Example
+//!
+//! ```
+//! use kms_twolevel::{Cover, espresso};
+//! let on = Cover::parse(3, &["110", "111"]); // a·b·c̄ + a·b·c
+//! let min = espresso(&on, &Cover::empty(3), Default::default());
+//! assert_eq!(min.len(), 1); // merges to a·b
+//! assert!(min.equivalent(&on));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cover;
+mod cube;
+mod espresso;
+mod qm;
+pub mod synth;
+
+pub use cover::Cover;
+pub use cube::Cube;
+pub use espresso::{espresso, EspressoOptions};
+pub use qm::{minimize_exact, prime_implicants};

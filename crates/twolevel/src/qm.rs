@@ -1,0 +1,271 @@
+//! Exact two-level minimization: Quine–McCluskey prime generation plus an
+//! exact branch-and-bound cover (Petrick-style), with a greedy fallback for
+//! large tables.
+//!
+//! Used as the reference minimizer in tests (the espresso-style heuristic
+//! of [`crate::espresso`] must never produce a cover that disagrees on the
+//! care-set, and on small functions should match the exact cube count).
+
+use std::collections::HashSet;
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Generates all prime implicants of `on ∪ dc` by iterative merging of
+/// implicants at Hamming distance 1.
+///
+/// # Panics
+///
+/// Panics if the width exceeds 20 (the algorithm enumerates minterms).
+pub fn prime_implicants(on: &Cover, dc: &Cover) -> Vec<Cube> {
+    let width = on.width();
+    assert!(width <= 20, "Quine-McCluskey limited to 20 variables");
+    let care = on.union(dc);
+    let mut current: HashSet<Cube> = (0..(1u64 << width))
+        .filter(|&m| care.eval(m))
+        .map(|m| Cube::minterm(m, width))
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        let mut merged_flag = vec![false; cubes.len()];
+        let mut next: HashSet<Cube> = HashSet::new();
+        for i in 0..cubes.len() {
+            for j in i + 1..cubes.len() {
+                let (a, b) = (cubes[i], cubes[j]);
+                // Mergeable iff same don't-care set and distance 1.
+                if (a.pos | a.neg) == (b.pos | b.neg) && a.distance(b) == 1 {
+                    let diff = (a.pos ^ b.pos) | (a.neg ^ b.neg);
+                    let var = diff.trailing_zeros() as usize;
+                    next.insert(a.raise(var));
+                    merged_flag[i] = true;
+                    merged_flag[j] = true;
+                }
+            }
+        }
+        for (i, &c) in cubes.iter().enumerate() {
+            if !merged_flag[i] {
+                primes.push(c);
+            }
+        }
+        current = next;
+    }
+    primes.sort();
+    primes.dedup();
+    primes
+}
+
+/// Exact minimum-cube cover of `on` using primes of `on ∪ dc`:
+/// essential primes first, then branch-and-bound over the cyclic core.
+/// Falls back to greedy set-cover when the core is large.
+///
+/// The result covers all of `on` and nothing outside `on ∪ dc`.
+pub fn minimize_exact(on: &Cover, dc: &Cover) -> Cover {
+    let width = on.width();
+    let primes = prime_implicants(on, dc);
+    let on_minterms: Vec<u64> = on.minterms();
+    if on_minterms.is_empty() {
+        return Cover::empty(width);
+    }
+    // Coverage table: for each ON minterm, the primes covering it.
+    let covering: Vec<Vec<usize>> = on_minterms
+        .iter()
+        .map(|&m| {
+            (0..primes.len())
+                .filter(|&p| primes[p].contains_minterm(m))
+                .collect()
+        })
+        .collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![false; on_minterms.len()];
+    // Essential primes.
+    for (mi, ps) in covering.iter().enumerate() {
+        if ps.len() == 1 && !chosen.contains(&ps[0]) {
+            chosen.push(ps[0]);
+        }
+        let _ = mi;
+    }
+    for &p in &chosen {
+        for (mi, &m) in on_minterms.iter().enumerate() {
+            if primes[p].contains_minterm(m) {
+                covered[mi] = true;
+            }
+        }
+    }
+    let remaining: Vec<usize> = (0..on_minterms.len()).filter(|&i| !covered[i]).collect();
+    if !remaining.is_empty() {
+        let extra = if remaining.len() <= 24 && primes.len() <= 24 {
+            branch_and_bound(&primes, &on_minterms, &remaining, &covering)
+        } else {
+            greedy_cover(&primes, &on_minterms, &remaining)
+        };
+        chosen.extend(extra);
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    Cover::from_cubes(width, chosen.into_iter().map(|p| primes[p]).collect())
+}
+
+fn greedy_cover(primes: &[Cube], minterms: &[u64], remaining: &[usize]) -> Vec<usize> {
+    let mut need: HashSet<usize> = remaining.iter().copied().collect();
+    let mut out = Vec::new();
+    while !need.is_empty() {
+        let best = (0..primes.len())
+            .max_by_key(|&p| {
+                need.iter()
+                    .filter(|&&mi| primes[p].contains_minterm(minterms[mi]))
+                    .count()
+            })
+            .expect("primes exist while minterms uncovered");
+        out.push(best);
+        need.retain(|&mi| !primes[best].contains_minterm(minterms[mi]));
+    }
+    out
+}
+
+/// Exact minimum cover of the cyclic core by depth-first branch-and-bound
+/// on the least-covered minterm.
+fn branch_and_bound(
+    primes: &[Cube],
+    minterms: &[u64],
+    remaining: &[usize],
+    covering: &[Vec<usize>],
+) -> Vec<usize> {
+    let mut best: Vec<usize> = greedy_cover(primes, minterms, remaining);
+    let mut current: Vec<usize> = Vec::new();
+    let mut need: HashSet<usize> = remaining.iter().copied().collect();
+    fn recurse(
+        primes: &[Cube],
+        minterms: &[u64],
+        covering: &[Vec<usize>],
+        need: &mut HashSet<usize>,
+        current: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+    ) {
+        if need.is_empty() {
+            if current.len() < best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        if current.len() + 1 >= best.len() {
+            return; // bound
+        }
+        // Branch on the minterm with the fewest covering primes.
+        let &pivot = need
+            .iter()
+            .min_by_key(|&&mi| covering[mi].len())
+            .expect("need nonempty");
+        let options = covering[pivot].clone();
+        for p in options {
+            let newly: Vec<usize> = need
+                .iter()
+                .copied()
+                .filter(|&mi| primes[p].contains_minterm(minterms[mi]))
+                .collect();
+            for &mi in &newly {
+                need.remove(&mi);
+            }
+            current.push(p);
+            recurse(primes, minterms, covering, need, current, best);
+            current.pop();
+            for &mi in &newly {
+                need.insert(mi);
+            }
+        }
+    }
+    recurse(primes, minterms, covering, &mut need, &mut current, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_minimized(on: &Cover, dc: &Cover) -> Cover {
+        let m = minimize_exact(on, dc);
+        let care_or_dc = on.union(dc);
+        for mt in 0..(1u64 << on.width()) {
+            if on.eval(mt) && !dc.eval(mt) {
+                assert!(m.eval(mt), "ON minterm {mt} lost");
+            }
+            if m.eval(mt) {
+                assert!(care_or_dc.eval(mt), "minterm {mt} outside ON ∪ DC");
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn primes_of_xor() {
+        let on = Cover::parse(2, &["10", "01"]);
+        let primes = prime_implicants(&on, &Cover::empty(2));
+        // XOR has exactly its two minterms as primes.
+        assert_eq!(primes.len(), 2);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // f = Σm(0,1,2,5,6,7) over 3 vars: classic 2-solution cyclic core.
+        let on = Cover::from_cubes(
+            3,
+            [0u64, 1, 2, 5, 6, 7]
+                .into_iter()
+                .map(|m| Cube::minterm(m, 3))
+                .collect(),
+        );
+        let m = check_minimized(&on, &Cover::empty(3));
+        assert_eq!(m.len(), 3, "minimum cover has 3 cubes");
+    }
+
+    #[test]
+    fn dont_cares_enlarge_cubes() {
+        // f = m(1), dc = m(0,3): with DCs, a single-literal cube suffices
+        // (x̄1 covers m0,m1; or x0 covers m1,m3).
+        let on = Cover::from_cubes(2, vec![Cube::minterm(1, 2)]);
+        let dc = Cover::from_cubes(2, vec![Cube::minterm(0, 2), Cube::minterm(3, 2)]);
+        let m = check_minimized(&on, &dc);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.cubes()[0].literal_count(), 1);
+    }
+
+    #[test]
+    fn tautology_minimizes_to_universe() {
+        let on = Cover::parse(2, &["1-", "0-"]);
+        let m = check_minimized(&on, &Cover::empty(2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.cubes()[0], Cube::UNIVERSE);
+    }
+
+    #[test]
+    fn empty_on_set() {
+        let m = minimize_exact(&Cover::empty(3), &Cover::empty(3));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn random_functions_preserved() {
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..25 {
+            let width = 4 + (next() % 3) as usize; // 4..6
+            let truth = next();
+            let dc_mask = next() & next(); // sparse DCs
+            let mut on = Cover::empty(width);
+            let mut dc = Cover::empty(width);
+            for m in 0..(1u64 << width) {
+                if (dc_mask >> m) & 1 == 1 {
+                    dc.push(Cube::minterm(m, width));
+                } else if (truth >> m) & 1 == 1 {
+                    on.push(Cube::minterm(m, width));
+                }
+            }
+            check_minimized(&on, &dc);
+        }
+    }
+}

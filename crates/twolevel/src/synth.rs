@@ -1,0 +1,249 @@
+//! Bridges between [`Cover`]s, PLA files, and gate-level [`Network`]s.
+//!
+//! This is the front half of the paper's benchmark flow: PLA truth table →
+//! per-output (ON, DC) covers → minimize → flat two-level network, which
+//! `kms-opt` then decomposes into multi-level logic and timing-optimizes.
+
+use kms_blif::{OutVal, PlaFile, Tri};
+use kms_netlist::{Delay, GateId, GateKind, Network};
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Extracts the (ON-set, DC-set) covers of output `o` from a PLA.
+///
+/// # Panics
+///
+/// Panics if `o` is out of range or the PLA has more than 64 inputs.
+pub fn pla_output_covers(pla: &PlaFile, o: usize) -> (Cover, Cover) {
+    assert!(o < pla.num_outputs, "output index out of range");
+    let width = pla.num_inputs;
+    let mut on = Cover::empty(width);
+    let mut dc = Cover::empty(width);
+    for cube in &pla.cubes {
+        let mut pos = 0u64;
+        let mut neg = 0u64;
+        for (i, t) in cube.inputs.iter().enumerate() {
+            match t {
+                Tri::One => pos |= 1 << i,
+                Tri::Zero => neg |= 1 << i,
+                Tri::DontCare => {}
+            }
+        }
+        let c = Cube::new(pos, neg);
+        match cube.outputs[o] {
+            OutVal::On => on.push(c),
+            OutVal::Dc => dc.push(c),
+            OutVal::Off => {}
+        }
+    }
+    (on, dc)
+}
+
+/// Builds a PLA from per-output ON-set covers (shared input width).
+///
+/// # Panics
+///
+/// Panics if the covers have differing widths.
+pub fn covers_to_pla(covers: &[(String, Cover)]) -> PlaFile {
+    let width = covers.first().map_or(0, |(_, c)| c.width());
+    let mut pla = PlaFile::new(width, covers.len());
+    pla.output_labels = covers.iter().map(|(n, _)| n.clone()).collect();
+    for (o, (_, cover)) in covers.iter().enumerate() {
+        assert_eq!(cover.width(), width, "cover width mismatch");
+        for cube in cover.cubes() {
+            let ins = cube.to_text(width);
+            let outs: String = (0..covers.len())
+                .map(|i| if i == o { '1' } else { '0' })
+                .collect();
+            pla.add_cube(&ins, &outs);
+        }
+    }
+    pla
+}
+
+/// Elaborates per-output covers as a flat two-level network (shared input
+/// inverters, one AND per cube, one OR per output). All delays are zero;
+/// apply a [`kms_netlist::DelayModel`] afterwards.
+///
+/// # Panics
+///
+/// Panics if `input_labels.len()` differs from the cover width.
+pub fn covers_to_network(
+    name: &str,
+    input_labels: &[String],
+    covers: &[(String, Cover)],
+) -> Network {
+    let mut net = Network::new(name);
+    let width = covers.first().map_or(input_labels.len(), |(_, c)| c.width());
+    assert_eq!(input_labels.len(), width, "input label count mismatch");
+    let ins: Vec<GateId> = input_labels
+        .iter()
+        .map(|l| net.add_input(l.clone()))
+        .collect();
+    let invs: Vec<GateId> = ins
+        .iter()
+        .map(|&i| net.add_gate(GateKind::Not, &[i], Delay::ZERO))
+        .collect();
+    // Multi-output PLAs share product terms across outputs (the defining
+    // property of a PLA); identical cubes map to one AND gate.
+    let mut term_cache: std::collections::HashMap<Cube, GateId> =
+        std::collections::HashMap::new();
+    for (label, cover) in covers {
+        let mut terms: Vec<GateId> = Vec::new();
+        for cube in cover.cubes() {
+            let term = match term_cache.entry(*cube) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let lits: Vec<GateId> = (0..width)
+                        .filter_map(|v| match cube.literal(v) {
+                            Some(true) => Some(ins[v]),
+                            Some(false) => Some(invs[v]),
+                            None => None,
+                        })
+                        .collect();
+                    let term = match lits.len() {
+                        0 => net.add_const(true),
+                        1 => lits[0],
+                        _ => net.add_gate(GateKind::And, &lits, Delay::ZERO),
+                    };
+                    *e.insert(term)
+                }
+            };
+            terms.push(term);
+        }
+        let out = match terms.len() {
+            0 => net.add_const(false),
+            1 => terms[0],
+            _ => net.add_gate(GateKind::Or, &terms, Delay::ZERO),
+        };
+        net.add_output(label.clone(), out);
+    }
+    kms_netlist::transform::sweep(&mut net);
+    net
+}
+
+/// Recovers the minterm-canonical cover of network output `o` by exhaustive
+/// simulation (one cube per ON minterm).
+///
+/// # Panics
+///
+/// Panics if the network has more than 16 inputs.
+pub fn cover_from_network(net: &Network, o: usize) -> Cover {
+    let n = net.inputs().len();
+    assert!(n <= 16, "exhaustive cover extraction limited to 16 inputs");
+    let mut cover = Cover::empty(n);
+    let total = 1u64 << n;
+    let mut base = 0u64;
+    while base < total {
+        let words: Vec<u64> = (0..n)
+            .map(|i| {
+                if i < 6 {
+                    [
+                        0xAAAA_AAAA_AAAA_AAAA,
+                        0xCCCC_CCCC_CCCC_CCCC,
+                        0xF0F0_F0F0_F0F0_F0F0,
+                        0xFF00_FF00_FF00_FF00,
+                        0xFFFF_0000_FFFF_0000,
+                        0xFFFF_FFFF_0000_0000,
+                    ][i]
+                } else if (base >> i) & 1 == 1 {
+                    !0
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let w = net.eval_words(&words)[o];
+        let lanes = (total - base).min(64);
+        for lane in 0..lanes {
+            if (w >> lane) & 1 == 1 {
+                cover.push(Cube::minterm(base + lane, n));
+            }
+        }
+        base += 64;
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::espresso::espresso;
+
+    #[test]
+    fn pla_roundtrip_through_covers() {
+        let mut pla = PlaFile::new(3, 2);
+        pla.add_cube("1-0", "10");
+        pla.add_cube("01-", "11");
+        pla.add_cube("111", "-1");
+        let (on0, dc0) = pla_output_covers(&pla, 0);
+        let (on1, dc1) = pla_output_covers(&pla, 1);
+        assert_eq!(on0.len(), 2);
+        assert_eq!(dc0.len(), 1);
+        assert_eq!(on1.len(), 2);
+        assert_eq!(dc1.len(), 0);
+        assert!(on0.eval(0b001));
+        assert!(on1.eval(0b010));
+    }
+
+    #[test]
+    fn covers_to_network_matches_eval() {
+        let f = Cover::parse(3, &["11-", "0-1"]);
+        let g = Cover::parse(3, &["--1"]);
+        let labels: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let net = covers_to_network(
+            "t",
+            &labels,
+            &[("f".into(), f.clone()), ("g".into(), g.clone())],
+        );
+        for m in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let out = net.eval_bool(&bits);
+            assert_eq!(out[0], f.eval(m), "f at {m}");
+            assert_eq!(out[1], g.eval(m), "g at {m}");
+        }
+    }
+
+    #[test]
+    fn cover_extraction_inverts_synthesis() {
+        let f = Cover::parse(4, &["1--0", "01-1"]);
+        let labels: Vec<String> = (0..4).map(|i| format!("x{i}")).collect();
+        let net = covers_to_network("t", &labels, &[("f".into(), f.clone())]);
+        let back = cover_from_network(&net, 0);
+        assert!(back.equivalent(&f));
+    }
+
+    #[test]
+    fn minimize_then_synthesize_preserves_function() {
+        let on = Cover::parse(4, &["1100", "1101", "1110", "1111", "0011"]);
+        let min = espresso(&on, &Cover::empty(4), Default::default());
+        assert!(min.len() < on.len());
+        let labels: Vec<String> = (0..4).map(|i| format!("x{i}")).collect();
+        let n1 = covers_to_network("orig", &labels, &[("f".into(), on)]);
+        let n2 = covers_to_network("min", &labels, &[("f".into(), min)]);
+        n1.exhaustive_equiv(&n2).unwrap();
+    }
+
+    #[test]
+    fn covers_to_pla_and_back() {
+        let f = Cover::parse(3, &["11-", "0-1"]);
+        let pla = covers_to_pla(&[("f".into(), f.clone())]);
+        let (on, _) = pla_output_covers(&pla, 0);
+        assert!(on.equivalent(&f));
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let labels: Vec<String> = vec!["a".into()];
+        let net = covers_to_network(
+            "c",
+            &labels,
+            &[
+                ("zero".into(), Cover::empty(1)),
+                ("one".into(), Cover::universe(1)),
+            ],
+        );
+        assert_eq!(net.eval_bool(&[true]), vec![false, true]);
+    }
+}

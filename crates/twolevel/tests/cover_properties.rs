@@ -1,0 +1,107 @@
+//! Property-based validation of the cover algebra and both minimizers on
+//! random two-level functions.
+
+use proptest::prelude::*;
+
+use kms_twolevel::{espresso, minimize_exact, prime_implicants, Cover, Cube};
+
+const W: usize = 5;
+
+fn cover_strategy() -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just('0'), Just('1'), Just('-')], W),
+        0..10,
+    )
+    .prop_map(|rows| {
+        let mut c = Cover::empty(W);
+        for r in rows {
+            c.push(Cube::parse(&r.into_iter().collect::<String>()));
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn complement_is_exact(f in cover_strategy()) {
+        let g = f.complement();
+        for m in 0..(1u64 << W) {
+            prop_assert_eq!(f.eval(m), !g.eval(m), "minterm {}", m);
+        }
+        // Double complement is functionally the identity.
+        let gg = g.complement();
+        prop_assert!(gg.equivalent(&f));
+    }
+
+    #[test]
+    fn tautology_matches_truth_table(f in cover_strategy()) {
+        let brute = (0..(1u64 << W)).all(|m| f.eval(m));
+        prop_assert_eq!(f.is_tautology(), brute);
+    }
+
+    #[test]
+    fn containment_matches_semantics(f in cover_strategy(), g in cover_strategy()) {
+        let brute = (0..(1u64 << W)).all(|m| !g.eval(m) || f.eval(m));
+        prop_assert_eq!(f.covers_cover(&g), brute);
+    }
+
+    #[test]
+    fn minimizers_preserve_the_function(f in cover_strategy()) {
+        let dc = Cover::empty(W);
+        let h = espresso(&f, &dc, Default::default());
+        prop_assert!(h.equivalent(&f), "espresso changed the function");
+        prop_assert!(h.len() <= f.len().max(1));
+        let e = minimize_exact(&f, &dc);
+        prop_assert!(e.equivalent(&f), "exact minimizer changed the function");
+        prop_assert!(e.len() <= h.len(), "exact beaten by the heuristic");
+    }
+
+    #[test]
+    fn minimizers_respect_dont_cares(f in cover_strategy(), d in cover_strategy()) {
+        // Exclude overlapping ON/DC minterms from the obligation.
+        let h = espresso(&f, &d, Default::default());
+        let e = minimize_exact(&f, &d);
+        for m in 0..(1u64 << W) {
+            if f.eval(m) && !d.eval(m) {
+                prop_assert!(h.eval(m), "espresso lost ON minterm {}", m);
+                prop_assert!(e.eval(m), "exact lost ON minterm {}", m);
+            }
+            if h.eval(m) {
+                prop_assert!(f.eval(m) || d.eval(m), "espresso added minterm {}", m);
+            }
+            if e.eval(m) {
+                prop_assert!(f.eval(m) || d.eval(m), "exact added minterm {}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn primes_cover_and_are_prime(f in cover_strategy()) {
+        let dc = Cover::empty(W);
+        let primes = prime_implicants(&f, &dc);
+        let pcover = Cover::from_cubes(W, primes.clone());
+        // The union of all primes is exactly the function.
+        prop_assert!(pcover.equivalent(&f));
+        // No prime is contained in another.
+        for (i, a) in primes.iter().enumerate() {
+            for (j, b) in primes.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!b.covers(*a) || a == b, "prime {} covered by {}", a, b);
+                }
+            }
+        }
+        // Raising any literal of a prime leaves the ON ∪ DC set.
+        for p in &primes {
+            for v in 0..W {
+                if p.literal(v).is_some() {
+                    let raised = p.raise(v);
+                    let escapes = (0..(1u64 << W))
+                        .any(|m| raised.contains_minterm(m) && !f.eval(m));
+                    prop_assert!(escapes, "prime {} not maximal at var {}", p, v);
+                }
+            }
+        }
+    }
+}

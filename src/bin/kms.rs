@@ -1,0 +1,148 @@
+//! `kms` — command-line front end: read a BLIF design, run the KMS
+//! delay-preserving redundancy removal, and write the irredundant result.
+//!
+//! ```text
+//! kms [OPTIONS] <input.blif>
+//!   -o, --output <file>     write the result as BLIF (default: stdout)
+//!   -m, --model <unit|section3>
+//!                           delay model applied to the simple-gate network
+//!   -c, --condition <static|viability>
+//!                           while-loop condition (default: static)
+//!   -a, --arrival <input>=<time>
+//!                           per-input arrival offset (repeatable)
+//!   -q, --quiet             suppress the report
+//! ```
+
+use std::error::Error;
+use std::io::Read as _;
+
+use kms::blif::{parse_blif, write_blif};
+use kms::core::{kms as run_kms, Condition, KmsOptions};
+use kms::netlist::{transform, DelayModel};
+use kms::timing::InputArrivals;
+
+struct Args {
+    input: String,
+    output: Option<String>,
+    model: DelayModel,
+    condition: Condition,
+    arrivals: Vec<(String, i64)>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        output: None,
+        model: DelayModel::Unit,
+        condition: Condition::StaticSensitization,
+        arrivals: Vec::new(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                args.output = Some(it.next().ok_or("missing value for --output")?)
+            }
+            "-m" | "--model" => {
+                args.model = match it.next().as_deref() {
+                    Some("unit") => DelayModel::Unit,
+                    Some("section3") => DelayModel::section3(),
+                    other => return Err(format!("unknown model {other:?}")),
+                }
+            }
+            "-c" | "--condition" => {
+                args.condition = match it.next().as_deref() {
+                    Some("static") => Condition::StaticSensitization,
+                    Some("viability") => Condition::Viability,
+                    other => return Err(format!("unknown condition {other:?}")),
+                }
+            }
+            "-a" | "--arrival" => {
+                let spec = it.next().ok_or("missing value for --arrival")?;
+                let (name, t) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected <input>=<time>, got {spec:?}"))?;
+                let t: i64 = t.parse().map_err(|_| format!("bad time in {spec:?}"))?;
+                args.arrivals.push((name.to_string(), t));
+            }
+            "-q" | "--quiet" => args.quiet = true,
+            "-h" | "--help" => {
+                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... <input.blif | ->");
+                std::process::exit(0);
+            }
+            other if args.input.is_empty() => args.input = other.to_string(),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if args.input.is_empty() {
+        return Err("missing input file (use '-' for stdin)".into());
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args = parse_args().map_err(|e| {
+        eprintln!("error: {e}\nrun with --help for usage");
+        std::process::exit(2);
+    })
+    .unwrap_or_else(|_: ()| unreachable!());
+
+    let text = if args.input == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        s
+    } else {
+        std::fs::read_to_string(&args.input)?
+    };
+    let circuit = parse_blif(&text)?;
+    let mut net = circuit.network;
+    transform::decompose_to_simple(&mut net);
+    net.apply_delay_model(args.model);
+
+    let mut arrivals = InputArrivals::zero();
+    for (name, t) in &args.arrivals {
+        let id = net
+            .input_by_name(name)
+            .ok_or_else(|| format!("no such input {name:?}"))?;
+        arrivals.set(id, *t);
+    }
+
+    let report = run_kms(
+        &mut net,
+        &arrivals,
+        KmsOptions {
+            condition: args.condition,
+            ..Default::default()
+        },
+    )?;
+
+    if !args.quiet {
+        eprint!("{}", kms::netlist::NetworkStats::of(&net));
+        eprintln!(
+            "{}: gates {} -> {}, loop iterations {}, duplicated {}, \
+             redundancies removed {}, topological delay {} -> {}{}",
+            net.name(),
+            report.gates_before,
+            report.gates_after,
+            report.iterations.len(),
+            report.duplicated_gates,
+            report.removed_redundancies.len(),
+            report.topological_before,
+            report.topological_after,
+            if circuit.latches.is_empty() {
+                String::new()
+            } else {
+                format!(" ({} latches cut)", circuit.latches.len())
+            }
+        );
+    }
+
+    let out = write_blif(&net);
+    match &args.output {
+        Some(path) => std::fs::write(path, out)?,
+        None => print!("{out}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Sequential-circuit support: the paper's Section I generalization.
+//!
+//! "This algorithm may be generalized to sequential circuits by extracting
+//! the combinational portion from the sequential circuit since the cycle
+//! time of a synchronous sequential circuit is determined by the delay of
+//! the combinational portions between latches."
+//!
+//! [`kms_sequential`] takes a latch-bearing [`BlifCircuit`] (whose network
+//! already exposes latch outputs as pseudo primary inputs and latch inputs
+//! as pseudo primary outputs, as produced by [`kms_blif::parse_blif`]),
+//! runs the KMS algorithm on the combinational portion, and returns the
+//! transformed circuit with the same latch boundary — ready to be written
+//! back as a sequential BLIF model.
+
+use kms_blif::BlifCircuit;
+use kms_core::{kms, KmsOptions, KmsReport};
+use kms_netlist::{transform, DelayModel, NetlistError};
+use kms_timing::InputArrivals;
+
+/// Runs KMS on the combinational portion of a sequential circuit.
+///
+/// The network is lowered to simple gates and re-timed with `model` first.
+/// Latch boundary signals (pseudo PIs/POs) are preserved by construction:
+/// the KMS transforms never remove primary inputs or outputs.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the KMS algorithm.
+///
+/// ```
+/// use kms::sequential::kms_sequential;
+/// use kms::netlist::DelayModel;
+///
+/// let text = "\
+/// .model fsm
+/// .inputs d
+/// .outputs out
+/// .latch next q 0
+/// .names q d t
+/// 11 1
+/// .names q t next
+/// 1- 1
+/// -1 1
+/// .names next out
+/// 1 1
+/// .end
+/// ";
+/// let circuit = kms::blif::parse_blif(text)?;
+/// let (fixed, report) = kms_sequential(circuit, DelayModel::Unit, Default::default())?;
+/// assert!(!report.removed_redundancies.is_empty());
+/// assert_eq!(fixed.latches.len(), 1); // the latch boundary survives
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn kms_sequential(
+    mut circuit: BlifCircuit,
+    model: DelayModel,
+    options: KmsOptions,
+) -> Result<(BlifCircuit, KmsReport), NetlistError> {
+    transform::decompose_to_simple(&mut circuit.network);
+    circuit.network.apply_delay_model(model);
+    // Cycle time is measured latch-to-latch: all pseudo inputs arrive
+    // together at t = 0 (a clocked boundary).
+    let arrivals = InputArrivals::zero();
+    let report = kms(&mut circuit.network, &arrivals, options)?;
+    Ok((circuit, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_atpg::{analyze, Engine};
+    use kms_blif::{parse_blif, write_blif};
+    use kms_sat::check_equivalence;
+
+    const FSM: &str = "\
+.model counter
+.inputs en
+.outputs odd
+.latch n0 q0 0
+.latch n1 q1 0
+.names en q0 n0
+01 1
+10 1
+.names en q0 q1 carry
+111 1
+.names carry q1 n1
+01 1
+10 1
+.names q0 redundant
+1 1
+.names q0 redundant odd
+11 1
+.end
+";
+
+    #[test]
+    fn sequential_wrapper_preserves_latch_boundary() {
+        let circuit = parse_blif(FSM).unwrap();
+        let before = circuit.network.clone();
+        let n_latches = circuit.latches.len();
+        let (fixed, _report) =
+            kms_sequential(circuit, DelayModel::Unit, KmsOptions::default()).unwrap();
+        assert_eq!(fixed.latches.len(), n_latches);
+        // Same combinational interface (latch signals intact).
+        assert_eq!(
+            fixed.network.inputs().len(),
+            before.inputs().len(),
+            "pseudo inputs preserved"
+        );
+        assert_eq!(fixed.network.outputs().len(), before.outputs().len());
+        // The combinational portion is equivalent and irredundant.
+        let mut reference = before.clone();
+        kms_netlist::transform::decompose_to_simple(&mut reference);
+        assert!(check_equivalence(&reference, &fixed.network).is_equivalent());
+        assert!(analyze(&fixed.network, Engine::Sat).fully_testable());
+        // And it round-trips through BLIF.
+        let text = write_blif(&fixed.network);
+        let back = parse_blif(&text).unwrap();
+        fixed.network.exhaustive_equiv(&back.network).unwrap();
+    }
+}

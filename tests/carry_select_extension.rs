@@ -1,0 +1,62 @@
+//! Extension beyond the paper: the KMS guarantees hold on carry-select
+//! adders too — another selection-based speedup structure whose MUXes are
+//! prone to redundancy — and on the bypass-transformed ripple adders the
+//! `kms-opt` flow manufactures.
+
+use kms::core::{kms_on_copy, verify_kms_invariants, KmsOptions};
+use kms::gen::adders::{carry_select_adder, ripple_carry_adder};
+use kms::netlist::{transform, DelayModel};
+use kms::opt::{bypass_transform, BypassOptions};
+use kms::timing::InputArrivals;
+
+#[test]
+fn carry_select_adder_invariants() {
+    for (bits, block) in [(4usize, 2usize), (6, 3)] {
+        let mut net = carry_select_adder(bits, block, DelayModel::Unit);
+        transform::decompose_to_simple(&mut net);
+        net.apply_delay_model(DelayModel::Unit);
+        let arr = InputArrivals::zero();
+        let (after, _) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+        let inv = verify_kms_invariants(&net, &after, &arr).unwrap();
+        assert!(inv.holds(), "csel {bits}.{block}: {inv:?}");
+    }
+}
+
+#[test]
+fn bypassed_ripple_adder_invariants() {
+    // Manufacture the paper's premise from scratch: a ripple adder, a late
+    // carry, the bypass transform (introduces redundancy), then KMS.
+    let mut net = ripple_carry_adder(6, DelayModel::Unit);
+    let cin = net.input_by_name("cin").unwrap();
+    let arr = InputArrivals::zero().with(cin, 8);
+    let r = bypass_transform(&mut net, &arr, BypassOptions::default());
+    assert!(r.applied);
+    transform::decompose_to_simple(&mut net);
+    net.apply_delay_model(DelayModel::Unit);
+    let red = kms::atpg::redundancy_count(&net, kms::atpg::Engine::Sat);
+    assert!(red > 0, "the bypass must introduce redundancy");
+    let (after, _) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+    let inv = verify_kms_invariants(&net, &after, &arr).unwrap();
+    assert!(inv.holds(), "{inv:?}");
+}
+
+#[test]
+fn strash_variant_on_carry_select() {
+    let mut net = carry_select_adder(6, 3, DelayModel::Unit);
+    transform::decompose_to_simple(&mut net);
+    net.apply_delay_model(DelayModel::Unit);
+    let arr = InputArrivals::zero();
+    let (plain, _) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+    let (hashed, _) = kms_on_copy(
+        &net,
+        &arr,
+        KmsOptions {
+            strash: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(hashed.simple_gate_count() <= plain.simple_gate_count());
+    let inv = verify_kms_invariants(&net, &hashed, &arr).unwrap();
+    assert!(inv.holds(), "{inv:?}");
+}

@@ -1,0 +1,51 @@
+//! KMS invariants across the extended datapath generators — wider
+//! structural variety than the paper's adders (multiplier arrays,
+//! comparators, priority encoders, MUX-based ALU slices).
+
+use kms::core::{kms_on_copy, verify_kms_invariants, KmsOptions};
+use kms::gen::datapath::{alu_slice, array_multiplier, comparator, priority_encoder};
+use kms::netlist::{transform, DelayModel, Network};
+use kms::timing::InputArrivals;
+
+fn check(net: &Network) {
+    let mut simple = net.clone();
+    transform::decompose_to_simple(&mut simple);
+    simple.apply_delay_model(DelayModel::Unit);
+    let arr = InputArrivals::zero();
+    let (after, report) = kms_on_copy(&simple, &arr, KmsOptions::default()).unwrap();
+    assert!(!report.capped, "{}", net.name());
+    let inv = verify_kms_invariants(&simple, &after, &arr).unwrap();
+    assert!(inv.holds(), "{}: {inv:?}", net.name());
+}
+
+#[test]
+fn multiplier_invariants() {
+    check(&array_multiplier(3, DelayModel::Unit));
+}
+
+#[test]
+fn comparator_invariants() {
+    check(&comparator(4, DelayModel::Unit));
+}
+
+#[test]
+fn priority_encoder_invariants() {
+    check(&priority_encoder(6, DelayModel::Unit));
+}
+
+#[test]
+fn alu_invariants() {
+    check(&alu_slice(4, DelayModel::Unit));
+}
+
+#[test]
+fn alu_mux_structure_is_redundancy_prone() {
+    // The op-select MUX fabric makes stuck faults on dominated selects
+    // plausible; whatever the count, KMS must clean it to zero.
+    let mut net = alu_slice(4, DelayModel::Unit);
+    transform::decompose_to_simple(&mut net);
+    net.apply_delay_model(DelayModel::Unit);
+    let (after, _) =
+        kms_on_copy(&net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
+    assert!(kms::atpg::analyze(&after, kms::atpg::Engine::Sat).fully_testable());
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the paper's theorems on random networks.
+//!
+//! * Theorem 7.1: the duplication transform preserves node functions,
+//!   path lengths, and the computed delay.
+//! * Theorem 7.2 / end-to-end: `kms` preserves the function, yields a
+//!   fully testable circuit, and never increases the viable delay.
+
+use proptest::prelude::*;
+
+use kms::core::{kms_on_copy, verify_kms_invariants, KmsOptions};
+use kms::gen::random::{random_network, RandomNetworkSpec};
+use kms::netlist::transform;
+use kms::timing::{computed_delay, InputArrivals, PathCondition, PathEnumerator};
+
+fn spec() -> RandomNetworkSpec {
+    RandomNetworkSpec {
+        inputs: 5,
+        gates: 18,
+        outputs: 2,
+        max_fanin: 3,
+        max_delay: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end KMS invariants on random simple-gate networks.
+    #[test]
+    fn kms_invariants_on_random_networks(seed in 1u64..5000) {
+        let net = random_network(seed, spec());
+        let arr = InputArrivals::zero();
+        let (after, report) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+        prop_assert!(!report.capped);
+        let inv = verify_kms_invariants(&net, &after, &arr).unwrap();
+        prop_assert!(inv.holds(), "seed {seed}: {inv:?}");
+        // The static-sensitization delay is also non-increasing on these
+        // networks (stronger than the paper needs, but observed).
+        prop_assert!(inv.static_delay_after <= inv.static_delay_before,
+            "seed {seed}: static {} -> {}", inv.static_delay_before, inv.static_delay_after);
+    }
+
+    /// Theorem 7.1 on random networks: duplicating the prefix of any path
+    /// preserves the function and every path length.
+    #[test]
+    fn theorem_7_1_duplication(seed in 1u64..5000, path_pick in 0usize..8, upto_pick in 0usize..8) {
+        let net = random_network(seed, spec());
+        let arr = InputArrivals::zero();
+        let paths: Vec<_> = PathEnumerator::new(&net, &arr).take(8).map(|(p, _)| p).collect();
+        prop_assume!(!paths.is_empty());
+        let path = &paths[path_pick % paths.len()];
+        let upto = upto_pick % path.len();
+
+        let mut dup_net = net.clone();
+        let dup = transform::duplicate_path_prefix(&mut dup_net, path, upto);
+        dup_net.validate().unwrap();
+
+        // Node functions unchanged: global equivalence.
+        net.exhaustive_equiv(&dup_net).unwrap();
+
+        // The corresponding path has equal length.
+        prop_assert_eq!(dup.new_path.length(&dup_net), path.length(&net));
+
+        // Every gate along the new path up to the duplicate of n has
+        // fanout exactly one.
+        let fo = dup_net.fanouts();
+        for (i, g) in dup.new_path.gates().enumerate() {
+            if i <= upto {
+                let fanout = fo[g.index()].len()
+                    + dup_net.outputs().iter().filter(|o| o.src == g).count();
+                prop_assert_eq!(fanout, 1, "gate {} at position {}", g, i);
+            }
+        }
+
+        // The computed delay (viability) is unchanged — the heart of
+        // Theorem 7.1.
+        let before = computed_delay(&net, &arr, PathCondition::Viability, 1 << 20).unwrap();
+        let after = computed_delay(&dup_net, &arr, PathCondition::Viability, 1 << 20).unwrap();
+        prop_assert_eq!(before.delay, after.delay, "seed {}", seed);
+        // Topological delay is unchanged too (path multiset lengths are
+        // preserved).
+        prop_assert_eq!(before.topological, after.topological);
+    }
+
+    /// The delay-model ladder: static ≤ viable ≤ topological on random
+    /// networks (Section V: static sensitization implies viability; every
+    /// viable path is a path).
+    #[test]
+    fn delay_model_ladder(seed in 1u64..5000) {
+        let net = random_network(seed, spec());
+        let arr = InputArrivals::zero();
+        let cap = 1 << 20;
+        let topo = computed_delay(&net, &arr, PathCondition::Topological, cap).unwrap();
+        let stat = computed_delay(&net, &arr, PathCondition::StaticSensitization, cap).unwrap();
+        let via = computed_delay(&net, &arr, PathCondition::Viability, cap).unwrap();
+        prop_assert!(stat.delay <= via.delay, "seed {seed}");
+        prop_assert!(via.delay <= topo.delay, "seed {seed}");
+    }
+
+    /// Constant propagation after asserting an untestable stuck value
+    /// preserves the function (the rewrite at the heart of both naive
+    /// removal and the KMS loop).
+    #[test]
+    fn redundant_fault_rewrite_preserves_function(seed in 1u64..5000) {
+        let net = random_network(seed, spec());
+        if let Some(f) = kms::atpg::find_redundant_fault(&net, kms::atpg::Engine::Sat) {
+            let mut rewritten = net.clone();
+            kms::opt::remove_fault(&mut rewritten, f);
+            rewritten.validate().unwrap();
+            net.exhaustive_equiv(&rewritten).unwrap();
+        }
+    }
+}
+
+/// Input-arrival variants: the invariants hold with skewed arrivals too.
+#[test]
+fn kms_invariants_with_skewed_arrivals() {
+    for seed in [7u64, 77, 777] {
+        let net = random_network(seed, spec());
+        let mut arr = InputArrivals::zero();
+        for (i, &input) in net.inputs().iter().enumerate() {
+            arr.set(input, (i as i64 * 3) % 7);
+        }
+        let (after, _) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+        let inv = verify_kms_invariants(&net, &after, &arr).unwrap();
+        assert!(inv.holds(), "seed {seed}: {inv:?}");
+    }
+}
