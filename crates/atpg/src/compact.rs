@@ -29,11 +29,7 @@ pub struct CompactionReport {
 /// # Panics
 ///
 /// Panics if a vector's width differs from the network's input count.
-pub fn compact_tests(
-    net: &Network,
-    faults: &[Fault],
-    tests: &[Vec<bool>],
-) -> CompactionReport {
+pub fn compact_tests(net: &Network, faults: &[Fault], tests: &[Vec<bool>]) -> CompactionReport {
     // Per-fault detection sets, computed once per vector via a restricted
     // fault simulation (each vector alone).
     // Cheaper: one simulation per vector over all faults.

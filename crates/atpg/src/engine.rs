@@ -11,8 +11,7 @@ use crate::fault::{all_faults, collapsed_faults, Fault, FaultSite};
 use crate::podem::{podem, PodemResult};
 
 /// Which decision procedure to use for testability queries.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Engine {
     /// PODEM with the given backtrack limit (complete when the limit is
     /// not hit; queries that hit the limit report
@@ -32,7 +31,6 @@ pub enum Engine {
         podem_backtracks: u64,
     },
 }
-
 
 /// The verdict for one fault.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -56,22 +54,20 @@ impl Testability {
 pub fn is_testable(net: &Network, fault: Fault, engine: Engine) -> Testability {
     match engine {
         Engine::Podem { backtrack_limit } => match podem(net, fault, backtrack_limit) {
-            PodemResult::Test(cube) => Testability::Testable(
-                cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect(),
-            ),
+            PodemResult::Test(cube) => {
+                Testability::Testable(cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect())
+            }
             PodemResult::Redundant => Testability::Redundant,
             PodemResult::Aborted => Testability::Unknown,
         },
         Engine::Sat => sat_testable(net, fault),
-        Engine::Hybrid { podem_backtracks } => {
-            match podem(net, fault, podem_backtracks) {
-                PodemResult::Test(cube) => Testability::Testable(
-                    cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect(),
-                ),
-                PodemResult::Redundant => Testability::Redundant,
-                PodemResult::Aborted => sat_testable(net, fault),
+        Engine::Hybrid { podem_backtracks } => match podem(net, fault, podem_backtracks) {
+            PodemResult::Test(cube) => {
+                Testability::Testable(cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect())
             }
-        }
+            PodemResult::Redundant => Testability::Redundant,
+            PodemResult::Aborted => sat_testable(net, fault),
+        },
     }
 }
 
@@ -186,7 +182,12 @@ fn sat_testable(net: &Network, fault: Fault) -> Testability {
 
 /// Emits the Tseitin clauses tying `out` to `kind` over `pins` (faulty-cone
 /// gates reuse the same clause shapes as [`NetworkCnf`]).
-fn encode_gate(solver: &mut kms_sat::Solver, kind: kms_netlist::GateKind, out: kms_sat::Lit, pins: &[kms_sat::Lit]) {
+fn encode_gate(
+    solver: &mut kms_sat::Solver,
+    kind: kms_netlist::GateKind,
+    out: kms_sat::Lit,
+    pins: &[kms_sat::Lit],
+) {
     use kms_netlist::GateKind;
     match kind {
         GateKind::Input | GateKind::Const(_) => unreachable!("sources are never in a TFO"),

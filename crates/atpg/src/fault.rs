@@ -80,8 +80,8 @@ pub fn all_faults(net: &Network) -> Vec<Fault> {
         if matches!(g.kind, GateKind::Const(_)) {
             continue; // constants are already stuck by definition
         }
-        let drives_logic = !fanouts[id.index()].is_empty()
-            || net.outputs().iter().any(|o| o.src == id);
+        let drives_logic =
+            !fanouts[id.index()].is_empty() || net.outputs().iter().any(|o| o.src == id);
         if drives_logic {
             out.push(Fault::output(id, false));
             out.push(Fault::output(id, true));
@@ -118,11 +118,7 @@ pub fn collapsed_faults(net: &Network) -> Vec<Fault> {
                 let sink = net.gate(c.gate);
                 let src = net.pin(c).src;
                 let src_fanout = fanouts[src.index()].len()
-                    + net
-                        .outputs()
-                        .iter()
-                        .filter(|o| o.src == src)
-                        .count();
+                    + net.outputs().iter().filter(|o| o.src == src).count();
                 if src_fanout == 1 {
                     // Fanout-free: equivalent to the stem fault.
                     continue;
@@ -176,8 +172,7 @@ mod tests {
         net.add_output("y", g);
         let faults = all_faults(&net);
         assert!(faults.iter().all(|f| {
-            f.excitation_source(&net) != c
-                && !matches!(f.site, FaultSite::GateOutput(x) if x == c)
+            f.excitation_source(&net) != c && !matches!(f.site, FaultSite::GateOutput(x) if x == c)
         }));
     }
 
@@ -216,9 +211,6 @@ mod tests {
         let f = Fault::conn(ConnRef::new(g1, 1), true);
         assert!(f.to_string().contains("s-a-1"));
         assert_eq!(f.observing_gate(), g1);
-        assert_eq!(
-            f.excitation_source(&net),
-            net.input_by_name("b").unwrap()
-        );
+        assert_eq!(f.excitation_source(&net), net.input_by_name("b").unwrap());
     }
 }

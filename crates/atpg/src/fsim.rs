@@ -40,11 +40,7 @@ impl CoverageReport {
 /// # Panics
 ///
 /// Panics if a test vector's width differs from the input count.
-pub fn fault_simulate(
-    net: &Network,
-    faults: &[Fault],
-    tests: &[Vec<bool>],
-) -> CoverageReport {
+pub fn fault_simulate(net: &Network, faults: &[Fault], tests: &[Vec<bool>]) -> CoverageReport {
     let n = net.inputs().len();
     for t in tests {
         assert_eq!(t.len(), n, "test width mismatch");
@@ -127,11 +123,7 @@ mod tests {
         assert!(report.detected() > 0);
         assert!(report.detected() < faults.len());
         // The detecting index is always 0 here.
-        assert!(report
-            .detected_by
-            .iter()
-            .flatten()
-            .all(|&i| i == 0));
+        assert!(report.detected_by.iter().flatten().all(|&i| i == 0));
     }
 
     #[test]

@@ -24,8 +24,7 @@ pub fn inject_fault_in_place(net: &mut Network, fault: Fault) {
             }
         }
         FaultSite::Conn(conn) => {
-            net.gate_mut(conn.gate).pins[conn.pin] =
-                kms_netlist::Pin::with_delay(c, Delay::ZERO);
+            net.gate_mut(conn.gate).pins[conn.pin] = kms_netlist::Pin::with_delay(c, Delay::ZERO);
         }
     }
 }

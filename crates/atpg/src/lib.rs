@@ -43,8 +43,7 @@ mod podem;
 pub use compact::{compact_tests, CompactionReport};
 pub use engine::{
     analyze, analyze_all, find_redundant_fault, is_testable, random_tests, redundancy_count,
-    Engine,
-    Testability, TestabilityReport,
+    Engine, Testability, TestabilityReport,
 };
 pub use fault::{all_faults, collapsed_faults, Fault, FaultSite};
 pub use fsim::{fault_simulate, CoverageReport};

@@ -29,11 +29,9 @@ impl PodemResult {
     /// The test as Booleans with `X` filled as 0, if a test was found.
     pub fn test_vector(&self) -> Option<Vec<bool>> {
         match self {
-            PodemResult::Test(cube) => Some(
-                cube.iter()
-                    .map(|v| v.to_bool().unwrap_or(false))
-                    .collect(),
-            ),
+            PodemResult::Test(cube) => {
+                Some(cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect())
+            }
             _ => None,
         }
     }
@@ -231,9 +229,7 @@ impl<'a> Podem<'a> {
             }
             let has_d = g.pins.iter().enumerate().any(|(pin_idx, p)| {
                 let mut pv = self.pairs[p.src.index()];
-                if self.fault.site
-                    == FaultSite::Conn(kms_netlist::ConnRef::new(id, pin_idx))
-                {
+                if self.fault.site == FaultSite::Conn(kms_netlist::ConnRef::new(id, pin_idx)) {
                     pv.faulty = Value::known(self.fault.stuck);
                 }
                 pv.is_d_or_dbar()
@@ -275,10 +271,7 @@ impl<'a> Podem<'a> {
     fn objective(&self) -> Option<(GateId, bool)> {
         let exc = self.excitation_value();
         if exc == Value::X {
-            return Some((
-                self.fault.excitation_source(self.net),
-                !self.fault.stuck,
-            ));
+            return Some((self.fault.excitation_source(self.net), !self.fault.stuck));
         }
         let frontier = self.d_frontier();
         let g = *frontier.first()?;
@@ -291,7 +284,7 @@ impl<'a> Podem<'a> {
                 let v = match gate.kind {
                     GateKind::Mux if pin_idx == 0 => {
                         // Select the data pin carrying the D, if any.
-                        
+
                         self.pairs[gate.pins[2].src.index()].is_d_or_dbar()
                     }
                     _ => gate.kind.noncontrolling_value().unwrap_or(false),

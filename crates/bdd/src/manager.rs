@@ -170,10 +170,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -215,14 +212,12 @@ impl BddManager {
 
     /// Conjunction over an iterator.
     pub fn and_all(&mut self, fs: impl IntoIterator<Item = Bdd>) -> Bdd {
-        fs.into_iter()
-            .fold(Bdd::TRUE, |acc, f| self.and(acc, f))
+        fs.into_iter().fold(Bdd::TRUE, |acc, f| self.and(acc, f))
     }
 
     /// Disjunction over an iterator.
     pub fn or_all(&mut self, fs: impl IntoIterator<Item = Bdd>) -> Bdd {
-        fs.into_iter()
-            .fold(Bdd::FALSE, |acc, f| self.or(acc, f))
+        fs.into_iter().fold(Bdd::FALSE, |acc, f| self.or(acc, f))
     }
 
     /// The positive or negative cofactor of `f` with respect to variable
@@ -293,7 +288,11 @@ impl BddManager {
         let mut n = f;
         while !n.is_const() {
             let v = self.var_of(n) as usize;
-            n = if assignment[v] { self.hi(n) } else { self.lo(n) };
+            n = if assignment[v] {
+                self.hi(n)
+            } else {
+                self.lo(n)
+            };
         }
         n.is_true()
     }
@@ -564,9 +563,7 @@ mod cube_tests {
         let cubes = m.to_cubes(f);
         for mv in 0..16u64 {
             let asg: Vec<bool> = (0..4).map(|i| (mv >> i) & 1 == 1).collect();
-            let covered = cubes
-                .iter()
-                .any(|&(p, n)| p & !mv == 0 && n & mv == 0);
+            let covered = cubes.iter().any(|&(p, n)| p & !mv == 0 && n & mv == 0);
             assert_eq!(covered, m.eval(f, &asg), "minterm {mv}");
         }
         // BDD paths are disjoint.

@@ -50,9 +50,8 @@ impl NodeFunctions {
             if g.kind == GateKind::Input {
                 continue;
             }
-            let pin = |p: usize| -> Bdd {
-                funcs[g.pins[p].src.index()].expect("fanin computed first")
-            };
+            let pin =
+                |p: usize| -> Bdd { funcs[g.pins[p].src.index()].expect("fanin computed first") };
             let f = match g.kind {
                 GateKind::Input => unreachable!(),
                 GateKind::Const(b) => manager.constant(b),

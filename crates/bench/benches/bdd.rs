@@ -49,5 +49,10 @@ fn bench_count_sats(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_node_functions, bench_smoothing, bench_count_sats);
+criterion_group!(
+    benches,
+    bench_node_functions,
+    bench_smoothing,
+    bench_count_sats
+);
 criterion_main!(benches);

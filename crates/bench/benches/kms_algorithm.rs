@@ -16,9 +16,12 @@ fn bench_kms_full(c: &mut Criterion) {
         let net = kms_bench::table1_csa(bits, block);
         g.bench_function(format!("csa_{bits}.{block}"), |b| {
             b.iter(|| {
-                let (after, report) =
-                    kms_on_copy(black_box(&net), &InputArrivals::zero(), KmsOptions::default())
-                        .unwrap();
+                let (after, report) = kms_on_copy(
+                    black_box(&net),
+                    &InputArrivals::zero(),
+                    KmsOptions::default(),
+                )
+                .unwrap();
                 black_box((after.simple_gate_count(), report.iterations.len()))
             })
         });

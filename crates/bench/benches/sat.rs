@@ -47,10 +47,7 @@ fn bench_miter(c: &mut Criterion) {
         let csa = kms_gen::adders::carry_skip_adder(bits, 4, DelayModel::Unit);
         let rca = kms_gen::adders::ripple_carry_adder(bits, DelayModel::Unit);
         g.bench_function(format!("csa_vs_ripple_{bits}b"), |b| {
-            b.iter(|| {
-                assert!(check_equivalence(black_box(&csa), black_box(&rca))
-                    .is_equivalent())
-            })
+            b.iter(|| assert!(check_equivalence(black_box(&csa), black_box(&rca)).is_equivalent()))
         });
     }
     g.finish();

@@ -29,8 +29,7 @@ fn bench_path_enumeration(c: &mut Criterion) {
         let net = kms_bench::table1_csa(bits, 4);
         g.bench_function(format!("longest_paths_csa_{bits}.4"), |b| {
             b.iter(|| {
-                let (paths, delay) =
-                    longest_paths(black_box(&net), &InputArrivals::zero(), 64);
+                let (paths, delay) = longest_paths(black_box(&net), &InputArrivals::zero(), 64);
                 black_box((paths.len(), delay))
             })
         });
@@ -66,5 +65,10 @@ fn bench_delay_models(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sta, bench_path_enumeration, bench_delay_models);
+criterion_group!(
+    benches,
+    bench_sta,
+    bench_path_enumeration,
+    bench_delay_models
+);
 criterion_main!(benches);

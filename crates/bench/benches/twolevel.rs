@@ -62,5 +62,10 @@ fn bench_complement_tautology(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_espresso, bench_exact, bench_complement_tautology);
+criterion_group!(
+    benches,
+    bench_espresso,
+    bench_exact,
+    bench_complement_tautology
+);
 criterion_main!(benches);

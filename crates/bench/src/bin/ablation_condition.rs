@@ -21,11 +21,8 @@ fn main() {
     );
     for (bits, block) in [(2usize, 2usize), (4, 2), (4, 4), (6, 3), (8, 4)] {
         let net = kms_bench::table1_csa(bits, block);
-        let row = kms_bench::ablation_row(
-            &format!("csa {bits}.{block}"),
-            &net,
-            &InputArrivals::zero(),
-        );
+        let row =
+            kms_bench::ablation_row(&format!("csa {bits}.{block}"), &net, &InputArrivals::zero());
         println!(
             "{:<10}  {:>8} {:>9} {:>9}  {:>8} {:>9} {:>9}",
             row.name,

@@ -20,9 +20,15 @@ fn main() {
 
     println!("Fig. 1 study — 2-bit carry-skip block, c0 @ t=5, AND/OR=1 XOR/MUX=2");
     let topo = computed_delay(&net, &arr, PathCondition::Topological, cap).unwrap();
-    println!("  longest path (static timing) : {}   [paper: 11]", topo.delay);
+    println!(
+        "  longest path (static timing) : {}   [paper: 11]",
+        topo.delay
+    );
     let via = computed_delay(&net, &arr, PathCondition::Viability, cap).unwrap();
-    println!("  critical path (viability)    : {}   [paper: 8]", via.delay);
+    println!(
+        "  critical path (viability)    : {}   [paper: 8]",
+        via.delay
+    );
     if let Some((path, cube)) = &via.witness {
         println!("  critical path: {}", path.describe(&net));
         println!(
@@ -38,10 +44,7 @@ fn main() {
     // The redundancy: the skip AND (block propagate) output stuck-at-0.
     let bp = net
         .gate_ids()
-        .find(|&g| {
-            net.gate(g).name.as_deref() == Some("bp0")
-                && net.gate(g).kind == GateKind::And
-        })
+        .find(|&g| net.gate(g).name.as_deref() == Some("bp0") && net.gate(g).kind == GateKind::And)
         .expect("skip AND present in the cone");
     let f = Fault::output(bp, false);
     let verdict = is_testable(&net, f, Engine::Sat);

@@ -102,12 +102,7 @@ pub fn table1_csa(bits: usize, block: usize) -> Network {
 /// `verify` additionally machine-checks the three KMS invariants
 /// (equivalence, full testability, no viable-delay increase) — slower, so
 /// the scaling sweeps can turn it off.
-pub fn run_row(
-    name: &str,
-    net: &Network,
-    arrivals: &InputArrivals,
-    verify: bool,
-) -> Table1Row {
+pub fn run_row(name: &str, net: &Network, arrivals: &InputArrivals, verify: bool) -> Table1Row {
     // The BDD-backed viability oracle is exponential in the input count;
     // wide benchmarks are measured with the SAT-backed static-
     // sensitization metric instead (as the paper's own implementation
@@ -180,8 +175,7 @@ fn late_last_input(net: &Network) -> InputArrivals {
 /// (redundancy-introducing bypass) → KMS.
 pub fn mcnc_row(benchmark: &Benchmark, verify: bool) -> Table1Row {
     let options = FlowOptions::default();
-    let (net, _) =
-        prepare_benchmark(&benchmark.pla, benchmark.name, late_last_input, options);
+    let (net, _) = prepare_benchmark(&benchmark.pla, benchmark.name, late_last_input, options);
     let arrivals = late_last_input(&net);
     run_row(benchmark.name, &net, &arrivals, verify)
 }
@@ -224,8 +218,7 @@ pub fn naive_vs_kms(bits: usize, block: usize, arrivals: &[Time]) -> Vec<NaiveVs
             let naive = computed_delay(&stripped, &arr, PathCondition::Viability, cap)
                 .expect("simple gates")
                 .delay;
-            let (after, _) =
-                kms_on_copy(&net, &arr, KmsOptions::default()).expect("simple gates");
+            let (after, _) = kms_on_copy(&net, &arr, KmsOptions::default()).expect("simple gates");
             let kms = computed_delay(&after, &arr, PathCondition::Viability, cap)
                 .expect("simple gates")
                 .delay;

@@ -30,6 +30,9 @@ pub enum BlifError {
     },
     /// The elaborated network failed structural validation.
     Netlist(NetlistError),
+    /// The elaborated network failed the structural lint (deny-level
+    /// diagnostics); the full report is attached.
+    Lint(kms_lint::LintReport),
 }
 
 impl fmt::Display for BlifError {
@@ -46,6 +49,21 @@ impl fmt::Display for BlifError {
                 write!(f, "combinational cycle through {signal:?}")
             }
             BlifError::Netlist(e) => write!(f, "invalid network: {e}"),
+            BlifError::Lint(report) => {
+                write!(
+                    f,
+                    "network failed lint with {} error(s)",
+                    report.error_count()
+                )?;
+                if let Some(d) = report.diagnostics.first() {
+                    write!(
+                        f,
+                        "; first: {}[{}] at {}: {}",
+                        d.severity, d.check, d.site, d.message
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -70,10 +88,8 @@ mod tests {
             message: "bad".into(),
         };
         assert!(e.to_string().contains("line 3"));
-        assert!(BlifError::Undefined {
-            signal: "x".into()
-        }
-        .to_string()
-        .contains("\"x\""));
+        assert!(BlifError::Undefined { signal: "x".into() }
+            .to_string()
+            .contains("\"x\""));
     }
 }

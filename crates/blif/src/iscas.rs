@@ -154,7 +154,12 @@ pub fn parse_iscas(text: &str) -> Result<Network, BlifError> {
             .ok_or_else(|| BlifError::Undefined { signal: o.clone() })?;
         net.add_output(o.clone(), id);
     }
-    net.validate().map_err(BlifError::Netlist)?;
+    // Post-parse structural lint (hard invariants only: ISCAS circuits are
+    // full of complex gates, which is legal input here).
+    let report = kms_lint::lint_network(&net, &kms_lint::LintConfig::errors_only());
+    if report.has_errors() {
+        return Err(BlifError::Lint(report));
+    }
     Ok(net)
 }
 

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use kms_lint::NetworkLint;
 use kms_netlist::{Delay, GateId, GateKind, Network};
 
 use crate::error::BlifError;
@@ -36,6 +37,10 @@ pub struct BlifCircuit {
     pub network: Network,
     /// The latches that were cut.
     pub latches: Vec<Latch>,
+    /// Warning-level lint diagnostics from the post-parse structural check
+    /// (e.g. logic reaching no output, unpropagated constants). Deny-level
+    /// findings abort the parse with [`BlifError::Lint`] instead.
+    pub warnings: Vec<kms_lint::Diagnostic>,
 }
 
 /// One `.names` node before elaboration.
@@ -247,9 +252,7 @@ fn elaborate(
                 match defined.get(d) {
                     Some(&di) => {
                         if state[di] == 1 {
-                            return Err(BlifError::Cyclic {
-                                signal: d.clone(),
-                            });
+                            return Err(BlifError::Cyclic { signal: d.clone() });
                         }
                         if state[di] == 0 {
                             stack.push((di, 0));
@@ -257,11 +260,7 @@ fn elaborate(
                             break;
                         }
                     }
-                    None => {
-                        return Err(BlifError::Undefined {
-                            signal: d.clone(),
-                        })
-                    }
+                    None => return Err(BlifError::Undefined { signal: d.clone() }),
                 }
             }
             if descended {
@@ -276,9 +275,9 @@ fn elaborate(
     }
 
     for o in &outputs {
-        let id = *sig.get(o).ok_or_else(|| BlifError::Undefined {
-            signal: o.clone(),
-        })?;
+        let id = *sig
+            .get(o)
+            .ok_or_else(|| BlifError::Undefined { signal: o.clone() })?;
         net.add_output(o.clone(), id);
     }
     // Latch inputs become pseudo primary outputs.
@@ -288,10 +287,17 @@ fn elaborate(
         })?;
         net.add_output(l.input.clone(), id);
     }
-    net.validate().map_err(BlifError::Netlist)?;
+    // Post-parse structural lint: deny-level findings (cycles the name-level
+    // check missed, arity or fanout corruption) abort the parse; warn-level
+    // findings ride along on the circuit for the caller to surface.
+    let report = net.lint();
+    if report.has_errors() {
+        return Err(BlifError::Lint(report));
+    }
     Ok(BlifCircuit {
         network: net,
         latches,
+        warnings: report.diagnostics,
     })
 }
 
@@ -312,9 +318,9 @@ fn build_sop(
         .inputs
         .iter()
         .map(|n| {
-            sig.get(n).copied().ok_or_else(|| BlifError::Undefined {
-                signal: n.clone(),
-            })
+            sig.get(n)
+                .copied()
+                .ok_or_else(|| BlifError::Undefined { signal: n.clone() })
         })
         .collect::<Result<_, _>>()?;
     // Cache inverters per input.
@@ -326,9 +332,9 @@ fn build_sop(
             match ch {
                 '1' => lits.push(inp),
                 '0' => {
-                    let inv = *inverters.entry(inp).or_insert_with(|| {
-                        net.add_gate(GateKind::Not, &[inp], Delay::ZERO)
-                    });
+                    let inv = *inverters
+                        .entry(inp)
+                        .or_insert_with(|| net.add_gate(GateKind::Not, &[inp], Delay::ZERO));
                     lits.push(inv);
                 }
                 '-' => {}
@@ -414,12 +420,10 @@ mod tests {
 
     #[test]
     fn constants() {
-        let text = ".model t\n.inputs a\n.outputs z o u\n.names z\n.names o\n1\n.names a u\n1 1\n.end\n";
+        let text =
+            ".model t\n.inputs a\n.outputs z o u\n.names z\n.names o\n1\n.names a u\n1 1\n.end\n";
         let c = parse_blif(text).unwrap();
-        assert_eq!(
-            c.network.eval_bool(&[false]),
-            vec![false, true, false]
-        );
+        assert_eq!(c.network.eval_bool(&[false]), vec![false, true, false]);
     }
 
     #[test]
@@ -476,9 +480,7 @@ mod tests {
             Err(BlifError::Undefined { .. })
         ));
         assert!(matches!(
-            parse_blif(
-                ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n"
-            ),
+            parse_blif(".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n"),
             Err(BlifError::MultiplyDriven { .. })
         ));
         assert!(matches!(

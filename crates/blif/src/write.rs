@@ -23,11 +23,7 @@ fn signal_name(net: &Network, id: GateId) -> String {
 pub fn write_blif(net: &Network) -> String {
     let mut s = String::new();
     let _ = writeln!(s, ".model {}", net.name());
-    let inames: Vec<String> = net
-        .inputs()
-        .iter()
-        .map(|&i| signal_name(net, i))
-        .collect();
+    let inames: Vec<String> = net.inputs().iter().map(|&i| signal_name(net, i)).collect();
     let _ = writeln!(s, ".inputs {}", inames.join(" "));
     let onames: Vec<String> = net.outputs().iter().map(|o| o.name.clone()).collect();
     let _ = writeln!(s, ".outputs {}", onames.join(" "));
@@ -62,8 +58,7 @@ pub fn write_blif(net: &Network) -> String {
                     for k in 0..ins.len() {
                         let mut plane = vec!['-'; ins.len()];
                         plane[k] = '1';
-                        let _ =
-                            writeln!(s, "{} 1", plane.into_iter().collect::<String>());
+                        let _ = writeln!(s, "{} 1", plane.into_iter().collect::<String>());
                     }
                 } else {
                     let zeros = "0".repeat(ins.len());
@@ -110,7 +105,8 @@ mod tests {
     fn roundtrip(net: &Network) {
         let text = write_blif(net);
         let back = parse_blif(&text).expect("written BLIF parses");
-        net.exhaustive_equiv(&back.network).expect("roundtrip equivalence");
+        net.exhaustive_equiv(&back.network)
+            .expect("roundtrip equivalence");
     }
 
     #[test]

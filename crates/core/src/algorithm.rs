@@ -22,7 +22,7 @@
 //! property tests in this repository.
 
 use kms_atpg::{Engine, Fault};
-use kms_netlist::{transform, GateId, Network, NetlistError, Path};
+use kms_netlist::{transform, GateId, NetlistError, Network, Path};
 use kms_opt::naive_redundancy_removal;
 use kms_timing::{
     is_statically_sensitizable, InputArrivals, PathEnumerator, Time, ViabilityAnalysis,
@@ -121,12 +121,21 @@ pub struct KmsReport {
     pub capped: bool,
 }
 
+/// With the `debug-invariants` feature enabled, re-lints the network after
+/// a transform step and panics with the full diagnostic report on the
+/// first hard violation; compiles to nothing otherwise.
+#[cfg(feature = "debug-invariants")]
+fn check_invariants(net: &Network, context: &str) {
+    kms_lint::assert_well_formed(net, context);
+}
+
+#[cfg(not(feature = "debug-invariants"))]
+fn check_invariants(_net: &Network, _context: &str) {}
+
 fn max_fanout(net: &Network) -> usize {
     let fo = net.fanouts();
     net.gate_ids()
-        .map(|g| {
-            fo[g.index()].len() + net.outputs().iter().filter(|o| o.src == g).count()
-        })
+        .map(|g| fo[g.index()].len() + net.outputs().iter().filter(|o| o.src == g).count())
         .max()
         .unwrap_or(0)
 }
@@ -150,9 +159,7 @@ impl<'a> ConditionOracle<'a> {
             Condition::StaticSensitization => {
                 ConditionOracle::Sens(kms_timing::SensitizationOracle::new(net))
             }
-            Condition::Viability => {
-                ConditionOracle::Via(ViabilityAnalysis::new(net, arrivals))
-            }
+            Condition::Viability => ConditionOracle::Via(ViabilityAnalysis::new(net, arrivals)),
         }
     }
 
@@ -201,8 +208,7 @@ pub fn kms(
             break;
         }
         // Collect the longest paths (all of maximal length, capped).
-        let mut en =
-            PathEnumerator::new(net, arrivals).with_effort_cap(options.effort_cap);
+        let mut en = PathEnumerator::new(net, arrivals).with_effort_cap(options.effort_cap);
         let mut longest: Vec<Path> = Vec::new();
         let mut longest_length: Option<Time> = None;
         for (p, len) in en.by_ref() {
@@ -258,6 +264,7 @@ pub fn kms(
             Some(upto) => {
                 let dup = transform::duplicate_path_prefix(net, &path, upto);
                 duplicated_gates += dup.mapping.len();
+                check_invariants(net, "after duplicate_path_prefix");
                 (dup.new_path, dup.mapping.len())
             }
             None => (path.clone(), 0),
@@ -276,6 +283,7 @@ pub fn kms(
         let first_kind = net.gate(first.gate).kind;
         let value = first_kind.controlling_value().unwrap_or(false);
         transform::set_conn_const(net, first, value);
+        check_invariants(net, "after set_conn_const");
 
         iterations.push(KmsIteration {
             longest_length,
@@ -288,9 +296,11 @@ pub fn kms(
 
     // Final phase: remove remaining redundancies in any order.
     let naive = naive_redundancy_removal(net, options.engine);
+    check_invariants(net, "after naive_redundancy_removal");
     if options.strash {
         transform::structural_hash(net);
         transform::sweep(net);
+        check_invariants(net, "after structural_hash");
         // Merging can in principle re-expose redundancies through changed
         // observability? No: merged gates computed identical functions, so
         // the circuit function and fault behaviour per remaining site are
@@ -347,10 +357,8 @@ mod tests {
             "KMS must yield an irredundant circuit"
         );
         // (3) No delay increase under the viability model.
-        let db = computed_delay(before, arrivals, PathCondition::Viability, 1 << 22)
-            .unwrap();
-        let da = computed_delay(after, arrivals, PathCondition::Viability, 1 << 22)
-            .unwrap();
+        let db = computed_delay(before, arrivals, PathCondition::Viability, 1 << 22).unwrap();
+        let da = computed_delay(after, arrivals, PathCondition::Viability, 1 << 22).unwrap();
         assert!(
             da.delay <= db.delay,
             "viable delay grew: {} -> {}",
@@ -415,7 +423,11 @@ mod tests {
             // in Fig. 6 where the ripple feed is replaced by input b0).
             let after_delay =
                 computed_delay(&after, &arr, PathCondition::Viability, 1 << 22).unwrap();
-            assert!(after_delay.delay <= 8, "{condition:?}: {}", after_delay.delay);
+            assert!(
+                after_delay.delay <= 8,
+                "{condition:?}: {}",
+                after_delay.delay
+            );
         }
     }
 
@@ -487,11 +499,7 @@ mod strash_option_tests {
     fn strash_recovers_area_and_preserves_invariants() {
         // csa 8.4 decomposed with unit delays: the loop duplicates a lot;
         // strash must claw some of it back without breaking anything.
-        let mut net = kms_gen::adders::carry_skip_adder(
-            8,
-            4,
-            kms_netlist::DelayModel::Unit,
-        );
+        let mut net = kms_gen::adders::carry_skip_adder(8, 4, kms_netlist::DelayModel::Unit);
         transform::decompose_to_simple(&mut net);
         net.apply_delay_model(kms_netlist::DelayModel::Unit);
         let arr = InputArrivals::zero();
@@ -509,14 +517,10 @@ mod strash_option_tests {
         assert!(check_equivalence(&net, &hashed).is_equivalent());
         assert!(analyze(&hashed, Engine::Sat).fully_testable());
         // Delay guarantee intact.
-        let before = kms_timing::computed_delay(
-            &net,
-            &arr,
-            kms_timing::PathCondition::Viability,
-            1 << 22,
-        )
-        .unwrap()
-        .delay;
+        let before =
+            kms_timing::computed_delay(&net, &arr, kms_timing::PathCondition::Viability, 1 << 22)
+                .unwrap()
+                .delay;
         let after = kms_timing::computed_delay(
             &hashed,
             &arr,

@@ -2,7 +2,7 @@
 //! by the test suites, examples, and benchmark harness.
 
 use kms_atpg::{analyze, Engine};
-use kms_netlist::{Network, NetlistError};
+use kms_netlist::{NetlistError, Network};
 use kms_sat::check_equivalence;
 use kms_timing::{computed_delay, InputArrivals, PathCondition, Time};
 
@@ -70,10 +70,18 @@ pub fn verify_kms_invariants_with(
     let (sb, sa) = if condition == PathCondition::StaticSensitization {
         (db.delay, da.delay)
     } else {
-        let sb =
-            computed_delay(before, arrivals, PathCondition::StaticSensitization, effort_cap)?;
-        let sa =
-            computed_delay(after, arrivals, PathCondition::StaticSensitization, effort_cap)?;
+        let sb = computed_delay(
+            before,
+            arrivals,
+            PathCondition::StaticSensitization,
+            effort_cap,
+        )?;
+        let sa = computed_delay(
+            after,
+            arrivals,
+            PathCondition::StaticSensitization,
+            effort_cap,
+        )?;
         (sb.delay, sa.delay)
     };
     Ok(InvariantReport {
@@ -112,11 +120,7 @@ mod tests {
         let net = fig4_c2_cone();
         let mut broken = net.clone();
         let o = broken.outputs()[0].src;
-        let inv_gate = broken.add_gate(
-            kms_netlist::GateKind::Not,
-            &[o],
-            kms_netlist::Delay::ZERO,
-        );
+        let inv_gate = broken.add_gate(kms_netlist::GateKind::Not, &[o], kms_netlist::Delay::ZERO);
         broken.set_output_src(0, inv_gate);
         let inv = verify_kms_invariants(&net, &broken, &InputArrivals::zero()).unwrap();
         assert!(!inv.equivalent);

@@ -151,10 +151,8 @@ pub fn carry_select_adder(bits: usize, block_size: usize, model: DelayModel) -> 
             let mut s0s = Vec::new();
             let mut s1s = Vec::new();
             for i in lo..hi {
-                let (s0, co0) =
-                    full_adder_bit(&mut net, a[i], b[i], carry0, model, 1000 + i);
-                let (s1, co1) =
-                    full_adder_bit(&mut net, a[i], b[i], carry1, model, 2000 + i);
+                let (s0, co0) = full_adder_bit(&mut net, a[i], b[i], carry0, model, 1000 + i);
+                let (s1, co1) = full_adder_bit(&mut net, a[i], b[i], carry1, model, 2000 + i);
                 s0s.push(s0);
                 s1s.push(s1);
                 carry0 = co0;
@@ -220,7 +218,11 @@ mod tests {
     fn check_adds(net: &Network, bits: usize) {
         let limit = 1u64 << bits;
         // Exhaustive for tiny adders, sampled for larger ones.
-        let step = if bits <= 4 { 1 } else { (limit / 16).max(1) | 1 };
+        let step = if bits <= 4 {
+            1
+        } else {
+            (limit / 16).max(1) | 1
+        };
         let mut a = 0;
         while a < limit {
             let mut b = 0;

@@ -301,8 +301,7 @@ mod tests {
     fn random_pla_every_cube_raises_an_output() {
         let pla = random_control_pla(42, 8, 4, 30);
         for c in &pla.cubes {
-            assert!(c
-                .outputs.contains(&kms_blif::OutVal::On));
+            assert!(c.outputs.contains(&kms_blif::OutVal::On));
         }
     }
 }

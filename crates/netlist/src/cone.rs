@@ -55,10 +55,7 @@ pub fn is_in_tfi(net: &Network, a: GateId, b: GateId) -> bool {
 /// assert_eq!(cone.inputs().len(), 1); // only `a` supports y1
 /// assert_eq!(cone.outputs().len(), 1);
 /// ```
-pub fn extract_cone(
-    net: &Network,
-    outputs: &[usize],
-) -> (Network, HashMap<GateId, GateId>) {
+pub fn extract_cone(net: &Network, outputs: &[usize]) -> (Network, HashMap<GateId, GateId>) {
     let roots: Vec<GateId> = outputs.iter().map(|&i| net.outputs()[i].src).collect();
     let keep = transitive_fanin(net, &roots);
     let mut out = Network::new(format!("{}_cone", net.name()));

@@ -106,8 +106,7 @@ impl From<i64> for Delay {
 /// assert_eq!(m.gate_delay(GateKind::And), Delay::new(1));
 /// assert_eq!(m.gate_delay(GateKind::Xor), Delay::new(2));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum DelayModel {
     /// Every logic gate (including inverters and buffers) costs one unit.
     #[default]
@@ -161,7 +160,6 @@ impl DelayModel {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

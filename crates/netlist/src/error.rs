@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::gate::{GateId, GateKind};
+use crate::gate::{ConnRef, GateId, GateKind};
 
 /// Structural errors detected by [`crate::Network::validate`] and the
 /// transforms.
@@ -37,6 +37,21 @@ pub enum NetlistError {
         /// Its kind.
         kind: GateKind,
     },
+    /// A primary input was declared with a name that is already taken.
+    DuplicateInput {
+        /// The clashing name.
+        name: String,
+    },
+    /// A gate under construction references a dead or out-of-range source.
+    BadSource {
+        /// The invalid source id.
+        src: GateId,
+    },
+    /// A connection reference does not name a live pin.
+    BadConn {
+        /// The invalid connection.
+        conn: ConnRef,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -56,6 +71,15 @@ impl fmt::Display for NetlistError {
                 f,
                 "network is not composed of simple gates: gate {gate} is {kind}"
             ),
+            NetlistError::DuplicateInput { name } => {
+                write!(f, "duplicate input name {name:?}")
+            }
+            NetlistError::BadSource { src } => {
+                write!(f, "pin source {src} is dead or out of range")
+            }
+            NetlistError::BadConn { conn } => {
+                write!(f, "connection {conn} does not reference a live pin")
+            }
         }
     }
 }
@@ -80,5 +104,17 @@ mod tests {
             name: "y".to_string(),
         };
         assert!(e.to_string().contains("\"y\""));
+        let e = NetlistError::DuplicateInput {
+            name: "a".to_string(),
+        };
+        assert!(e.to_string().contains("duplicate input name"));
+        let e = NetlistError::BadSource {
+            src: GateId::from_index(5),
+        };
+        assert!(e.to_string().contains("g5"));
+        let e = NetlistError::BadConn {
+            conn: ConnRef::new(GateId::from_index(5), 2),
+        };
+        assert!(e.to_string().contains("g5.2"));
     }
 }

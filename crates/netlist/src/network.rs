@@ -100,13 +100,26 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if an input with the same name already exists.
+    /// Panics if an input with the same name already exists; use
+    /// [`Network::try_add_input`] for a fallible version.
     pub fn add_input(&mut self, name: impl Into<String>) -> GateId {
+        match self.try_add_input(name) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds a primary input named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateInput`] if an input with the same
+    /// name already exists.
+    pub fn try_add_input(&mut self, name: impl Into<String>) -> Result<GateId, NetlistError> {
         let name = name.into();
-        assert!(
-            self.input_by_name(&name).is_none(),
-            "duplicate input name {name:?}"
-        );
+        if self.input_by_name(&name).is_some() {
+            return Err(NetlistError::DuplicateInput { name });
+        }
         let id = self.push_gate(Gate {
             kind: GateKind::Input,
             pins: Vec::new(),
@@ -115,7 +128,7 @@ impl Network {
             dead: false,
         });
         self.inputs.push(id);
-        id
+        Ok(id)
     }
 
     /// Returns the shared constant gate for `value`, creating it on first
@@ -149,6 +162,20 @@ impl Network {
         self.add_gate_pins(kind, srcs.iter().map(|&s| Pin::new(s)).collect(), delay)
     }
 
+    /// Fallible [`Network::add_gate`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::try_add_gate_pins`].
+    pub fn try_add_gate(
+        &mut self,
+        kind: GateKind,
+        srcs: &[GateId],
+        delay: Delay,
+    ) -> Result<GateId, NetlistError> {
+        self.try_add_gate_pins(kind, srcs.iter().map(|&s| Pin::new(s)).collect(), delay)
+    }
+
     /// Adds a gate with explicit [`Pin`]s (allowing per-connection wire
     /// delays).
     ///
@@ -156,32 +183,49 @@ impl Network {
     ///
     /// Panics if the pin count is invalid for `kind`: NOT/BUF take exactly
     /// one pin, MUX exactly three, the n-ary gates at least one, and
-    /// sources none; or if any source id is out of range or dead.
+    /// sources none; or if any source id is out of range or dead. Use
+    /// [`Network::try_add_gate_pins`] for a fallible version.
     pub fn add_gate_pins(&mut self, kind: GateKind, pins: Vec<Pin>, delay: Delay) -> GateId {
-        match kind {
-            GateKind::Input | GateKind::Const(_) => {
-                assert!(pins.is_empty(), "sources take no pins")
-            }
-            GateKind::Not | GateKind::Buf => {
-                assert_eq!(pins.len(), 1, "{kind} takes exactly one pin")
-            }
-            GateKind::Mux => assert_eq!(pins.len(), 3, "mux takes exactly three pins"),
-            _ => assert!(!pins.is_empty(), "{kind} takes at least one pin"),
+        match self.try_add_gate_pins(kind, pins, delay) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Network::add_gate_pins`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if the pin count is invalid for
+    /// `kind`, or [`NetlistError::BadSource`] if any source id is out of
+    /// range or dead. The error carries the id the gate *would* have
+    /// received ([`NetlistError::BadArity::gate`]); nothing is added on
+    /// failure.
+    pub fn try_add_gate_pins(
+        &mut self,
+        kind: GateKind,
+        pins: Vec<Pin>,
+        delay: Delay,
+    ) -> Result<GateId, NetlistError> {
+        if !arity_ok(kind, pins.len()) {
+            return Err(NetlistError::BadArity {
+                gate: GateId::from_index(self.gates.len()),
+                kind,
+                pins: pins.len(),
+            });
         }
         for p in &pins {
-            assert!(
-                p.src.index() < self.gates.len() && !self.gates[p.src.index()].dead,
-                "pin source {} invalid",
-                p.src
-            );
+            if p.src.index() >= self.gates.len() || self.gates[p.src.index()].dead {
+                return Err(NetlistError::BadSource { src: p.src });
+            }
         }
-        self.push_gate(Gate {
+        Ok(self.push_gate(Gate {
             kind,
             pins,
             delay,
             name: None,
             dead: false,
-        })
+        }))
     }
 
     /// Declares `src` as a primary output named `name`.
@@ -318,13 +362,18 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the network contains a cycle; use [`Network::validate`] for
-    /// a fallible check.
+    /// Panics if the network contains a cycle; use
+    /// [`Network::try_topo_order`] for a fallible version.
     pub fn topo_order(&self) -> Vec<GateId> {
         self.try_topo_order().expect("network contains a cycle")
     }
 
-    fn try_topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+    /// Fallible [`Network::topo_order`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] if the live gates contain a cycle.
+    pub fn try_topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
         let n = self.gates.len();
         let mut indeg = vec![0usize; n];
         let mut order = Vec::with_capacity(n);
@@ -358,26 +407,36 @@ impl Network {
 
     /// The depth of the network: the maximum number of logic gates along
     /// any input-to-output path (Definition 4.12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains a cycle; use [`Network::try_depth`]
+    /// for a fallible version.
     pub fn depth(&self) -> usize {
-        let order = self.topo_order();
+        self.try_depth().expect("network contains a cycle")
+    }
+
+    /// Fallible [`Network::depth`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] if the live gates contain a cycle.
+    pub fn try_depth(&self) -> Result<usize, NetlistError> {
+        let order = self.try_topo_order()?;
         let mut d = vec![0usize; self.gates.len()];
         for id in order {
             let g = self.gate(id);
             if g.kind.is_source() {
                 continue;
             }
-            d[id.index()] = 1 + g
-                .pins
-                .iter()
-                .map(|p| d[p.src.index()])
-                .max()
-                .unwrap_or(0);
+            d[id.index()] = 1 + g.pins.iter().map(|p| d[p.src.index()]).max().unwrap_or(0);
         }
-        self.outputs
+        Ok(self
+            .outputs
             .iter()
             .map(|o| d[o.src.index()])
             .max()
-            .unwrap_or(0)
+            .unwrap_or(0))
     }
 
     /// Checks the structural invariants: pin arities, liveness of all
@@ -392,13 +451,7 @@ impl Network {
                 continue;
             }
             let id = GateId::from_index(i);
-            let ok = match g.kind {
-                GateKind::Input | GateKind::Const(_) => g.pins.is_empty(),
-                GateKind::Not | GateKind::Buf => g.pins.len() == 1,
-                GateKind::Mux => g.pins.len() == 3,
-                _ => !g.pins.is_empty(),
-            };
-            if !ok {
+            if !arity_ok(g.kind, g.pins.len()) {
                 return Err(NetlistError::BadArity {
                     gate: id,
                     kind: g.kind,
@@ -430,7 +483,27 @@ impl Network {
 
     /// Garbage-collects tombstones, renumbering gates densely. Returns the
     /// mapping from old to new ids (dead gates map to `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live gate, input or output still references a killed
+    /// gate; use [`Network::try_compact`] for a fallible version.
     pub fn compact(&mut self) -> Vec<Option<GateId>> {
+        match self.try_compact() {
+            Ok(map) => map,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Network::compact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DanglingPin`] / [`NetlistError::DanglingOutput`]
+    /// if a live gate or output still references a killed gate, and
+    /// [`NetlistError::BadSource`] if a primary input was itself killed.
+    /// The network is unchanged on failure.
+    pub fn try_compact(&mut self) -> Result<Vec<Option<GateId>>, NetlistError> {
         let mut map = vec![None; self.gates.len()];
         let mut new_gates = Vec::with_capacity(self.gates.len());
         for (i, g) in self.gates.iter().enumerate() {
@@ -439,22 +512,45 @@ impl Network {
                 new_gates.push(g.clone());
             }
         }
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.dead {
+                continue;
+            }
+            let dangling = |id: GateId| id.index() >= map.len() || map[id.index()].is_none();
+            if g.pins.iter().any(|p| dangling(p.src)) {
+                return Err(NetlistError::DanglingPin {
+                    gate: GateId::from_index(i),
+                });
+            }
+        }
+        for &i in &self.inputs {
+            if i.index() >= map.len() || map[i.index()].is_none() {
+                return Err(NetlistError::BadSource { src: i });
+            }
+        }
+        for o in &self.outputs {
+            if o.src.index() >= map.len() || map[o.src.index()].is_none() {
+                return Err(NetlistError::DanglingOutput {
+                    name: o.name.clone(),
+                });
+            }
+        }
         for g in &mut new_gates {
             for p in &mut g.pins {
-                p.src = map[p.src.index()].expect("live gate references dead gate");
+                p.src = map[p.src.index()].expect("checked above");
             }
         }
         self.gates = new_gates;
         for i in &mut self.inputs {
-            *i = map[i.index()].expect("input was killed");
+            *i = map[i.index()].expect("checked above");
         }
         for o in &mut self.outputs {
-            o.src = map[o.src.index()].expect("output driver was killed");
+            o.src = map[o.src.index()].expect("checked above");
         }
         for slot in &mut self.const_cache {
             *slot = slot.and_then(|id| map[id.index()]);
         }
-        map
+        Ok(map)
     }
 
     /// A human-readable dump, one gate per line in topological order.
@@ -505,6 +601,18 @@ impl Network {
         self.gate_ids()
             .filter_map(|id| self.gate(id).name.clone().map(|n| (n, id)))
             .collect()
+    }
+}
+
+/// The arity rule shared by gate construction and [`Network::validate`]:
+/// sources take no pins, NOT/BUF exactly one, MUX exactly three, the n-ary
+/// gates at least one.
+fn arity_ok(kind: GateKind, pins: usize) -> bool {
+    match kind {
+        GateKind::Input | GateKind::Const(_) => pins == 0,
+        GateKind::Not | GateKind::Buf => pins == 1,
+        GateKind::Mux => pins == 3,
+        _ => pins > 0,
     }
 }
 
@@ -562,8 +670,7 @@ mod tests {
     fn topo_order_is_topological() {
         let (net, _, _) = and_or_net();
         let order = net.topo_order();
-        let pos: HashMap<GateId, usize> =
-            order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let pos: HashMap<GateId, usize> = order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
         for id in net.gate_ids() {
             for p in &net.gate(id).pins {
                 assert!(pos[&p.src] < pos[&id]);
@@ -611,10 +718,7 @@ mod tests {
         let g = net.add_gate(GateKind::And, &[a, a], Delay::UNIT);
         net.add_output("y", g);
         net.gate_mut(g).kind = GateKind::Mux; // now 2 pins on a mux
-        assert!(matches!(
-            net.validate(),
-            Err(NetlistError::BadArity { .. })
-        ));
+        assert!(matches!(net.validate(), Err(NetlistError::BadArity { .. })));
     }
 
     #[test]
@@ -641,6 +745,55 @@ mod tests {
         let mut net = Network::new("t");
         net.add_input("a");
         net.add_input("a");
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        let mut net = Network::new("t");
+        let a = net.try_add_input("a").unwrap();
+        assert!(matches!(
+            net.try_add_input("a"),
+            Err(NetlistError::DuplicateInput { name }) if name == "a"
+        ));
+        assert!(matches!(
+            net.try_add_gate(GateKind::Not, &[a, a], Delay::UNIT),
+            Err(NetlistError::BadArity {
+                kind: GateKind::Not,
+                pins: 2,
+                ..
+            })
+        ));
+        let bogus = GateId::from_index(99);
+        assert!(matches!(
+            net.try_add_gate(GateKind::Buf, &[bogus], Delay::UNIT),
+            Err(NetlistError::BadSource { src }) if src == bogus
+        ));
+        // Nothing was added by the failed attempts.
+        assert_eq!(net.num_gate_slots(), 1);
+        let g = net.try_add_gate(GateKind::Not, &[a], Delay::UNIT).unwrap();
+        net.add_output("y", g);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn try_depth_and_topo_report_cycles() {
+        let (mut net, g1, g2) = and_or_net();
+        assert_eq!(net.try_depth().unwrap(), 2);
+        net.gate_mut(g1).pins[1] = Pin::new(g2);
+        assert_eq!(net.try_topo_order(), Err(NetlistError::Cyclic));
+        assert_eq!(net.try_depth(), Err(NetlistError::Cyclic));
+    }
+
+    #[test]
+    fn try_compact_rejects_dangling_references() {
+        let (mut net, g1, g2) = and_or_net();
+        net.kill(g1); // g2 still reads g1
+        assert!(matches!(
+            net.try_compact(),
+            Err(NetlistError::DanglingPin { gate }) if gate == g2
+        ));
+        // The failed compact left the arena untouched (tombstone included).
+        assert_eq!(net.num_gate_slots(), 5);
     }
 
     #[test]

@@ -285,10 +285,7 @@ impl Network {
     /// Evaluates the primary outputs for 64 input vectors at once.
     pub fn eval_words(&self, input_words: &[u64]) -> Vec<u64> {
         let vals = self.node_words(input_words);
-        self.outputs()
-            .iter()
-            .map(|o| vals[o.src.index()])
-            .collect()
+        self.outputs().iter().map(|o| vals[o.src.index()]).collect()
     }
 
     /// Evaluates the primary outputs for a single Boolean input vector.
@@ -332,10 +329,7 @@ impl Network {
     /// Evaluates the primary outputs under a cube with `X` propagation.
     pub fn eval3(&self, cube: &Cube) -> Vec<Value> {
         let vals = self.node_values3(cube);
-        self.outputs()
-            .iter()
-            .map(|o| vals[o.src.index()])
-            .collect()
+        self.outputs().iter().map(|o| vals[o.src.index()]).collect()
     }
 
     /// The value of a single gate under a cube.
@@ -375,7 +369,11 @@ impl Network {
                 }
             }
             let lanes = (total - base).min(64) as u32;
-            let mask = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+            let mask = if lanes == 64 {
+                !0u64
+            } else {
+                (1u64 << lanes) - 1
+            };
             let a = self.eval_words(&words);
             let b = other.eval_words(&words);
             for (o, (&wa, &wb)) in a.iter().zip(b.iter()).enumerate() {

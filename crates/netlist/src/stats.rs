@@ -45,8 +45,7 @@ impl NetworkStats {
             if matches!(g.kind, GateKind::Const(_)) {
                 continue;
             }
-            let f = fo[id.index()].len()
-                + net.outputs().iter().filter(|o| o.src == id).count();
+            let f = fo[id.index()].len() + net.outputs().iter().filter(|o| o.src == id).count();
             max_fanout = max_fanout.max(f);
             fanout_sum += f;
             fanout_n += 1;
@@ -61,9 +60,7 @@ impl NetworkStats {
             outputs: net.outputs().len(),
             depth: net.depth(),
             max_fanout,
-            mean_fanout_milli: (fanout_sum * 1000)
-                .checked_div(fanout_n)
-                .unwrap_or(0),
+            mean_fanout_milli: (fanout_sum * 1000).checked_div(fanout_n).unwrap_or(0),
             io_paths,
         }
     }

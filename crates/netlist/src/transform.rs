@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 
 use crate::delay::Delay;
+use crate::error::NetlistError;
 use crate::gate::{ConnRef, GateId, GateKind, Pin};
 use crate::network::Network;
 use crate::path::Path;
@@ -72,22 +73,10 @@ pub fn decompose_to_simple(net: &mut Network) {
                 let mut acc = pins[0];
                 for (i, &p) in pins.iter().enumerate().skip(1) {
                     let last = i == pins.len() - 1;
-                    let na = net.add_gate_pins(
-                        GateKind::Not,
-                        vec![acc],
-                        Delay::ZERO,
-                    );
+                    let na = net.add_gate_pins(GateKind::Not, vec![acc], Delay::ZERO);
                     let nb = net.add_gate_pins(GateKind::Not, vec![p], Delay::ZERO);
-                    let t1 = net.add_gate_pins(
-                        GateKind::And,
-                        vec![acc, Pin::new(nb)],
-                        Delay::ZERO,
-                    );
-                    let t2 = net.add_gate_pins(
-                        GateKind::And,
-                        vec![Pin::new(na), p],
-                        Delay::ZERO,
-                    );
+                    let t1 = net.add_gate_pins(GateKind::And, vec![acc, Pin::new(nb)], Delay::ZERO);
+                    let t2 = net.add_gate_pins(GateKind::And, vec![Pin::new(na), p], Delay::ZERO);
                     if last && kind == GateKind::Xor {
                         let g = net.gate_mut(id);
                         g.kind = GateKind::Or;
@@ -116,11 +105,7 @@ pub fn decompose_to_simple(net: &mut Network) {
                 // out = (NOT sel AND d0) OR (sel AND d1); the OR reuses `id`.
                 let (sel, d0, d1) = (pins[0], pins[1], pins[2]);
                 let ns = net.add_gate_pins(GateKind::Not, vec![sel], Delay::ZERO);
-                let t0 = net.add_gate_pins(
-                    GateKind::And,
-                    vec![Pin::new(ns), d0],
-                    Delay::ZERO,
-                );
+                let t0 = net.add_gate_pins(GateKind::And, vec![Pin::new(ns), d0], Delay::ZERO);
                 let t1 = net.add_gate_pins(GateKind::And, vec![sel, d1], Delay::ZERO);
                 let g = net.gate_mut(id);
                 g.kind = GateKind::Or;
@@ -240,7 +225,11 @@ fn simplify_gate(net: &mut Network, id: GateId) -> Simplified {
                 g.pins = keep;
                 g.delay = delay; // an XOR slice is not a wire; keep its cost
             } else {
-                g.kind = if parity { GateKind::Xnor } else { GateKind::Xor };
+                g.kind = if parity {
+                    GateKind::Xnor
+                } else {
+                    GateKind::Xor
+                };
                 g.pins = keep;
             }
             Simplified::InPlace
@@ -329,13 +318,35 @@ pub fn propagate_constants(net: &mut Network) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if `conn` does not reference a live pin.
+/// Panics if `conn` does not reference a live pin; use
+/// [`try_set_conn_const`] for a fallible version.
 pub fn set_conn_const(net: &mut Network, conn: ConnRef, value: bool) {
+    if let Err(e) = try_set_conn_const(net, conn, value) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`set_conn_const`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BadConn`] if `conn` does not reference a live
+/// pin; the network is unchanged on failure.
+pub fn try_set_conn_const(
+    net: &mut Network,
+    conn: ConnRef,
+    value: bool,
+) -> Result<(), NetlistError> {
+    let valid = conn.gate.index() < net.num_gate_slots()
+        && !net.gate(conn.gate).is_dead()
+        && conn.pin < net.gate(conn.gate).pins.len();
+    if !valid {
+        return Err(NetlistError::BadConn { conn });
+    }
     let c = net.add_const(value);
-    let g = net.gate_mut(conn.gate);
-    assert!(conn.pin < g.pins.len(), "connection out of range");
-    g.pins[conn.pin] = Pin::new(c);
+    net.gate_mut(conn.gate).pins[conn.pin] = Pin::new(c);
     propagate_constants(net);
+    Ok(())
 }
 
 /// Kills every logic gate that no longer reaches a primary output. Primary
@@ -483,12 +494,7 @@ mod tests {
 
     #[test]
     fn decompose_all_kinds() {
-        for kind in [
-            GateKind::Nand,
-            GateKind::Nor,
-            GateKind::Xor,
-            GateKind::Xnor,
-        ] {
+        for kind in [GateKind::Nand, GateKind::Nor, GateKind::Xor, GateKind::Xnor] {
             let mut net = fresh("k");
             let a = net.add_input("a");
             let b = net.add_input("b");
@@ -552,6 +558,24 @@ mod tests {
         set_conn_const(&mut net, ConnRef::new(g, 1), true);
         assert_eq!(net.gate(g).kind, GateKind::Not);
         assert_eq!(net.gate(g).delay, Delay::new(4));
+    }
+
+    #[test]
+    fn try_set_conn_const_rejects_bad_conn() {
+        let mut net = fresh("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        net.add_output("y", g);
+        let before = net.clone();
+        let bad = ConnRef::new(g, 7);
+        assert_eq!(
+            try_set_conn_const(&mut net, bad, true),
+            Err(NetlistError::BadConn { conn: bad })
+        );
+        assert_eq!(net.dump(), before.dump());
+        try_set_conn_const(&mut net, ConnRef::new(g, 1), true).unwrap();
+        assert_eq!(net.gate(g).kind, GateKind::Buf);
     }
 
     #[test]

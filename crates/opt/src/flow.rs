@@ -8,8 +8,8 @@
 
 use kms_blif::PlaFile;
 use kms_netlist::{DelayModel, Network};
-use kms_twolevel::{espresso, synth, Cover, EspressoOptions};
 use kms_timing::InputArrivals;
+use kms_twolevel::{espresso, synth, Cover, EspressoOptions};
 
 use crate::balance::balance_fanin;
 use crate::bypass::{bypass_repeatedly, BypassOptions, BypassReport};
@@ -79,7 +79,6 @@ pub fn timing_optimize(
     arrivals: &InputArrivals,
     options: FlowOptions,
 ) -> Vec<BypassReport> {
-    
     bypass_repeatedly(
         net,
         arrivals,

@@ -23,11 +23,7 @@ use kms_timing::{InputArrivals, Sta, Time};
 /// Functionally a no-op (associativity/commutativity); under the given
 /// arrival times the output arrival of each rebuilt tree is minimal over
 /// all associative re-bracketings (the classic Huffman/Golumbic argument).
-pub fn timing_balance(
-    net: &mut Network,
-    arrivals: &InputArrivals,
-    model: DelayModel,
-) -> usize {
+pub fn timing_balance(net: &mut Network, arrivals: &InputArrivals, model: DelayModel) -> usize {
     let mut restructured = 0;
     // Iterate in topological order so upstream rebuilds settle arrival
     // times before downstream trees are shaped.
@@ -65,8 +61,7 @@ pub fn timing_balance(
         while heap.len() > 2 {
             let (Reverse(a1), i1) = heap.pop().expect("len > 2");
             let (Reverse(a2), i2) = heap.pop().expect("len > 1");
-            let inner =
-                net.add_gate_pins(kind, vec![nodes[i1], nodes[i2]], gate_delay);
+            let inner = net.add_gate_pins(kind, vec![nodes[i1], nodes[i2]], gate_delay);
             let arrival = a1.max(a2) + gate_delay.units();
             heap.push((Reverse(arrival), nodes.len()));
             nodes.push(Pin::new(inner));

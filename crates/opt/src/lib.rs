@@ -19,11 +19,11 @@
 
 mod balance;
 mod bypass;
-mod height;
 pub mod flow;
+mod height;
 mod naive;
 
 pub use balance::{balance_fanin, balanced_depth};
-pub use height::timing_balance;
 pub use bypass::{bypass_repeatedly, bypass_transform, BypassOptions, BypassReport};
+pub use height::timing_balance;
 pub use naive::{naive_redundancy_removal, remove_fault, NaiveRemovalReport};

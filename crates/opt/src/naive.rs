@@ -21,6 +21,17 @@ pub struct NaiveRemovalReport {
     pub gates_after: usize,
 }
 
+/// With the `debug-invariants` feature enabled, re-lints the network after
+/// each fault removal, panicking with the full diagnostic report on the
+/// first hard violation; compiles to nothing otherwise.
+#[cfg(feature = "debug-invariants")]
+fn check_invariants(net: &Network, context: &str) {
+    kms_lint::assert_well_formed(net, context);
+}
+
+#[cfg(not(feature = "debug-invariants"))]
+fn check_invariants(_net: &Network, _context: &str) {}
+
 /// Removes one redundant fault from `net` by asserting its stuck value
 /// and propagating constants (the function is unchanged because the fault
 /// is untestable).
@@ -51,6 +62,7 @@ pub fn remove_fault(net: &mut Network, fault: Fault) {
             }
         }
     }
+    check_invariants(net, "after remove_fault");
 }
 
 /// Iteratively removes redundancies in discovery order until the circuit

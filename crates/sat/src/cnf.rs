@@ -50,11 +50,7 @@ impl NetworkCnf {
     /// # Panics
     ///
     /// Panics if the mask is not fanin-closed.
-    pub fn encode_masked(
-        net: &Network,
-        solver: &mut Solver,
-        mask: Option<&[bool]>,
-    ) -> NetworkCnf {
+    pub fn encode_masked(net: &Network, solver: &mut Solver, mask: Option<&[bool]>) -> NetworkCnf {
         let mut vars: Vec<Option<Var>> = vec![None; net.num_gate_slots()];
         for id in net.topo_order() {
             if let Some(m) = mask {
@@ -201,9 +197,7 @@ mod tests {
     /// with the simulator on all input minterms.
     fn check_gate(kind: GateKind, nins: usize) {
         let mut net = Network::new("g");
-        let ins: Vec<_> = (0..nins)
-            .map(|i| net.add_input(format!("i{i}")))
-            .collect();
+        let ins: Vec<_> = (0..nins).map(|i| net.add_input(format!("i{i}"))).collect();
         let g = net.add_gate(kind, &ins, Delay::UNIT);
         net.add_output("y", g);
 

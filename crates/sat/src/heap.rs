@@ -28,9 +28,7 @@ impl VarHeap {
 
     /// `true` if `v` is currently in the heap.
     pub fn contains(&self, v: Var) -> bool {
-        self.pos
-            .get(v.index())
-            .is_some_and(|&p| p != usize::MAX)
+        self.pos.get(v.index()).is_some_and(|&p| p != usize::MAX)
     }
 
     /// Number of queued variables.

@@ -339,9 +339,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()]
-                    > self.level[learnt[max_i].var().index()]
-                {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -815,7 +813,10 @@ mod core_tests {
     fn core_cleared_on_sat() {
         let mut s = Solver::new();
         let a = s.new_var();
-        assert_eq!(s.solve_with(&[a.positive(), a.negative()]), SatResult::Unsat);
+        assert_eq!(
+            s.solve_with(&[a.positive(), a.negative()]),
+            SatResult::Unsat
+        );
         assert!(!s.unsat_core().is_empty());
         assert_eq!(s.solve_with(&[a.positive()]), SatResult::Sat);
         assert!(s.unsat_core().is_empty());

@@ -8,7 +8,7 @@
 //! check the implementation in Section VIII actually used, at the risk of
 //! optimism on non-statically-sensitizable-but-viable paths.
 
-use kms_netlist::{Network, NetlistError, Path};
+use kms_netlist::{NetlistError, Network, Path};
 
 use crate::paths::PathEnumerator;
 use crate::sta::{InputArrivals, Time};
@@ -76,9 +76,7 @@ pub fn computed_delay(
         _ => None,
     };
     let mut sens_oracle = match condition {
-        PathCondition::StaticSensitization => {
-            Some(crate::sensitize::SensitizationOracle::new(net))
-        }
+        PathCondition::StaticSensitization => Some(crate::sensitize::SensitizationOracle::new(net)),
         _ => None,
     };
     let mut examined = 0usize;
@@ -191,8 +189,7 @@ mod tests {
         let arr = InputArrivals::zero();
         let topo = computed_delay(&net, &arr, PathCondition::Topological, 1 << 20).unwrap();
         assert_eq!(topo.delay, 4);
-        let stat =
-            computed_delay(&net, &arr, PathCondition::StaticSensitization, 1 << 20).unwrap();
+        let stat = computed_delay(&net, &arr, PathCondition::StaticSensitization, 1 << 20).unwrap();
         let via = computed_delay(&net, &arr, PathCondition::Viability, 1 << 20).unwrap();
         // The longest path is excluded by both conditions; the next paths
         // (a→g, a→na→g, length 1) have side-input b3 *late* (settles at 3
@@ -215,13 +212,7 @@ mod tests {
         let n = net.add_gate(GateKind::Not, &[a], Delay::new(1));
         let g = net.add_gate(GateKind::And, &[a, n], Delay::new(1));
         net.add_output("y", g);
-        let r = computed_delay(
-            &net,
-            &InputArrivals::zero(),
-            PathCondition::Viability,
-            1,
-        )
-        .unwrap();
+        let r = computed_delay(&net, &InputArrivals::zero(), PathCondition::Viability, 1).unwrap();
         assert!(r.truncated);
         assert_eq!(r.delay, r.topological);
     }
@@ -233,8 +224,7 @@ mod tests {
         let c = net.add_const(true);
         net.add_output("y", c);
         let r =
-            computed_delay(&net, &InputArrivals::zero(), PathCondition::Viability, 100)
-                .unwrap();
+            computed_delay(&net, &InputArrivals::zero(), PathCondition::Viability, 100).unwrap();
         assert_eq!(r.delay, 0);
         assert!(!r.truncated);
     }
@@ -249,8 +239,7 @@ mod tests {
         net.add_output("y", g2);
         let arr = InputArrivals::zero();
         let d1 = computed_delay(&net, &arr, PathCondition::Viability, 1000).unwrap();
-        let d2 =
-            computed_delay_with_rule(&net, &arr, LatenessRule::BeforeGateInput, 1000).unwrap();
+        let d2 = computed_delay_with_rule(&net, &arr, LatenessRule::BeforeGateInput, 1000).unwrap();
         assert_eq!(d1.delay, d2.delay);
     }
 }

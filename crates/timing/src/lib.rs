@@ -46,8 +46,7 @@ pub use analysis::{computed_delay, computed_delay_with_rule, DelayReport, PathCo
 pub use paths::{longest_paths, PathEnumerator};
 pub use report::{critical_paths, CriticalPathReport, PathVerdict};
 pub use sensitize::{
-    is_statically_sensitizable, sensitization_cube, sensitization_function,
-    SensitizationOracle,
+    is_statically_sensitizable, sensitization_cube, sensitization_function, SensitizationOracle,
 };
 pub use sta::{topological_delay, InputArrivals, Sta, Time, NEVER};
 pub use viability::{LatenessRule, ViabilityAnalysis};

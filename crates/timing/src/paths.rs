@@ -187,11 +187,7 @@ impl Iterator for PathEnumerator<'_> {
 
 /// All IO-paths whose length equals the topological delay, up to `cap`
 /// paths. Returns the paths and the delay.
-pub fn longest_paths(
-    net: &Network,
-    arrivals: &InputArrivals,
-    cap: usize,
-) -> (Vec<Path>, Time) {
+pub fn longest_paths(net: &Network, arrivals: &InputArrivals, cap: usize) -> (Vec<Path>, Time) {
     let mut it = PathEnumerator::new(net, arrivals);
     let delay = it.sta().delay();
     let mut out = Vec::new();

@@ -6,7 +6,7 @@
 //! — "is the longest path real, or is the static timing verifier being
 //! pessimistic?" — with evidence attached.
 
-use kms_netlist::{ConnRef, Network, NetlistError, Path};
+use kms_netlist::{ConnRef, NetlistError, Network, Path};
 
 use crate::paths::PathEnumerator;
 use crate::sensitize::SensitizationOracle;
@@ -121,13 +121,16 @@ impl CriticalPathReport {
                 "{:>4} {:>7} {:>10} {:>7}  {}",
                 i + 1,
                 v.length,
-                if v.statically_sensitizable { "yes" } else { "no" },
+                if v.statically_sensitizable {
+                    "yes"
+                } else {
+                    "no"
+                },
                 viable,
                 v.path.describe(net)
             );
             if let Some(conflict) = &v.conflict {
-                let names: Vec<String> =
-                    conflict.iter().map(|c| c.to_string()).collect();
+                let names: Vec<String> = conflict.iter().map(|c| c.to_string()).collect();
                 let _ = writeln!(s, "      false because: {}", names.join(" ∧ "));
             }
         }

@@ -12,7 +12,7 @@
 //! MUX gates must be decomposed first ([`kms_netlist::transform::decompose_to_simple`]).
 
 use kms_bdd::{Bdd, BddManager, NodeFunctions};
-use kms_netlist::{GateKind, Network, NetlistError, Path};
+use kms_netlist::{GateKind, NetlistError, Network, Path};
 use kms_sat::{Lit, NetworkCnf, SatResult, Solver};
 
 /// The noncontrolling-value constraints of a path: for each constrained
@@ -62,10 +62,7 @@ fn side_constraints(
 /// # Panics
 ///
 /// Panics if the path does not validate against `net`.
-pub fn sensitization_cube(
-    net: &Network,
-    path: &Path,
-) -> Result<Option<Vec<bool>>, NetlistError> {
+pub fn sensitization_cube(net: &Network, path: &Path) -> Result<Option<Vec<bool>>, NetlistError> {
     assert!(path.validate(net), "path does not validate");
     let constraints = side_constraints(net, path)?;
     let mut solver = Solver::new();
@@ -146,11 +143,7 @@ impl SensitizationOracle {
     /// # Errors
     ///
     /// Returns [`NetlistError::NotSimple`] for MUX fanouts.
-    pub fn is_sensitizable(
-        &mut self,
-        net: &Network,
-        path: &Path,
-    ) -> Result<bool, NetlistError> {
+    pub fn is_sensitizable(&mut self, net: &Network, path: &Path) -> Result<bool, NetlistError> {
         Ok(self.sensitization_cube(net, path)?.is_some())
     }
 
@@ -301,10 +294,7 @@ mod tests {
             let one_shot = sensitization_cube(&net, p).unwrap();
             let cached = oracle.sensitization_cube(&net, p).unwrap();
             assert_eq!(one_shot.is_some(), cached.is_some());
-            assert_eq!(
-                oracle.is_sensitizable(&net, p).unwrap(),
-                one_shot.is_some()
-            );
+            assert_eq!(oracle.is_sensitizable(&net, p).unwrap(), one_shot.is_some());
             if let Some(cube) = cached {
                 assert_eq!(cube.len(), net.inputs().len());
             }

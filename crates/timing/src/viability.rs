@@ -15,7 +15,7 @@
 //! (Theorem 7.2 compares plain path lengths).
 
 use kms_bdd::{Bdd, BddManager, NodeFunctions};
-use kms_netlist::{GateKind, Network, NetlistError, Path};
+use kms_netlist::{GateKind, NetlistError, Network, Path};
 
 use crate::sta::{InputArrivals, Sta, Time, NEVER};
 
@@ -204,8 +204,9 @@ mod tests {
 
         let arr = InputArrivals::zero();
         let mut va = ViabilityAnalysis::new(&net, &arr);
-        let all_paths: Vec<Path> =
-            crate::paths::PathEnumerator::new(&net, &arr).map(|(p, _)| p).collect();
+        let all_paths: Vec<Path> = crate::paths::PathEnumerator::new(&net, &arr)
+            .map(|(p, _)| p)
+            .collect();
         assert!(!all_paths.is_empty());
         for p in &all_paths {
             if is_statically_sensitizable(&net, p).unwrap() {
@@ -239,7 +240,10 @@ mod tests {
         assert!(!is_statically_sensitizable(&net, &p).unwrap());
         let arr = InputArrivals::zero();
         let mut va = ViabilityAnalysis::new(&net, &arr);
-        assert!(va.is_viable(&p).unwrap(), "late side-input must be smoothed");
+        assert!(
+            va.is_viable(&p).unwrap(),
+            "late side-input must be smoothed"
+        );
 
         // Fast inverter: n settles at 0 < 1 → early → conflict stands.
         let (net2, p2) = conflict_fixture(Delay::ZERO, Delay::new(1));
@@ -257,8 +261,7 @@ mod tests {
         let arr = InputArrivals::zero();
         let mut v_out = ViabilityAnalysis::new(&net, &arr);
         assert!(!v_out.is_viable(&p).unwrap());
-        let mut v_in =
-            ViabilityAnalysis::new(&net, &arr).with_rule(LatenessRule::BeforeGateInput);
+        let mut v_in = ViabilityAnalysis::new(&net, &arr).with_rule(LatenessRule::BeforeGateInput);
         assert!(v_in.is_viable(&p).unwrap());
     }
 

@@ -177,9 +177,7 @@ impl Cover {
                 Some((_, t, mp)) => {
                     // Prefer truly binate vars (both polarities), then the
                     // most frequent.
-                    if (cand.2 > 0 && mp == 0)
-                        || (cand.2 > 0) == (mp > 0) && cand.1 > t
-                    {
+                    if (cand.2 > 0 && mp == 0) || (cand.2 > 0) == (mp > 0) && cand.1 > t {
                         best = Some(cand);
                     }
                 }
@@ -201,8 +199,7 @@ impl Cover {
         match self.most_binate_var() {
             None => false, // no literals and no universal cube: impossible
             Some(v) => {
-                self.cofactor(v, false).is_tautology()
-                    && self.cofactor(v, true).is_tautology()
+                self.cofactor(v, false).is_tautology() && self.cofactor(v, true).is_tautology()
             }
         }
     }
@@ -268,7 +265,9 @@ impl Cover {
     /// Panics if `width > 24`.
     pub fn minterms(&self) -> Vec<u64> {
         assert!(self.width <= 24, "minterm enumeration limited to 24 vars");
-        (0..(1u64 << self.width)).filter(|&m| self.eval(m)).collect()
+        (0..(1u64 << self.width))
+            .filter(|&m| self.eval(m))
+            .collect()
     }
 }
 

@@ -174,7 +174,14 @@ fn branch_and_bound(
             }
         }
     }
-    recurse(primes, minterms, covering, &mut need, &mut current, &mut best);
+    recurse(
+        primes,
+        minterms,
+        covering,
+        &mut need,
+        &mut current,
+        &mut best,
+    );
     best
 }
 

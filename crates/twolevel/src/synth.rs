@@ -75,7 +75,9 @@ pub fn covers_to_network(
     covers: &[(String, Cover)],
 ) -> Network {
     let mut net = Network::new(name);
-    let width = covers.first().map_or(input_labels.len(), |(_, c)| c.width());
+    let width = covers
+        .first()
+        .map_or(input_labels.len(), |(_, c)| c.width());
     assert_eq!(input_labels.len(), width, "input label count mismatch");
     let ins: Vec<GateId> = input_labels
         .iter()
@@ -87,8 +89,7 @@ pub fn covers_to_network(
         .collect();
     // Multi-output PLAs share product terms across outputs (the defining
     // property of a PLA); identical cubes map to one AND gate.
-    let mut term_cache: std::collections::HashMap<Cube, GateId> =
-        std::collections::HashMap::new();
+    let mut term_cache: std::collections::HashMap<Cube, GateId> = std::collections::HashMap::new();
     for (label, cover) in covers {
         let mut terms: Vec<GateId> = Vec::new();
         for cube in cover.cubes() {

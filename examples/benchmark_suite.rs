@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "benchmark {} ({}): {} inputs, {} outputs, {} PLA cubes",
         bench.name,
-        if bench.exact { "exact function" } else { "seeded substitute" },
+        if bench.exact {
+            "exact function"
+        } else {
+            "seeded substitute"
+        },
         bench.pla.num_inputs,
         bench.pla.num_outputs,
         bench.pla.cubes.len()

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example carry_skip_study`
 
-use kms::atpg::{fault_simulate, faulty_copy, all_faults, analyze_all, Engine, Fault};
+use kms::atpg::{all_faults, analyze_all, fault_simulate, faulty_copy, Engine, Fault};
 use kms::core::{kms_on_copy, KmsOptions};
 use kms::gen::paper::fig4_c2_cone;
 use kms::netlist::GateKind;
@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== timing (c0 @ t=5, AND/OR = 1, XOR/MUX = 2) ==");
     let topo = computed_delay(&net, &arr, PathCondition::Topological, cap)?;
     let via = computed_delay(&net, &arr, PathCondition::Viability, cap)?;
-    println!("longest path      : {} (the ripple-carry delay)", topo.delay);
-    println!("critical (viable) : {} -> clock the block at {}", via.delay, via.delay);
+    println!(
+        "longest path      : {} (the ripple-carry delay)",
+        topo.delay
+    );
+    println!(
+        "critical (viable) : {} -> clock the block at {}",
+        via.delay, via.delay
+    );
 
     println!("\n== testability ==");
     let report = analyze_all(&net, Engine::Sat);
@@ -42,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== the speedtest hazard ==");
     let bp = net
         .gate_ids()
-        .find(|&g| net.gate(g).name.as_deref() == Some("bp0")
-            && net.gate(g).kind == GateKind::And)
+        .find(|&g| net.gate(g).name.as_deref() == Some("bp0") && net.gate(g).kind == GateKind::And)
         .expect("skip AND in cone");
     let f = Fault::output(bp, false);
     let broken = faulty_copy(&net, f);

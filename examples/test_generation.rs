@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example test_generation`
 
-use kms::atpg::{
-    all_faults, analyze_all, compact_tests, fault_simulate, random_tests, Engine,
-};
+use kms::atpg::{all_faults, analyze_all, compact_tests, fault_simulate, random_tests, Engine};
 use kms::core::{kms_on_copy, KmsOptions};
 use kms::gen::adders::carry_skip_adder;
 use kms::netlist::{transform, DelayModel, NetworkStats};
@@ -30,10 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // …because some faults are untestable. KMS removes them.
-    let (fixed, _) = kms_on_copy(&net, &InputArrivals::zero(), KmsOptions {
-        strash: true,
-        ..Default::default()
-    })?;
+    let (fixed, _) = kms_on_copy(
+        &net,
+        &InputArrivals::zero(),
+        KmsOptions {
+            strash: true,
+            ..Default::default()
+        },
+    )?;
     let faults = all_faults(&fixed);
     let report = analyze_all(&fixed, Engine::Sat);
     assert!(report.fully_testable(), "KMS output is irredundant");

@@ -42,9 +42,7 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "-o" | "--output" => {
-                args.output = Some(it.next().ok_or("missing value for --output")?)
-            }
+            "-o" | "--output" => args.output = Some(it.next().ok_or("missing value for --output")?),
             "-m" | "--model" => {
                 args.model = match it.next().as_deref() {
                     Some("unit") => DelayModel::Unit,
@@ -83,11 +81,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let args = parse_args().map_err(|e| {
-        eprintln!("error: {e}\nrun with --help for usage");
-        std::process::exit(2);
-    })
-    .unwrap_or_else(|_: ()| unreachable!());
+    let args = parse_args()
+        .map_err(|e| {
+            eprintln!("error: {e}\nrun with --help for usage");
+            std::process::exit(2);
+        })
+        .unwrap_or_else(|_: ()| unreachable!());
 
     let text = if args.input == "-" {
         let mut s = String::new();

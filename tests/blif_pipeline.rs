@@ -76,8 +76,7 @@ fn hand_written_pla_to_kms() {
     net.apply_delay_model(DelayModel::Unit);
     let red = kms::atpg::redundancy_count(&net, kms::atpg::Engine::Sat);
     assert!(red > 0, "covered cube must be redundant");
-    let (fixed, report) =
-        kms_on_copy(&net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
+    let (fixed, report) = kms_on_copy(&net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
     assert!(!report.removed_redundancies.is_empty());
     net.exhaustive_equiv(&fixed).unwrap();
     assert!(kms::atpg::analyze(&fixed, kms::atpg::Engine::Sat).fully_testable());

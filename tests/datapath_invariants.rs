@@ -45,7 +45,6 @@ fn alu_mux_structure_is_redundancy_prone() {
     let mut net = alu_slice(4, DelayModel::Unit);
     transform::decompose_to_simple(&mut net);
     net.apply_delay_model(DelayModel::Unit);
-    let (after, _) =
-        kms_on_copy(&net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
+    let (after, _) = kms_on_copy(&net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
     assert!(kms::atpg::analyze(&after, kms::atpg::Engine::Sat).fully_testable());
 }

@@ -37,8 +37,7 @@ fn both_approaches_reach_full_testability() {
     assert!(analyze(&stripped, Engine::Sat).fully_testable());
     // KMS.
     let arr = InputArrivals::zero();
-    let (fixed, _) =
-        kms::core::kms_on_copy(&net, &arr, kms::core::KmsOptions::default()).unwrap();
+    let (fixed, _) = kms::core::kms_on_copy(&net, &arr, kms::core::KmsOptions::default()).unwrap();
     assert!(analyze(&fixed, Engine::Sat).fully_testable());
     // Both equivalent to the original.
     assert!(kms::sat::check_equivalence(&net, &stripped).is_equivalent());

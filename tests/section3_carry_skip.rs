@@ -57,9 +57,7 @@ fn skip_and_stuck_at_0_is_the_redundancy() {
     let net = fig4_c2_cone();
     let bp = net
         .gate_ids()
-        .find(|&g| {
-            net.gate(g).name.as_deref() == Some("bp0") && net.gate(g).kind == GateKind::And
-        })
+        .find(|&g| net.gate(g).name.as_deref() == Some("bp0") && net.gate(g).kind == GateKind::And)
         .expect("skip AND in the cone");
     let verdict = is_testable(&net, Fault::output(bp, false), Engine::Sat);
     assert!(
@@ -91,7 +89,10 @@ fn faulty_circuit_is_a_ripple_adder_and_misses_the_clock() {
     }
     // The critical path is now the longest path: 11 > the clock of 8.
     let slow = computed_delay(&broken, &arr, PathCondition::Viability, CAP).unwrap();
-    assert_eq!(slow.delay, 11, "paper: output available after 11 gate delays");
+    assert_eq!(
+        slow.delay, 11,
+        "paper: output available after 11 gate delays"
+    );
 }
 
 #[test]
