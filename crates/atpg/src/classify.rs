@@ -1,0 +1,599 @@
+//! Shared-CNF, fault-dropping, optionally parallel fault classification.
+//!
+//! The per-fault SAT engine in [`crate::engine`] rebuilds a solver and
+//! re-encodes the (cone of the) network for every query. This module keeps
+//! **one incremental solver per worker**: good-circuit clauses are
+//! Tseitin-encoded at most once per gate per network state (lazily, as
+//! fault cones demand them), and each fault adds only its faulty-cone
+//! clauses, guarded by a fresh *activation literal* that is assumed for the
+//! query and permanently falsified afterwards. Three properties make the engine exactly
+//! reproducible at any thread count:
+//!
+//! 1. **Canonical verdicts.** A redundancy verdict is an UNSAT answer —
+//!    a semantic property of the formula, independent of search history.
+//!    Test vectors are canonicalized to the *lexicographically smallest*
+//!    detecting input assignment (a chain of incremental queries pinning
+//!    inputs to 0 where possible), which is likewise a function of the
+//!    fault alone, not of the learnt clauses a worker happens to carry.
+//! 2. **Dynamic fault-dropping with in-order commit.** Every SAT-derived
+//!    vector is immediately fault-simulated against the still-undecided
+//!    faults; a dropped fault is credited to the earliest committed vector
+//!    that detects it. Workers classify speculatively, but results are
+//!    committed strictly in fault-list order, so the dropping cascade — and
+//!    therefore the whole [`TestabilityReport`] — is identical to the
+//!    sequential engine's, bit for bit.
+//! 3. **Deterministic assembly.** Verdict slots are indexed by input
+//!    position; thread scheduling can change only how much speculative work
+//!    is wasted, never what is reported.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use kms_netlist::{ConnRef, GateId, GateKind, Network};
+use kms_sat::{Lit, SatResult, Solver};
+
+use crate::engine::{encode_gate_with_guard, random_tests, Testability, TestabilityReport};
+use crate::fault::{Fault, FaultSite};
+use crate::fsim::{fault_simulate_cone, fault_simulate_cone_jobs};
+use crate::podem::{podem, PodemResult};
+
+/// PODEM backtrack budget for the structural pre-pass of
+/// [`SharedCnf::classify`]. Deliberately modest: on the MCNC circuits every
+/// testable survivor of the random pre-screen falls within ~100 backtracks,
+/// while redundancy proofs (decision-tree exhaustion, the worst case on the
+/// reconvergent carry-skip adders) are cheaper as incremental UNSAT queries
+/// on the shared CNF, so burning a large budget before giving up only adds
+/// latency.
+const PODEM_BUDGET: u64 = 128;
+
+/// Knobs for the shared-CNF classification engine
+/// ([`crate::Engine::SharedSat`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelOptions {
+    /// Worker threads for SAT classification and the pattern-parallel
+    /// pre-screen; `0` uses the machine's available parallelism, `1` runs
+    /// fully in-line (no threads spawned). Any value yields the identical
+    /// [`TestabilityReport`].
+    pub jobs: usize,
+    /// Random patterns simulated up front so that easily-detected faults
+    /// never reach the solver; `0` disables the pre-screen.
+    pub drop_patterns: usize,
+    /// Seed for the random pre-screen patterns.
+    pub seed: u64,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            jobs: 1,
+            drop_patterns: 256,
+            seed: 0x4B4D_5331,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// `jobs` resolved against the machine (0 = available parallelism).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// The outcome of [`scan_for_redundancy`].
+#[derive(Clone, Debug)]
+pub struct RedundancyScan {
+    /// The first redundant fault in fault-list order, if any.
+    pub redundant: Option<Fault>,
+    /// SAT-derived test vectors committed before the scan stopped, in
+    /// commit order — callers cache these across removal restarts so later
+    /// scans drop the same faults without a solver call.
+    pub tests: Vec<Vec<bool>>,
+}
+
+/// One worker's incremental classification context: good-circuit clauses
+/// are encoded lazily, cone by cone, at most once per gate, and each
+/// classified fault leaves only retired (permanently deactivated) cone
+/// clauses behind. Lazy encoding matters on the carry-skip adders, where a
+/// handful of survivors with small cones would otherwise pay for a
+/// full-network CNF — and then solve against it.
+pub(crate) struct SharedCnf<'n> {
+    net: &'n Network,
+    solver: Solver,
+    /// Lazily-encoded good-circuit literal per gate slot; monotone across
+    /// faults, so overlapping cones share clauses and learnt facts.
+    good: Vec<Option<Lit>>,
+    fanouts: Vec<Vec<ConnRef>>,
+    topo: Vec<GateId>,
+    topo_pos: Vec<usize>,
+    // Per-fault scratch, cleared after each query via `touched`.
+    in_tfo: Vec<bool>,
+    faulty_var: Vec<Option<Lit>>,
+    touched: Vec<usize>,
+    visit: Vec<bool>,
+}
+
+impl<'n> SharedCnf<'n> {
+    pub(crate) fn new(net: &'n Network) -> Self {
+        let n = net.num_gate_slots();
+        let topo = net.topo_order();
+        let mut topo_pos = vec![0usize; n];
+        for (pos, id) in topo.iter().enumerate() {
+            topo_pos[id.index()] = pos;
+        }
+        SharedCnf {
+            net,
+            solver: Solver::new(),
+            good: vec![None; n],
+            fanouts: net.fanouts(),
+            topo,
+            topo_pos,
+            in_tfo: vec![false; n],
+            faulty_var: vec![None; n],
+            touched: Vec::new(),
+            visit: vec![false; n],
+        }
+    }
+
+    /// The good-circuit literal for `g`, encoding its transitive fanin on
+    /// first use. Gates already encoded by an earlier fault's cone are
+    /// reused, so across a whole classification run each gate is encoded
+    /// at most once — the "encode once per network state" contract, paid
+    /// only for the parts of the network the hard faults actually touch.
+    fn good_lit(&mut self, g: GateId) -> Lit {
+        if let Some(l) = self.good[g.index()] {
+            return l;
+        }
+        // Collect the un-encoded transitive fanin, then encode it in
+        // topological order so every pin literal exists before its gate.
+        let mut need: Vec<GateId> = Vec::new();
+        let mut stack = vec![g];
+        while let Some(id) = stack.pop() {
+            let i = id.index();
+            if self.visit[i] || self.good[i].is_some() {
+                continue;
+            }
+            self.visit[i] = true;
+            need.push(id);
+            for p in &self.net.gate(id).pins {
+                stack.push(p.src);
+            }
+        }
+        need.sort_unstable_by_key(|id| self.topo_pos[id.index()]);
+        for &id in &need {
+            self.visit[id.index()] = false;
+            let gate = self.net.gate(id);
+            let out = self.solver.new_var().positive();
+            match gate.kind {
+                GateKind::Input => {}
+                GateKind::Const(b) => {
+                    self.solver.add_clause(&[if b { out } else { !out }]);
+                }
+                _ => {
+                    let pins: Vec<Lit> = gate
+                        .pins
+                        .iter()
+                        .map(|p| self.good[p.src.index()].expect("fanin encoded first"))
+                        .collect();
+                    encode_gate_with_guard(&mut self.solver, gate.kind, out, &pins, None);
+                }
+            }
+            self.good[id.index()] = Some(out);
+        }
+        self.good[g.index()].expect("just encoded")
+    }
+
+    /// Classifies one fault. Never returns [`Testability::Unknown`], and
+    /// the result is a pure function of `(network, fault)` — query order
+    /// cannot change it:
+    ///
+    /// * a budgeted PODEM run goes first (deterministic search, `X`s in
+    ///   its cube filled as 0 — canonical by construction) and settles
+    ///   most testable faults without touching the solver;
+    /// * PODEM aborts fall through to an incremental query on the shared
+    ///   CNF under the fault's activation literal. UNSAT is a semantic
+    ///   verdict; a SAT model is canonicalized to the lexicographically
+    ///   smallest detecting assignment, erasing any dependence on the
+    ///   learnt clauses this solver happens to carry.
+    pub(crate) fn classify(&mut self, fault: Fault) -> Testability {
+        let result = podem(self.net, fault, PODEM_BUDGET);
+        match result.test_vector() {
+            Some(t) => Testability::Testable(t),
+            None if result == PodemResult::Redundant => Testability::Redundant,
+            None => self.classify_sat(fault),
+        }
+    }
+
+    /// The shared-CNF decision procedure behind [`SharedCnf::classify`].
+    fn classify_sat(&mut self, fault: Fault) -> Testability {
+        let net = self.net;
+        // Faulty region: the transitive fanout of the perturbed gate.
+        let mut stack: Vec<GateId> = vec![fault.observing_gate()];
+        while let Some(g) = stack.pop() {
+            let gi = g.index();
+            if self.in_tfo[gi] {
+                continue;
+            }
+            self.in_tfo[gi] = true;
+            self.touched.push(gi);
+            for c in &self.fanouts[gi] {
+                stack.push(c.gate);
+            }
+        }
+        if !net.outputs().iter().any(|o| self.in_tfo[o.src.index()]) {
+            self.clear_scratch();
+            return Testability::Redundant; // effect cannot reach any PO
+        }
+
+        // Activation literal: the fault's clauses hold only under `act`.
+        let act = self.solver.new_var().positive();
+        // `stuck` equals the stuck-at value (fresh var pinned by a unit).
+        let stuck = {
+            let v = self.solver.new_var();
+            self.solver.add_clause(&[v.lit(fault.stuck)]);
+            v.positive()
+        };
+        for t in 0..self.topo.len() {
+            let id = self.topo[t];
+            if !self.in_tfo[id.index()] {
+                continue;
+            }
+            if fault.site == FaultSite::GateOutput(id) {
+                self.faulty_var[id.index()] = Some(stuck);
+                continue;
+            }
+            let n_pins = net.gate(id).pins.len();
+            // Faulty var inside the TFO, shared good var outside (encoded
+            // on demand); the faulted connection reads the stuck literal.
+            let mut pins: Vec<Lit> = Vec::with_capacity(n_pins);
+            for pi in 0..n_pins {
+                let src = net.gate(id).pins[pi].src;
+                let faulty = self.faulty_var[src.index()];
+                pins.push(if fault.site == FaultSite::Conn(ConnRef::new(id, pi)) {
+                    stuck
+                } else if let Some(l) = faulty {
+                    l
+                } else {
+                    self.good_lit(src)
+                });
+            }
+            let out = self.solver.new_var().positive();
+            let g = net.gate(id);
+            encode_gate_with_guard(&mut self.solver, g.kind, out, &pins, Some(act));
+            self.faulty_var[id.index()] = Some(out);
+        }
+
+        // Under `act`, some affected output must differ.
+        let mut diffs: Vec<Lit> = vec![!act];
+        for o in net.outputs() {
+            let src = o.src;
+            if !self.in_tfo[src.index()] {
+                continue;
+            }
+            let Some(fl) = self.faulty_var[src.index()] else {
+                continue;
+            };
+            let gl = self.good_lit(src);
+            let d = self.solver.new_var().positive();
+            self.solver.add_clause(&[!act, !d, gl, fl]);
+            self.solver.add_clause(&[!act, !d, !gl, !fl]);
+            self.solver.add_clause(&[!act, d, !gl, fl]);
+            self.solver.add_clause(&[!act, d, gl, !fl]);
+            diffs.push(d);
+        }
+        self.clear_scratch();
+        if diffs.len() == 1 || !self.solver.add_clause(&diffs) {
+            self.retire(act);
+            return Testability::Redundant;
+        }
+        let verdict = match self.solver.solve_with(&[act]) {
+            SatResult::Unsat => Testability::Redundant,
+            SatResult::Sat => Testability::Testable(self.lex_min_inputs(act)),
+        };
+        self.retire(act);
+        verdict
+    }
+
+    /// The lexicographically smallest satisfying primary-input assignment
+    /// under `act`: pin each input to 0 in order, backing off to 1 exactly
+    /// when 0 is infeasible. At most one solve per input, each incremental.
+    /// Inputs outside every cone encoded so far have no CNF variable and
+    /// are canonically 0 — the same bit pinning them would yield, since an
+    /// input outside the miter's support can never force UNSAT. Either way
+    /// the vector is a pure function of `(network, fault)`.
+    fn lex_min_inputs(&mut self, act: Lit) -> Vec<bool> {
+        let mut assume: Vec<Lit> = Vec::with_capacity(self.net.inputs().len() + 1);
+        assume.push(act);
+        let mut bits = Vec::with_capacity(self.net.inputs().len());
+        for &inp in self.net.inputs() {
+            let Some(l) = self.good[inp.index()] else {
+                bits.push(false);
+                continue;
+            };
+            assume.push(!l);
+            if self.solver.solve_with(&assume) == SatResult::Unsat {
+                assume.pop();
+                assume.push(l);
+                bits.push(true);
+            } else {
+                bits.push(false);
+            }
+        }
+        bits
+    }
+
+    /// Permanently deactivates a fault's clauses after its query.
+    fn retire(&mut self, act: Lit) {
+        self.solver.add_clause(&[!act]);
+    }
+
+    fn clear_scratch(&mut self) {
+        for &i in &self.touched {
+            self.in_tfo[i] = false;
+            self.faulty_var[i] = None;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Classifies one fault via a throwaway shared context (the
+/// [`crate::Engine::SharedSat`] path of [`crate::is_testable`]).
+pub(crate) fn classify_one(net: &Network, fault: Fault) -> Testability {
+    SharedCnf::new(net).classify(fault)
+}
+
+/// Classifies every fault with the shared-CNF engine: random-pattern
+/// pre-screen, per-fault incremental SAT, dynamic fault-dropping, and a
+/// worker pool of `opts.jobs` threads. The report is identical for every
+/// `jobs` value (see the module docs for why).
+pub fn classify_faults(
+    net: &Network,
+    faults: Vec<Fault>,
+    opts: ParallelOptions,
+) -> TestabilityReport {
+    let outcome = run(net, &faults, opts, &[], true, false);
+    let verdicts = outcome
+        .verdicts
+        .into_iter()
+        .map(|v| v.expect("a complete run decides every fault"))
+        .collect();
+    TestabilityReport { faults, verdicts }
+}
+
+/// Finds the first redundant fault in `faults` order, pre-screening with
+/// `cached_tests` (no fresh random patterns) and stopping the worker pool
+/// as soon as the in-order commit hits a redundancy. Because no test
+/// vector can ever detect a redundant fault, pre-screening and dropping
+/// never change *which* fault is reported — only how much SAT work finding
+/// it costs.
+pub fn scan_for_redundancy(
+    net: &Network,
+    faults: &[Fault],
+    opts: ParallelOptions,
+    cached_tests: &[Vec<bool>],
+) -> RedundancyScan {
+    let outcome = run(net, faults, opts, cached_tests, false, true);
+    RedundancyScan {
+        redundant: outcome.first_redundant.map(|i| faults[i]),
+        tests: outcome.sat_tests,
+    }
+}
+
+struct Outcome {
+    verdicts: Vec<Option<Testability>>,
+    first_redundant: Option<usize>,
+    sat_tests: Vec<Vec<bool>>,
+}
+
+/// A worker's message for survivor slot `k`: a speculative verdict, or a
+/// note that the slot was already drop-marked when the worker reached it.
+enum WorkerMsg {
+    Verdict(Testability),
+    Skipped,
+}
+
+fn run(
+    net: &Network,
+    faults: &[Fault],
+    opts: ParallelOptions,
+    prescreen: &[Vec<bool>],
+    with_random: bool,
+    stop_at_redundant: bool,
+) -> Outcome {
+    let jobs = opts.effective_jobs();
+    let mut tests: Vec<Vec<bool>> = prescreen.to_vec();
+    if with_random && opts.drop_patterns > 0 {
+        tests.extend(random_tests(net, opts.drop_patterns, opts.seed));
+    }
+    let mut verdicts: Vec<Option<Testability>> = vec![None; faults.len()];
+    if !tests.is_empty() {
+        let coverage = fault_simulate_cone_jobs(net, faults, &tests, jobs);
+        for (slot, hit) in verdicts.iter_mut().zip(&coverage.detected_by) {
+            if let Some(ti) = hit {
+                *slot = Some(Testability::Testable(tests[*ti].clone()));
+            }
+        }
+    }
+    let survivors: Vec<usize> = (0..faults.len())
+        .filter(|&i| verdicts[i].is_none())
+        .collect();
+    let mut outcome = Outcome {
+        verdicts,
+        first_redundant: None,
+        sat_tests: Vec::new(),
+    };
+    if survivors.is_empty() {
+        return outcome;
+    }
+    if jobs.min(survivors.len()) <= 1 {
+        run_sequential(net, faults, &survivors, stop_at_redundant, &mut outcome);
+    } else {
+        run_parallel(
+            net,
+            faults,
+            &survivors,
+            jobs.min(survivors.len()),
+            stop_at_redundant,
+            &mut outcome,
+        );
+    }
+    outcome
+}
+
+/// Commits a canonical verdict for survivor slot `k` (fault index `fi`):
+/// records it, harvests its vector, and drop-simulates the vector against
+/// the still-undecided later survivors. Returns `true` to stop the run.
+fn commit_testable(
+    net: &Network,
+    faults: &[Fault],
+    survivors: &[usize],
+    k: usize,
+    t: Vec<bool>,
+    outcome: &mut Outcome,
+    mut on_drop: impl FnMut(usize),
+) {
+    outcome.sat_tests.push(t.clone());
+    // (survivor slot, fault index) pairs still undecided after this commit.
+    let undecided: Vec<(usize, usize)> = survivors
+        .iter()
+        .enumerate()
+        .skip(k + 1)
+        .filter(|(_, &fi)| outcome.verdicts[fi].is_none())
+        .map(|(slot, &fi)| (slot, fi))
+        .collect();
+    if !undecided.is_empty() {
+        let sub: Vec<Fault> = undecided.iter().map(|&(_, fi)| faults[fi]).collect();
+        let cov = fault_simulate_cone(net, &sub, std::slice::from_ref(&t));
+        for (&(slot, fi), hit) in undecided.iter().zip(&cov.detected_by) {
+            if hit.is_some() {
+                outcome.verdicts[fi] = Some(Testability::Testable(t.clone()));
+                on_drop(slot);
+            }
+        }
+    }
+    outcome.verdicts[survivors[k]] = Some(Testability::Testable(t));
+}
+
+fn run_sequential(
+    net: &Network,
+    faults: &[Fault],
+    survivors: &[usize],
+    stop_at_redundant: bool,
+    outcome: &mut Outcome,
+) {
+    let mut ctx = SharedCnf::new(net);
+    for (k, &fi) in survivors.iter().enumerate() {
+        if outcome.verdicts[fi].is_some() {
+            continue; // dropped by an earlier committed vector
+        }
+        match ctx.classify(faults[fi]) {
+            Testability::Redundant => {
+                outcome.verdicts[fi] = Some(Testability::Redundant);
+                if stop_at_redundant {
+                    outcome.first_redundant = Some(fi);
+                    return;
+                }
+            }
+            Testability::Testable(t) => {
+                commit_testable(net, faults, survivors, k, t, outcome, |_| {});
+            }
+            Testability::Unknown => unreachable!("SAT classification is complete"),
+        }
+    }
+}
+
+fn run_parallel(
+    net: &Network,
+    faults: &[Fault],
+    survivors: &[usize],
+    jobs: usize,
+    stop_at_redundant: bool,
+    outcome: &mut Outcome,
+) {
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    // Advisory per-survivor drop flags: workers skip flagged slots; the
+    // committer is the only writer, so a stale read merely wastes a solve.
+    let dropped: Vec<AtomicBool> = survivors.iter().map(|_| AtomicBool::new(false)).collect();
+    let (tx, rx) = mpsc::channel::<(usize, WorkerMsg)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let (next, stop, dropped) = (&next, &stop, &dropped);
+            s.spawn(move || {
+                let mut ctx = SharedCnf::new(net);
+                loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= survivors.len() {
+                        break;
+                    }
+                    let msg = if dropped[k].load(Ordering::Acquire) {
+                        WorkerMsg::Skipped
+                    } else {
+                        WorkerMsg::Verdict(ctx.classify(faults[survivors[k]]))
+                    };
+                    if tx.send((k, msg)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // In-order commit on this thread: slot k is resolved either by a
+        // drop credit from an earlier committed vector or by the worker's
+        // speculative (canonical, so order-independent) verdict.
+        let mut pending: BTreeMap<usize, WorkerMsg> = BTreeMap::new();
+        for (k, &fi) in survivors.iter().enumerate() {
+            let verdict = if outcome.verdicts[fi].is_some() {
+                pending.remove(&k); // discard any speculative result
+                continue;
+            } else {
+                loop {
+                    if let Some(msg) = pending.remove(&k) {
+                        match msg {
+                            WorkerMsg::Verdict(v) => break v,
+                            // A worker saw the drop flag, which the
+                            // committer sets only after recording the
+                            // verdict — handled above.
+                            WorkerMsg::Skipped => {
+                                unreachable!("skip implies an already-committed drop")
+                            }
+                        }
+                    }
+                    match rx.recv() {
+                        Ok((j, m)) => {
+                            pending.insert(j, m);
+                        }
+                        Err(_) => unreachable!("every claimed slot sends exactly one message"),
+                    }
+                }
+            };
+            match verdict {
+                Testability::Redundant => {
+                    outcome.verdicts[fi] = Some(Testability::Redundant);
+                    if stop_at_redundant {
+                        outcome.first_redundant = Some(fi);
+                        stop.store(true, Ordering::Release);
+                        return;
+                    }
+                }
+                Testability::Testable(t) => {
+                    commit_testable(net, faults, survivors, k, t, outcome, |slot| {
+                        dropped[slot].store(true, Ordering::Release);
+                    });
+                }
+                Testability::Unknown => unreachable!("SAT classification is complete"),
+            }
+        }
+    });
+}

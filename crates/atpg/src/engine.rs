@@ -7,6 +7,7 @@
 
 use kms_netlist::Network;
 
+use crate::classify::ParallelOptions;
 use crate::fault::{all_faults, collapsed_faults, Fault, FaultSite};
 use crate::podem::{podem, PodemResult};
 
@@ -21,6 +22,7 @@ pub enum Engine {
         backtrack_limit: u64,
     },
     /// SAT miter between the good and faulty circuits — always complete.
+    /// Builds a fresh solver and re-encodes the fault's cone per query.
     #[default]
     Sat,
     /// PODEM first (cheap structural search with a small budget), SAT as
@@ -30,6 +32,13 @@ pub enum Engine {
         /// PODEM backtrack budget before falling back to SAT.
         podem_backtracks: u64,
     },
+    /// The shared-CNF incremental engine ([`crate::classify_faults`]):
+    /// the good circuit is encoded once per network state, faults are
+    /// classified under per-fault activation literals, SAT-derived test
+    /// vectors immediately fault-drop the remaining faults, and surviving
+    /// queries fan out across `jobs` worker threads. Always complete, and
+    /// deterministic for any `jobs` value.
+    SharedSat(ParallelOptions),
 }
 
 /// The verdict for one fault.
@@ -68,6 +77,7 @@ pub fn is_testable(net: &Network, fault: Fault, engine: Engine) -> Testability {
             PodemResult::Redundant => Testability::Redundant,
             PodemResult::Aborted => sat_testable(net, fault),
         },
+        Engine::SharedSat(_) => crate::classify::classify_one(net, fault),
     }
 }
 
@@ -188,34 +198,60 @@ fn encode_gate(
     out: kms_sat::Lit,
     pins: &[kms_sat::Lit],
 ) {
+    encode_gate_with_guard(solver, kind, out, pins, None)
+}
+
+/// As [`encode_gate`], but when `guard` is `Some(g)` every clause is
+/// prefixed with `¬g`, so the gate's constraints hold only while `g` is
+/// assumed true — the activation-literal scheme of the shared-CNF engine.
+pub(crate) fn encode_gate_with_guard(
+    solver: &mut kms_sat::Solver,
+    kind: kms_netlist::GateKind,
+    out: kms_sat::Lit,
+    pins: &[kms_sat::Lit],
+    guard: Option<kms_sat::Lit>,
+) {
     use kms_netlist::GateKind;
+    fn emit(solver: &mut kms_sat::Solver, guard: Option<kms_sat::Lit>, lits: &[kms_sat::Lit]) {
+        match guard {
+            None => {
+                solver.add_clause(lits);
+            }
+            Some(g) => {
+                let mut v = Vec::with_capacity(lits.len() + 1);
+                v.push(!g);
+                v.extend_from_slice(lits);
+                solver.add_clause(&v);
+            }
+        }
+    }
     match kind {
         GateKind::Input | GateKind::Const(_) => unreachable!("sources are never in a TFO"),
         GateKind::Buf => {
-            solver.add_clause(&[!out, pins[0]]);
-            solver.add_clause(&[out, !pins[0]]);
+            emit(solver, guard, &[!out, pins[0]]);
+            emit(solver, guard, &[out, !pins[0]]);
         }
         GateKind::Not => {
-            solver.add_clause(&[!out, !pins[0]]);
-            solver.add_clause(&[out, pins[0]]);
+            emit(solver, guard, &[!out, !pins[0]]);
+            emit(solver, guard, &[out, pins[0]]);
         }
         GateKind::And | GateKind::Nand => {
             let o = if kind == GateKind::And { out } else { !out };
             let mut big = vec![o];
             for &a in pins {
-                solver.add_clause(&[!o, a]);
+                emit(solver, guard, &[!o, a]);
                 big.push(!a);
             }
-            solver.add_clause(&big);
+            emit(solver, guard, &big);
         }
         GateKind::Or | GateKind::Nor => {
             let o = if kind == GateKind::Or { out } else { !out };
             let mut big = vec![!o];
             for &a in pins {
-                solver.add_clause(&[o, !a]);
+                emit(solver, guard, &[o, !a]);
                 big.push(a);
             }
-            solver.add_clause(&big);
+            emit(solver, guard, &big);
         }
         GateKind::Xor | GateKind::Xnor => {
             let mut acc = pins[0];
@@ -228,30 +264,30 @@ fn encode_gate(
                 } else {
                     solver.new_var().positive()
                 };
-                solver.add_clause(&[!t, acc, b]);
-                solver.add_clause(&[!t, !acc, !b]);
-                solver.add_clause(&[t, !acc, b]);
-                solver.add_clause(&[t, acc, !b]);
+                emit(solver, guard, &[!t, acc, b]);
+                emit(solver, guard, &[!t, !acc, !b]);
+                emit(solver, guard, &[t, !acc, b]);
+                emit(solver, guard, &[t, acc, !b]);
                 acc = t;
             }
             if pins.len() == 1 {
                 let o = if kind == GateKind::Xor { out } else { !out };
-                solver.add_clause(&[!o, pins[0]]);
-                solver.add_clause(&[o, !pins[0]]);
+                emit(solver, guard, &[!o, pins[0]]);
+                emit(solver, guard, &[o, !pins[0]]);
             }
         }
         GateKind::Mux => {
             let (s, d0, d1) = (pins[0], pins[1], pins[2]);
-            solver.add_clause(&[s, !out, d0]);
-            solver.add_clause(&[s, out, !d0]);
-            solver.add_clause(&[!s, !out, d1]);
-            solver.add_clause(&[!s, out, !d1]);
+            emit(solver, guard, &[s, !out, d0]);
+            emit(solver, guard, &[s, out, !d0]);
+            emit(solver, guard, &[!s, !out, d1]);
+            emit(solver, guard, &[!s, out, !d1]);
         }
     }
 }
 
 /// A whole-circuit testability report over the collapsed fault set.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TestabilityReport {
     /// The faults analyzed.
     pub faults: Vec<Fault>,
@@ -309,7 +345,16 @@ impl TestabilityReport {
 /// patterns first, deterministic generation for the survivors).
 pub fn random_tests(net: &Network, count: usize, seed: u64) -> Vec<Vec<bool>> {
     let n = net.inputs().len();
-    let mut state = seed | 1;
+    // Mix the seed through a splitmix64 finalizer so nearby seeds (and in
+    // particular the pairs 2k / 2k+1, which the old `seed | 1` collapsed
+    // onto one state) land on decorrelated xorshift trajectories.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    state ^= state >> 31;
+    if state == 0 {
+        state = 0x4B4D_5331_D1CE_CA5E;
+    }
     let mut next = move || {
         state ^= state >> 12;
         state ^= state << 25;
@@ -332,6 +377,9 @@ pub fn analyze_all(net: &Network, engine: Engine) -> TestabilityReport {
 }
 
 fn analyze_faults(net: &Network, faults: Vec<Fault>, engine: Engine) -> TestabilityReport {
+    if let Engine::SharedSat(opts) = engine {
+        return crate::classify::classify_faults(net, faults, opts);
+    }
     // Random-pattern pre-screen: most testable faults fall to a few
     // hundred cheap simulations; only the survivors pay for SAT/PODEM.
     let tests = random_tests(net, 256, 0x4B4D_5331);
@@ -352,6 +400,10 @@ fn analyze_faults(net: &Network, faults: Vec<Fault>, engine: Engine) -> Testabil
 /// existence of redundancies).
 pub fn find_redundant_fault(net: &Network, engine: Engine) -> Option<Fault> {
     let faults = collapsed_faults(net);
+    if let Engine::SharedSat(opts) = engine {
+        let cached = random_tests(net, 256, opts.seed);
+        return crate::classify::scan_for_redundancy(net, &faults, opts, &cached).redundant;
+    }
     let tests = random_tests(net, 256, 0x4B4D_5331);
     let coverage = crate::fsim::fault_simulate(net, &faults, &tests);
     faults
@@ -465,6 +517,23 @@ mod tests {
         let tests = r.tests();
         let cov = crate::fsim::fault_simulate(&net, &r.faults, &tests);
         assert!((cov.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_tests_distinguish_adjacent_seeds() {
+        // Regression: the old `seed | 1` initialisation made seeds 2k and
+        // 2k+1 generate identical pattern streams.
+        let mut net = Network::new("s");
+        for i in 0..8 {
+            net.add_input(format!("i{i}"));
+        }
+        for (a, b) in [(2u64, 3u64), (0, 1), (100, 101), (7, 8)] {
+            let ta = random_tests(&net, 16, a);
+            let tb = random_tests(&net, 16, b);
+            assert_ne!(ta, tb, "seeds {a} and {b} collided");
+            // Same seed must stay reproducible.
+            assert_eq!(ta, random_tests(&net, 16, a));
+        }
     }
 }
 

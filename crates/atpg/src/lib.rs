@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod classify;
 mod compact;
 mod engine;
 mod fault;
@@ -40,12 +41,16 @@ mod fsim;
 mod inject;
 mod podem;
 
+pub use classify::{classify_faults, scan_for_redundancy, ParallelOptions, RedundancyScan};
 pub use compact::{compact_tests, CompactionReport};
 pub use engine::{
     analyze, analyze_all, find_redundant_fault, is_testable, random_tests, redundancy_count,
     Engine, Testability, TestabilityReport,
 };
 pub use fault::{all_faults, collapsed_faults, Fault, FaultSite};
-pub use fsim::{fault_simulate, CoverageReport};
+pub use fsim::{
+    fault_simulate, fault_simulate_cone, fault_simulate_cone_jobs, fault_simulate_jobs,
+    CoverageReport,
+};
 pub use inject::{faulty_copy, inject_fault_in_place};
 pub use podem::{podem, Podem, PodemResult};

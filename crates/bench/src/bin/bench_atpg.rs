@@ -1,0 +1,197 @@
+//! ATPG classification-engine benchmark: sequential per-fault SAT vs the
+//! shared-CNF incremental engine (single-threaded and with a worker pool),
+//! emitting `BENCH_atpg.json` — the repository's perf trajectory for the
+//! fault-classification hot path.
+//!
+//! Usage: `bench_atpg [--smoke] [--jobs N] [--out FILE]`
+//!
+//! * `--smoke` — two small circuits, one rep: CI schema/determinism check.
+//! * `--jobs N` — worker count for the parallel configuration (default 4).
+//! * `--out FILE` — output path (default `BENCH_atpg.json`).
+//!
+//! Every timed run is also cross-checked: the three configurations must
+//! report the same redundant-fault set, and the two shared-CNF
+//! configurations must produce bit-identical `TestabilityReport`s.
+
+use std::time::Instant;
+
+use kms_atpg::{analyze, Engine, ParallelOptions, TestabilityReport};
+use kms_bench::table1_csa;
+use kms_netlist::Network;
+use kms_opt::flow::{prepare_benchmark, FlowOptions};
+use kms_timing::InputArrivals;
+
+struct Config {
+    smoke: bool,
+    jobs: usize,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        smoke: false,
+        jobs: 4,
+        out: "BENCH_atpg.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--jobs" | "-j" => {
+                cfg.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+            }
+            "--out" | "-o" => {
+                cfg.out = it.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: bench_atpg [--smoke] [--jobs N] [--out FILE]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unexpected argument {other:?}")),
+        }
+    }
+    cfg
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// The late-last-input arrivals of the Table I MCNC flow (the prepared
+/// networks are cached here so every engine times the same circuit).
+fn mcnc_net(name: &str) -> Network {
+    let suite = kms_gen::mcnc::table1_suite();
+    let b = suite
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| die(&format!("no MCNC benchmark {name:?}")));
+    let late = |net: &Network| {
+        let mut arr = InputArrivals::zero();
+        if let Some(&last) = net.inputs().last() {
+            arr.set(last, 4);
+        }
+        arr
+    };
+    let (net, _) = prepare_benchmark(&b.pla, b.name, late, FlowOptions::default());
+    net
+}
+
+/// Minimum wall-clock over `reps` runs of `f` (min, not mean: the lowest
+/// observation has the least scheduler noise), plus the last report.
+fn time_min<F: FnMut() -> TestabilityReport>(reps: usize, mut f: F) -> (f64, TestabilityReport) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+struct Row {
+    name: String,
+    gates: usize,
+    faults: usize,
+    seq_s: f64,
+    shared1_s: f64,
+    sharedn_s: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let cfg = parse_args();
+    let reps = if cfg.smoke { 1 } else { 3 };
+    let circuits: Vec<(String, Network)> = if cfg.smoke {
+        vec![
+            ("csa 2.2".into(), table1_csa(2, 2)),
+            ("rd73".into(), mcnc_net("rd73")),
+        ]
+    } else {
+        let mut v: Vec<(String, Network)> = [(2, 2), (4, 4), (8, 2), (8, 4), (16, 4)]
+            .into_iter()
+            .map(|(bits, block)| (format!("csa {bits}.{block}"), table1_csa(bits, block)))
+            .collect();
+        for name in ["rd73", "sao2", "misex1", "f51m"] {
+            v.push((name.to_string(), mcnc_net(name)));
+        }
+        v
+    };
+
+    let shared1 = Engine::SharedSat(ParallelOptions {
+        jobs: 1,
+        ..Default::default()
+    });
+    let sharedn = Engine::SharedSat(ParallelOptions {
+        jobs: cfg.jobs,
+        ..Default::default()
+    });
+
+    let mut rows = Vec::new();
+    for (name, net) in &circuits {
+        let (seq_s, seq_r) = time_min(reps, || analyze(net, Engine::Sat));
+        let (shared1_s, shared1_r) = time_min(reps, || analyze(net, shared1));
+        let (sharedn_s, sharedn_r) = time_min(reps, || analyze(net, sharedn));
+        // Correctness gates: same redundant set everywhere, bit-identical
+        // reports across the shared-CNF thread counts.
+        assert_eq!(
+            seq_r.redundant(),
+            shared1_r.redundant(),
+            "{name}: redundant sets differ (seq vs shared)"
+        );
+        assert_eq!(
+            shared1_r, sharedn_r,
+            "{name}: shared-CNF report depends on the job count"
+        );
+        eprintln!(
+            "{name:<10} {:>5} faults  seq {seq_s:.4}s  shared1 {shared1_s:.4}s  shared{} {sharedn_s:.4}s  ({:.2}x)",
+            seq_r.faults.len(),
+            cfg.jobs,
+            seq_s / sharedn_s
+        );
+        rows.push(Row {
+            name: name.clone(),
+            gates: net.simple_gate_count(),
+            faults: seq_r.faults.len(),
+            seq_s,
+            shared1_s,
+            sharedn_s,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"atpg_classification\",\n  \"mode\": \"{}\",\n  \"jobs\": {},\n  \"reps\": {},\n  \"rows\": [\n",
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.jobs,
+        reps
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"faults\": {}, \
+             \"sequential_s\": {:.6}, \"shared1_s\": {:.6}, \"sharedN_s\": {:.6}, \
+             \"speedup_shared1\": {:.3}, \"speedup_sharedN\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            r.gates,
+            r.faults,
+            r.seq_s,
+            r.shared1_s,
+            r.sharedn_s,
+            r.seq_s / r.shared1_s,
+            r.seq_s / r.sharedn_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&cfg.out, &json).unwrap_or_else(|e| die(&format!("write {}: {e}", cfg.out)));
+    eprintln!("wrote {}", cfg.out);
+}

@@ -1,6 +1,8 @@
 //! Regenerates Table I of the paper (experiments E1 and E2).
 //!
-//! Usage: `table1 [--csa] [--mcnc] [--no-verify]` (no flags = both).
+//! Usage: `table1 [--csa] [--mcnc] [--no-verify] [--jobs N]`
+//! (no selection flags = both suites). `--jobs N` switches the ATPG to the
+//! shared-CNF classification engine with `N` workers (0 = all cores).
 //!
 //! Columns: redundancy count, initial/final simple-gate counts, viable
 //! delay before/after, topological delay before/after, loop iterations,
@@ -11,7 +13,22 @@
 //! area moves both ways — is the reproduction target (see EXPERIMENTS.md).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = kms_atpg::Engine::Sat;
+    if let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("error: --jobs needs a number");
+                std::process::exit(2);
+            });
+        engine = kms_atpg::Engine::SharedSat(kms_atpg::ParallelOptions {
+            jobs: n,
+            ..Default::default()
+        });
+        args.drain(i..i + 2);
+    }
     let verify = !args.iter().any(|a| a == "--no-verify");
     let which_csa = args.is_empty()
         || args.iter().any(|a| a == "--csa")
@@ -23,13 +40,13 @@ fn main() {
     println!("Table I — redundancy removal with no delay increase");
     println!("{}", kms_bench::Table1Row::header());
     if which_csa {
-        for row in kms_bench::csa_rows(verify) {
+        for row in kms_bench::csa_rows_engine(verify, engine) {
             println!("{}", row.format());
         }
     }
     if which_mcnc {
         for b in kms_gen::mcnc::table1_suite() {
-            let row = kms_bench::mcnc_row(&b, verify);
+            let row = kms_bench::mcnc_row_engine(&b, verify, engine);
             println!("{}", row.format());
         }
     }

@@ -15,7 +15,7 @@
 #![warn(missing_docs)]
 
 use kms_atpg::Engine;
-use kms_core::{kms_on_copy, verify_kms_invariants_with, Condition, KmsOptions};
+use kms_core::{kms_on_copy, verify_kms_invariants_engine, Condition, KmsOptions};
 use kms_gen::mcnc::Benchmark;
 use kms_netlist::{transform, DelayModel, Network};
 use kms_opt::flow::{prepare_benchmark, FlowOptions};
@@ -103,6 +103,19 @@ pub fn table1_csa(bits: usize, block: usize) -> Network {
 /// (equivalence, full testability, no viable-delay increase) — slower, so
 /// the scaling sweeps can turn it off.
 pub fn run_row(name: &str, net: &Network, arrivals: &InputArrivals, verify: bool) -> Table1Row {
+    run_row_engine(name, net, arrivals, verify, Engine::Sat)
+}
+
+/// As [`run_row`], with an explicit ATPG engine used for the redundancy
+/// count, the removal phase, and the invariant check — pass
+/// [`Engine::SharedSat`] to measure the shared-CNF classification engine.
+pub fn run_row_engine(
+    name: &str,
+    net: &Network,
+    arrivals: &InputArrivals,
+    verify: bool,
+    engine: Engine,
+) -> Table1Row {
     // The BDD-backed viability oracle is exponential in the input count;
     // wide benchmarks are measured with the SAT-backed static-
     // sensitization metric instead (as the paper's own implementation
@@ -114,17 +127,24 @@ pub fn run_row(name: &str, net: &Network, arrivals: &InputArrivals, verify: bool
         PathCondition::Viability
     };
     let cap = if wide { 200_000 } else { 1 << 22 };
-    let redundancies = kms_atpg::redundancy_count(net, Engine::Sat);
+    let redundancies = kms_atpg::redundancy_count(net, engine);
     let delay_initial = computed_delay(net, arrivals, condition, cap)
         .expect("simple-gate network")
         .delay;
-    let (after, report) =
-        kms_on_copy(net, arrivals, KmsOptions::default()).expect("simple-gate network");
+    let (after, report) = kms_on_copy(
+        net,
+        arrivals,
+        KmsOptions {
+            engine,
+            ..Default::default()
+        },
+    )
+    .expect("simple-gate network");
     let delay_final = computed_delay(&after, arrivals, condition, cap)
         .expect("simple-gate network")
         .delay;
     let verified = if verify {
-        verify_kms_invariants_with(net, &after, arrivals, condition, cap)
+        verify_kms_invariants_engine(net, &after, arrivals, condition, cap, engine)
             .expect("simple-gate network")
             .holds()
     } else {
@@ -147,15 +167,21 @@ pub fn run_row(name: &str, net: &Network, arrivals: &InputArrivals, verify: bool
 
 /// The carry-skip rows of Table I: csa 2.2, 4.4, 8.2, 8.4.
 pub fn csa_rows(verify: bool) -> Vec<Table1Row> {
+    csa_rows_engine(verify, Engine::Sat)
+}
+
+/// See [`csa_rows`]; `engine` selects the ATPG engine for every row.
+pub fn csa_rows_engine(verify: bool, engine: Engine) -> Vec<Table1Row> {
     [(2, 2), (4, 4), (8, 2), (8, 4)]
         .into_iter()
         .map(|(bits, block)| {
             let net = table1_csa(bits, block);
-            run_row(
+            run_row_engine(
                 &format!("csa {bits}.{block}"),
                 &net,
                 &InputArrivals::zero(),
                 verify,
+                engine,
             )
         })
         .collect()
@@ -174,10 +200,15 @@ fn late_last_input(net: &Network) -> InputArrivals {
 /// One MCNC-substitute row: PLA → area optimization → timing optimization
 /// (redundancy-introducing bypass) → KMS.
 pub fn mcnc_row(benchmark: &Benchmark, verify: bool) -> Table1Row {
+    mcnc_row_engine(benchmark, verify, Engine::Sat)
+}
+
+/// See [`mcnc_row`]; `engine` selects the ATPG engine.
+pub fn mcnc_row_engine(benchmark: &Benchmark, verify: bool, engine: Engine) -> Table1Row {
     let options = FlowOptions::default();
     let (net, _) = prepare_benchmark(&benchmark.pla, benchmark.name, late_last_input, options);
     let arrivals = late_last_input(&net);
-    run_row(benchmark.name, &net, &arrivals, verify)
+    run_row_engine(benchmark.name, &net, &arrivals, verify, engine)
 }
 
 /// The MCNC-substitute rows of Table I.

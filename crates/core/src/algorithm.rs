@@ -21,8 +21,10 @@
 //! the computed delay) guarantee the loop invariant; both are re-proved as
 //! property tests in this repository.
 
+use std::time::{Duration, Instant};
+
 use kms_atpg::{Engine, Fault};
-use kms_netlist::{transform, GateId, NetlistError, Network, Path};
+use kms_netlist::{transform, NetlistError, Network, Path};
 use kms_opt::naive_redundancy_removal;
 use kms_timing::{
     is_statically_sensitizable, InputArrivals, PathEnumerator, Time, ViabilityAnalysis,
@@ -94,6 +96,28 @@ pub struct KmsIteration {
     pub gates_after: usize,
 }
 
+/// Wall-clock spent in each phase of a [`kms`] run, accumulated across
+/// iterations. Makes the cost split (and any speedup) observable rather
+/// than asserted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KmsPhaseTimings {
+    /// Longest-path enumeration inside the while loop.
+    pub path_enum: Duration,
+    /// Sensitization/viability oracle queries.
+    pub oracle: Duration,
+    /// Network surgery: duplication and constant propagation.
+    pub transform: Duration,
+    /// The final remove-remaining-redundancies phase (ATPG).
+    pub atpg: Duration,
+}
+
+impl KmsPhaseTimings {
+    /// Sum of all phase timers.
+    pub fn total(&self) -> Duration {
+        self.path_enum + self.oracle + self.transform + self.atpg
+    }
+}
+
 /// The full report of a [`kms`] run.
 #[derive(Clone, Debug)]
 pub struct KmsReport {
@@ -119,6 +143,8 @@ pub struct KmsReport {
     /// `true` if the iteration cap stopped the loop early (never observed
     /// on the paper's circuits; reported for safety).
     pub capped: bool,
+    /// Per-phase wall-clock breakdown.
+    pub timings: KmsPhaseTimings,
 }
 
 /// With the `debug-invariants` feature enabled, re-lints the network after
@@ -132,17 +158,24 @@ fn check_invariants(net: &Network, context: &str) {
 #[cfg(not(feature = "debug-invariants"))]
 fn check_invariants(_net: &Network, _context: &str) {}
 
-fn max_fanout(net: &Network) -> usize {
-    let fo = net.fanouts();
-    net.gate_ids()
-        .map(|g| fo[g.index()].len() + net.outputs().iter().filter(|o| o.src == g).count())
-        .max()
-        .unwrap_or(0)
+/// Per-gate count of primary outputs driven, built in one pass over the
+/// output list (the old per-gate `net.outputs()` rescans were
+/// O(gates × outputs)).
+fn output_counts(net: &Network) -> Vec<usize> {
+    let mut counts = vec![0usize; net.num_gate_slots()];
+    for o in net.outputs() {
+        counts[o.src.index()] += 1;
+    }
+    counts
 }
 
-/// Total fanout (connections + primary outputs) of `gate`.
-fn fanout_count(net: &Network, fo: &[Vec<kms_netlist::ConnRef>], gate: GateId) -> usize {
-    fo[gate.index()].len() + net.outputs().iter().filter(|o| o.src == gate).count()
+fn max_fanout(net: &Network) -> usize {
+    let fo = net.fanouts();
+    let oc = output_counts(net);
+    net.gate_ids()
+        .map(|g| fo[g.index()].len() + oc[g.index()])
+        .max()
+        .unwrap_or(0)
 }
 
 /// A per-iteration condition oracle: the SAT encoding (or the BDD node
@@ -201,6 +234,7 @@ pub fn kms(
     let mut iterations = Vec::new();
     let mut duplicated_gates = 0usize;
     let mut capped = false;
+    let mut timings = KmsPhaseTimings::default();
 
     for _iter in 0.. {
         if _iter >= options.max_iterations {
@@ -208,6 +242,7 @@ pub fn kms(
             break;
         }
         // Collect the longest paths (all of maximal length, capped).
+        let t0 = Instant::now();
         let mut en = PathEnumerator::new(net, arrivals).with_effort_cap(options.effort_cap);
         let mut longest: Vec<Path> = Vec::new();
         let mut longest_length: Option<Time> = None;
@@ -227,12 +262,14 @@ pub fn kms(
                 Some(_) => break,
             }
         }
+        timings.path_enum += t0.elapsed();
         let Some(longest_length) = longest_length else {
             break; // no IO-paths at all (constant circuit)
         };
         // While-loop header: stop when some longest path satisfies the
         // condition — then that path determines the delay and the
         // remaining redundancies may go in any order.
+        let t0 = Instant::now();
         let mut target: Option<Path> = None;
         let mut any_sensitizable = false;
         {
@@ -247,16 +284,22 @@ pub fn kms(
                 }
             }
         }
+        timings.oracle += t0.elapsed();
         if any_sensitizable {
             break;
         }
         let Some(path) = target else { break };
 
         // Find n: the gate in P closest to the output with fanout > 1.
+        // Both fanout tables are built once per iteration and shared by
+        // every per-gate lookup (the old code re-scanned `net.outputs()`
+        // for each gate on the path).
+        let t0 = Instant::now();
         let fo = net.fanouts();
+        let oc = output_counts(net);
         let mut n_pos: Option<usize> = None;
         for (i, g) in path.gates().enumerate() {
-            if fanout_count(net, &fo, g) > 1 {
+            if fo[g.index()].len() + oc[g.index()] > 1 {
                 n_pos = Some(i); // keep the last (closest to the output)
             }
         }
@@ -284,6 +327,7 @@ pub fn kms(
         let value = first_kind.controlling_value().unwrap_or(false);
         transform::set_conn_const(net, first, value);
         check_invariants(net, "after set_conn_const");
+        timings.transform += t0.elapsed();
 
         iterations.push(KmsIteration {
             longest_length,
@@ -295,7 +339,9 @@ pub fn kms(
     }
 
     // Final phase: remove remaining redundancies in any order.
+    let t0 = Instant::now();
     let naive = naive_redundancy_removal(net, options.engine);
+    timings.atpg += t0.elapsed();
     check_invariants(net, "after naive_redundancy_removal");
     if options.strash {
         transform::structural_hash(net);
@@ -318,6 +364,7 @@ pub fn kms(
         max_fanout_before,
         max_fanout_after: max_fanout(net),
         capped,
+        timings,
     })
 }
 

@@ -34,5 +34,10 @@
 mod algorithm;
 mod verify;
 
-pub use algorithm::{kms, kms_on_copy, Condition, KmsIteration, KmsOptions, KmsReport};
-pub use verify::{verify_kms_invariants, verify_kms_invariants_with, InvariantReport};
+pub use algorithm::{
+    kms, kms_on_copy, Condition, KmsIteration, KmsOptions, KmsPhaseTimings, KmsReport,
+};
+pub use verify::{
+    verify_kms_invariants, verify_kms_invariants_engine, verify_kms_invariants_with,
+    InvariantReport,
+};

@@ -63,8 +63,27 @@ pub fn verify_kms_invariants_with(
     condition: PathCondition,
     effort_cap: usize,
 ) -> Result<InvariantReport, NetlistError> {
+    verify_kms_invariants_engine(before, after, arrivals, condition, effort_cap, Engine::Sat)
+}
+
+/// As [`verify_kms_invariants_with`], with an explicit ATPG engine for the
+/// full-testability check — pass [`Engine::SharedSat`] to reuse the
+/// shared-CNF classification engine (and its worker pool) on large
+/// circuits.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::NotSimple`] from the sensitization oracles.
+pub fn verify_kms_invariants_engine(
+    before: &Network,
+    after: &Network,
+    arrivals: &InputArrivals,
+    condition: PathCondition,
+    effort_cap: usize,
+    engine: Engine,
+) -> Result<InvariantReport, NetlistError> {
     let equivalent = check_equivalence(before, after).is_equivalent();
-    let fully_testable = analyze(after, Engine::Sat).fully_testable();
+    let fully_testable = analyze(after, engine).fully_testable();
     let db = computed_delay(before, arrivals, condition, effort_cap)?;
     let da = computed_delay(after, arrivals, condition, effort_cap)?;
     let (sb, sa) = if condition == PathCondition::StaticSensitization {

@@ -54,5 +54,5 @@ pub use error::NetlistError;
 pub use gate::{ConnRef, GateId, GateKind, Pin};
 pub use network::{Gate, Network, Output};
 pub use path::Path;
-pub use sim::{Cube, ParseCubeError, Value};
+pub use sim::{eval_gate_words, Cube, ParseCubeError, Value};
 pub use stats::NetworkStats;

@@ -163,7 +163,10 @@ impl FromStr for Cube {
     }
 }
 
-fn eval_gate_words(kind: GateKind, pins: &[u64]) -> u64 {
+/// Word-parallel evaluation of one gate: bit `k` of the result is the
+/// gate's output for the `k`-th of 64 packed input vectors. Exposed for
+/// cone-restricted fault simulators that splice their own fanin words.
+pub fn eval_gate_words(kind: GateKind, pins: &[u64]) -> u64 {
     match kind {
         GateKind::Input => unreachable!("inputs are seeded"),
         GateKind::Const(false) => 0,

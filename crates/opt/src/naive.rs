@@ -76,6 +76,9 @@ pub fn remove_fault(net: &mut Network, fault: Fault) {
 /// testable without a decision-procedure call.
 pub fn naive_redundancy_removal(net: &mut Network, engine: Engine) -> NaiveRemovalReport {
     use kms_atpg::{collapsed_faults, fault_simulate, is_testable, Testability};
+    if let Engine::SharedSat(opts) = engine {
+        return shared_redundancy_removal(net, opts);
+    }
     let gates_before = net.simple_gate_count();
     let mut removed = Vec::new();
     let mut tests: Vec<Vec<bool>> = kms_atpg::random_tests(net, 128, 0x4B4D_5332);
@@ -98,6 +101,42 @@ pub fn naive_redundancy_removal(net: &mut Network, engine: Engine) -> NaiveRemov
             }
         }
         break;
+    }
+    NaiveRemovalReport {
+        removed,
+        gates_before,
+        gates_after: net.simple_gate_count(),
+    }
+}
+
+/// The shared-CNF variant of [`naive_redundancy_removal`]: each restart
+/// encodes the good circuit once and scans the collapsed fault set against
+/// it, carrying every discovered test vector across restarts. Because a
+/// redundant fault is by definition detected by no test, pre-screening and
+/// dropping never change which fault is the first redundant one — the
+/// removal sequence matches the per-fault engines'.
+fn shared_redundancy_removal(
+    net: &mut Network,
+    opts: kms_atpg::ParallelOptions,
+) -> NaiveRemovalReport {
+    use kms_atpg::{collapsed_faults, scan_for_redundancy};
+    let gates_before = net.simple_gate_count();
+    let mut removed = Vec::new();
+    let mut tests: Vec<Vec<bool>> = kms_atpg::random_tests(net, 128, 0x4B4D_5332);
+    loop {
+        let faults = collapsed_faults(net);
+        let scan = scan_for_redundancy(net, &faults, opts, &tests);
+        tests.extend(scan.tests);
+        match scan.redundant {
+            Some(f) => {
+                remove_fault(net, f);
+                removed.push(f);
+                // Removal changes the input count only if constant
+                // propagation killed an input's last consumer — inputs are
+                // preserved by `remove_fault`, so cached tests stay valid.
+            }
+            None => break,
+        }
     }
     NaiveRemovalReport {
         removed,

@@ -10,6 +10,9 @@
 //!                           while-loop condition (default: static)
 //!   -a, --arrival <input>=<time>
 //!                           per-input arrival offset (repeatable)
+//!   -j, --jobs <N>          use the shared-CNF classification engine with
+//!                           N worker threads (0 = all cores) for the
+//!                           removal phase
 //!   -q, --quiet             suppress the report
 //! ```
 
@@ -27,6 +30,7 @@ struct Args {
     model: DelayModel,
     condition: Condition,
     arrivals: Vec<(String, i64)>,
+    jobs: Option<usize>,
     quiet: bool,
 }
 
@@ -37,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         model: DelayModel::Unit,
         condition: Condition::StaticSensitization,
         arrivals: Vec::new(),
+        jobs: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -65,9 +70,13 @@ fn parse_args() -> Result<Args, String> {
                 let t: i64 = t.parse().map_err(|_| format!("bad time in {spec:?}"))?;
                 args.arrivals.push((name.to_string(), t));
             }
+            "-j" | "--jobs" => {
+                let n = it.next().ok_or("missing value for --jobs")?;
+                args.jobs = Some(n.parse().map_err(|_| format!("bad job count {n:?}"))?);
+            }
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => {
-                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... <input.blif | ->");
+                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-j N] <input.blif | ->");
                 std::process::exit(0);
             }
             other if args.input.is_empty() => args.input = other.to_string(),
@@ -108,11 +117,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         arrivals.set(id, *t);
     }
 
+    let engine = match args.jobs {
+        Some(jobs) => kms::atpg::Engine::SharedSat(kms::atpg::ParallelOptions {
+            jobs,
+            ..Default::default()
+        }),
+        None => kms::atpg::Engine::Sat,
+    };
     let report = run_kms(
         &mut net,
         &arrivals,
         KmsOptions {
             condition: args.condition,
+            engine,
             ..Default::default()
         },
     )?;
@@ -135,6 +152,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             } else {
                 format!(" ({} latches cut)", circuit.latches.len())
             }
+        );
+        let t = &report.timings;
+        eprintln!(
+            "phases: path_enum {:.3?}, oracle {:.3?}, transform {:.3?}, atpg {:.3?}",
+            t.path_enum, t.oracle, t.transform, t.atpg
         );
     }
 

@@ -1,0 +1,138 @@
+//! Determinism and agreement guarantees of the shared-CNF classification
+//! engine (`Engine::SharedSat`):
+//!
+//! * the `TestabilityReport` — verdicts *and* test vectors — is bit-identical
+//!   across `jobs ∈ {1, 2, 8}` and equal to repeated runs (the canonical
+//!   lex-min vector scheme makes results independent of thread scheduling);
+//! * redundancy verdicts agree with the per-fault SAT engine;
+//! * dynamic fault-dropping (any `drop_patterns` setting) never changes the
+//!   redundant-fault set;
+//! * the naive removal trajectory under `SharedSat` matches `Sat`'s.
+
+use kms::atpg::{analyze, fault_simulate, Engine, ParallelOptions, Testability};
+use kms::gen::paper::fig1_carry_skip_block;
+use kms::gen::random::{random_network, RandomNetworkSpec};
+use kms::netlist::{transform, DelayModel, Network};
+use kms::opt::naive_redundancy_removal;
+
+fn carry_skip() -> Network {
+    let mut net = kms::gen::adders::carry_skip_adder(4, 4, DelayModel::Unit);
+    transform::decompose_to_simple(&mut net);
+    net.apply_delay_model(DelayModel::Unit);
+    net
+}
+
+fn seeded_random() -> Network {
+    random_network(
+        0xA11CE,
+        RandomNetworkSpec {
+            inputs: 7,
+            gates: 30,
+            outputs: 3,
+            max_fanin: 3,
+            max_delay: 2,
+        },
+    )
+}
+
+fn shared(jobs: usize) -> Engine {
+    Engine::SharedSat(ParallelOptions {
+        jobs,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn report_identical_across_job_counts() {
+    for net in [fig1_carry_skip_block(), carry_skip(), seeded_random()] {
+        let baseline = analyze(&net, shared(1));
+        for jobs in [1usize, 2, 8] {
+            let r = analyze(&net, shared(jobs));
+            assert_eq!(r, baseline, "jobs={jobs} diverged on {}", net.name());
+        }
+        // Repeated runs are stable too (no hidden global state).
+        assert_eq!(analyze(&net, shared(2)), baseline);
+    }
+}
+
+#[test]
+fn shared_agrees_with_sequential_sat_engine() {
+    for net in [carry_skip(), seeded_random()] {
+        let seq = analyze(&net, Engine::Sat);
+        let par = analyze(&net, shared(8));
+        assert_eq!(seq.faults, par.faults);
+        for ((f, vs), vp) in seq.faults.iter().zip(&seq.verdicts).zip(&par.verdicts) {
+            assert_eq!(
+                vs.is_redundant(),
+                vp.is_redundant(),
+                "engines disagree on {f} in {}",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_vectors_actually_detect() {
+    let net = carry_skip();
+    let r = analyze(&net, shared(2));
+    let faults: Vec<_> = r
+        .faults
+        .iter()
+        .zip(&r.verdicts)
+        .filter_map(|(&f, v)| matches!(v, Testability::Testable(_)).then_some(f))
+        .collect();
+    let tests: Vec<Vec<bool>> = r
+        .verdicts
+        .iter()
+        .filter_map(|v| match v {
+            Testability::Testable(t) => Some(t.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(faults.len(), tests.len());
+    for (f, t) in faults.iter().zip(&tests) {
+        let cov = fault_simulate(&net, std::slice::from_ref(f), std::slice::from_ref(t));
+        assert!(cov.detected_by[0].is_some(), "{f}: vector fails to detect");
+    }
+}
+
+#[test]
+fn dropping_never_changes_the_redundant_set() {
+    for net in [carry_skip(), seeded_random()] {
+        let mut sets = Vec::new();
+        for drop_patterns in [0usize, 256] {
+            let r = analyze(
+                &net,
+                Engine::SharedSat(ParallelOptions {
+                    jobs: 2,
+                    drop_patterns,
+                    ..Default::default()
+                }),
+            );
+            sets.push(r.redundant());
+        }
+        assert_eq!(
+            sets[0],
+            sets[1],
+            "drop_patterns changed the redundant set on {}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn naive_removal_trajectory_matches() {
+    for jobs in [1usize, 4] {
+        let mut a = carry_skip();
+        let mut b = carry_skip();
+        let ra = naive_redundancy_removal(&mut a, Engine::Sat);
+        let rb = naive_redundancy_removal(&mut b, shared(jobs));
+        assert_eq!(
+            ra.removed, rb.removed,
+            "removal sequences diverged (jobs={jobs})"
+        );
+        assert_eq!(ra.gates_after, rb.gates_after);
+        a.exhaustive_equiv(&b).unwrap();
+    }
+}
