@@ -1,0 +1,252 @@
+//! Machine-checkable static-redundancy reports.
+//!
+//! Every fault the analysis proves untestable carries a [`Witness`]: the
+//! constant line, the missing observation path, or the implication chain
+//! that refutes the fault's necessary detection conditions. The report is
+//! what `kms-sweep` prints and what the cross-validation tests replay
+//! against the SAT/PODEM oracle.
+
+use std::fmt;
+
+use kms_netlist::{ConnRef, GateId};
+
+use crate::implic::ImplStep;
+
+/// A stuck-at fault site, independent of `kms-atpg`'s fault type (the
+/// analysis crate sits below the ATPG layer; callers convert).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FaultRef {
+    /// The output of a gate.
+    Output(GateId),
+    /// A specific input connection of a gate.
+    Conn(ConnRef),
+}
+
+impl fmt::Display for FaultRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultRef::Output(g) => write!(f, "{g}/out"),
+            FaultRef::Conn(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The proof that a stuck-at fault is untestable.
+#[derive(Clone, Debug)]
+pub enum Witness {
+    /// The faulted line is proved constant at the stuck value, so the
+    /// fault can never be excited.
+    Unexcitable {
+        /// The driving node of the faulted line.
+        node: GateId,
+        /// Its proved constant value (equal to the stuck value).
+        value: bool,
+    },
+    /// No primary output is reachable from the fault site, so the fault
+    /// can never be observed.
+    Unobservable,
+    /// The necessary detection conditions (excitation plus dominator side
+    /// inputs at noncontrolling values) are refuted by static implication.
+    ImplicationConflict {
+        /// The assumed detection conditions.
+        assumptions: Vec<(GateId, bool)>,
+        /// The implication chain ending in a contradiction.
+        steps: Vec<ImplStep>,
+    },
+}
+
+impl Witness {
+    /// Short machine-readable tag for the witness kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Witness::Unexcitable { .. } => "unexcitable",
+            Witness::Unobservable => "unobservable",
+            Witness::ImplicationConflict { .. } => "implication-conflict",
+        }
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Witness::Unexcitable { node, value } => {
+                write!(f, "line {node} is constant {}", *value as u8)
+            }
+            Witness::Unobservable => write!(f, "no primary output in the fault's fanout cone"),
+            Witness::ImplicationConflict { assumptions, steps } => {
+                write!(f, "detection conditions [")?;
+                for (i, (g, v)) in assumptions.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{g}={}", *v as u8)?;
+                }
+                write!(f, "] refuted: ")?;
+                for (i, s) in steps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One statically proved untestable fault.
+#[derive(Clone, Debug)]
+pub struct StaticFaultProof {
+    /// The fault site.
+    pub fault: FaultRef,
+    /// The stuck value.
+    pub stuck: bool,
+    /// The proof.
+    pub witness: Witness,
+}
+
+/// Aggregate counters of one analysis run.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct AnalysisStats {
+    /// Live logic gates analyzed.
+    pub live_gates: usize,
+    /// Structural duplicates found by strashing.
+    pub strash_duplicates: usize,
+    /// Nodes merged by SAT sweeping (beyond the structural ones).
+    pub sat_merged: usize,
+    /// Of the SAT merges, how many are antivalent (complement) merges.
+    pub antivalent_merged: usize,
+    /// Nodes proved constant by SAT sweeping.
+    pub constant_nodes: usize,
+    /// Constants discovered by static learning alone.
+    pub learned_constants: usize,
+    /// Incremental SAT calls spent by the sweep.
+    pub sat_checks: usize,
+    /// 64-pattern simulation words used for signatures.
+    pub sim_words: usize,
+    /// Direct implication edges in the database (after learning).
+    pub implication_edges: usize,
+}
+
+/// The full static-analysis verdict over a fault list.
+#[derive(Clone, Debug)]
+pub struct StaticRedundancyReport {
+    /// Name of the analyzed network.
+    pub network: String,
+    /// Number of faults the analysis was asked about.
+    pub total_faults: usize,
+    /// The faults proved untestable, with witnesses, in input order.
+    pub proofs: Vec<StaticFaultProof>,
+    /// Analysis counters.
+    pub stats: AnalysisStats,
+}
+
+impl StaticRedundancyReport {
+    /// Number of faults proved untestable.
+    pub fn proved_count(&self) -> usize {
+        self.proofs.len()
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "static redundancy report for {:?}: {}/{} faults proved untestable",
+            self.network,
+            self.proved_count(),
+            self.total_faults
+        );
+        let _ = writeln!(
+            s,
+            "  nodes: {} live, {} strash duplicates, {} SAT-merged ({} antivalent), \
+             {} constant ({} learned); {} SAT checks, {} sim words, {} implication edges",
+            self.stats.live_gates,
+            self.stats.strash_duplicates,
+            self.stats.sat_merged,
+            self.stats.antivalent_merged,
+            self.stats.constant_nodes,
+            self.stats.learned_constants,
+            self.stats.sat_checks,
+            self.stats.sim_words,
+            self.stats.implication_edges
+        );
+        for p in &self.proofs {
+            let _ = writeln!(
+                s,
+                "  {} stuck-at-{} [{}]: {}",
+                p.fault,
+                p.stuck as u8,
+                p.witness.kind(),
+                p.witness
+            );
+        }
+        s
+    }
+
+    /// JSON rendering (schema mirrors the text report; `schema_version` 1).
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"schema_version\": 1,\n  \"network\": {},\n  \"total_faults\": {},\n  \
+             \"proved_untestable\": {},\n",
+            json_string(&self.network),
+            self.total_faults,
+            self.proved_count()
+        );
+        let st = &self.stats;
+        let _ = writeln!(
+            s,
+            "  \"stats\": {{\"live_gates\": {}, \"strash_duplicates\": {}, \"sat_merged\": {}, \
+             \"antivalent_merged\": {}, \"constant_nodes\": {}, \"learned_constants\": {}, \
+             \"sat_checks\": {}, \"sim_words\": {}, \"implication_edges\": {}}},",
+            st.live_gates,
+            st.strash_duplicates,
+            st.sat_merged,
+            st.antivalent_merged,
+            st.constant_nodes,
+            st.learned_constants,
+            st.sat_checks,
+            st.sim_words,
+            st.implication_edges
+        );
+        let _ = writeln!(s, "  \"proofs\": [");
+        for (i, p) in self.proofs.iter().enumerate() {
+            let comma = if i + 1 == self.proofs.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"fault\": {}, \"stuck\": {}, \"witness\": {}, \"detail\": {}}}{comma}",
+                json_string(&p.fault.to_string()),
+                p.stuck as u8,
+                json_string(p.witness.kind()),
+                json_string(&p.witness.to_string())
+            );
+        }
+        let _ = writeln!(s, "  ]\n}}");
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

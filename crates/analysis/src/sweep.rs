@@ -1,0 +1,361 @@
+//! Simulation-guided SAT sweeping: equivalence classes of network nodes.
+//!
+//! Random word-parallel simulation partitions the live nodes into
+//! candidate classes by phase-canonical signature (a node and its
+//! complement share a class, so antivalent pairs are found too; the
+//! all-zero signature collects constant candidates). Each candidate is
+//! then confirmed against its class representative with two incremental
+//! SAT calls on a single whole-network Tseitin encoding; a satisfying
+//! assignment is a distinguishing input vector that is fed back as a new
+//! simulation pattern, refining the classes for the next round. The loop
+//! is the classic sweeping lattice descent: classes only ever split, and
+//! every surviving merge is SAT-proved, never assumed from simulation.
+//!
+//! Structural duplicates found by [`StrashTable`] are folded in without
+//! SAT calls — syntactic identity already proves them equivalent.
+
+use std::collections::HashMap;
+
+use kms_netlist::{GateId, GateKind, Network};
+use kms_sat::{NetworkCnf, SatResult, Solver};
+
+use crate::strash::StrashTable;
+use crate::AnalysisOptions;
+
+/// Proved node equivalences: every entry is witnessed either by syntactic
+/// identity (structural duplicates) or by a pair of UNSAT results.
+#[derive(Clone, Debug)]
+pub struct EquivClasses {
+    /// Per gate slot: proved constant value, if any.
+    constant: Vec<Option<bool>>,
+    /// Per gate slot: `(representative, same_phase)` — the node equals the
+    /// representative (`true`) or its complement (`false`) on every input
+    /// vector. Representatives are topologically earliest in their class
+    /// and are never themselves merged or constant.
+    rep: Vec<Option<(GateId, bool)>>,
+    /// `(duplicate, representative)` merges proved by structural hashing.
+    structural: Vec<(GateId, GateId)>,
+    /// `(node, representative, same_phase)` merges proved by SAT.
+    sat_pairs: Vec<(GateId, GateId, bool)>,
+    /// `(node, value)` constants proved by SAT.
+    constants: Vec<(GateId, bool)>,
+    sat_checks: usize,
+    sim_words: usize,
+}
+
+impl EquivClasses {
+    /// A classes table with no merges (used when sweeping is disabled).
+    pub fn empty(net: &Network) -> EquivClasses {
+        let n = net.num_gate_slots();
+        EquivClasses {
+            constant: vec![None; n],
+            rep: vec![None; n],
+            structural: Vec::new(),
+            sat_pairs: Vec::new(),
+            constants: Vec::new(),
+            sat_checks: 0,
+            sim_words: 0,
+        }
+    }
+
+    /// Builds the proved equivalence classes of `net`.
+    pub fn build(net: &Network, strash: &StrashTable, opts: &AnalysisOptions) -> EquivClasses {
+        let mut classes = EquivClasses::empty(net);
+        let topo = net.topo_order();
+        for &(dup, srep) in strash.duplicates() {
+            classes.rep[dup.index()] = Some((srep, true));
+            classes.structural.push((dup, srep));
+        }
+        if opts.sat_sweep {
+            classes.sweep(net, &topo, opts);
+        }
+        classes.normalize(&topo);
+        classes
+    }
+
+    /// The sim-and-refine SAT sweeping loop.
+    fn sweep(&mut self, net: &Network, topo: &[GateId], opts: &AnalysisOptions) {
+        let mut solver = Solver::new();
+        let cnf = NetworkCnf::encode(net, &mut solver);
+        let mut rng = Rng::new(opts.seed);
+        let inputs: Vec<GateId> = net.inputs().to_vec();
+        // sigs[round][slot]: one 64-pattern simulation word per node.
+        let mut sigs: Vec<Vec<u64>> = Vec::new();
+        for _ in 0..opts.sim_patterns.max(1) {
+            let words: Vec<u64> = inputs.iter().map(|_| rng.next()).collect();
+            sigs.push(net.node_words(&words));
+            self.sim_words += 1;
+        }
+        for _ in 0..opts.sweep_rounds {
+            // Group the unresolved candidates by phase-canonical signature;
+            // groups and members inherit the topological order of `topo`.
+            let mut groups: HashMap<Vec<u64>, usize> = HashMap::new();
+            let mut members: Vec<Vec<(GateId, bool)>> = Vec::new();
+            let mut constant_group: Option<usize> = None;
+            for &id in topo {
+                if matches!(net.gate(id).kind, GateKind::Const(_))
+                    || self.rep[id.index()].is_some()
+                    || self.constant[id.index()].is_some()
+                {
+                    continue;
+                }
+                let mut key: Vec<u64> = sigs.iter().map(|w| w[id.index()]).collect();
+                let inverted = !key.is_empty() && key[0] & 1 != 0;
+                if inverted {
+                    for w in &mut key {
+                        *w = !*w;
+                    }
+                }
+                let all_zero = key.iter().all(|w| *w == 0);
+                let slot = *groups.entry(key).or_insert_with(|| {
+                    members.push(Vec::new());
+                    members.len() - 1
+                });
+                members[slot].push((id, inverted));
+                if all_zero {
+                    constant_group = Some(slot);
+                }
+            }
+
+            // Counterexample input vectors found this round.
+            let mut cex: Vec<Vec<bool>> = Vec::new();
+            for (slot, group) in members.iter().enumerate() {
+                if Some(slot) == constant_group {
+                    // A node simulating constant-`inverted` on every
+                    // pattern so far: prove it can never take the
+                    // opposite value.
+                    for &(m, inverted) in group {
+                        if net.gate(m).kind == GateKind::Input {
+                            continue;
+                        }
+                        self.sat_checks += 1;
+                        match solver.solve_with(&[cnf.lit(m, !inverted)]) {
+                            SatResult::Unsat => {
+                                self.constant[m.index()] = Some(inverted);
+                                self.constants.push((m, inverted));
+                            }
+                            SatResult::Sat => cex.push(cnf.model_inputs(&solver, net)),
+                        }
+                    }
+                    continue;
+                }
+                if group.len() < 2 {
+                    continue;
+                }
+                let (rep, rep_phase) = group[0];
+                for &(m, m_phase) in &group[1..] {
+                    if net.gate(m).kind == GateKind::Input {
+                        // Distinct primary inputs are free variables and
+                        // can never be proved equal; don't waste solves.
+                        continue;
+                    }
+                    // Same phase: refute rep != m. Opposite phase:
+                    // refute rep == m.
+                    let same = rep_phase == m_phase;
+                    self.sat_checks += 1;
+                    match solver.solve_with(&[cnf.lit(rep, true), cnf.lit(m, !same)]) {
+                        SatResult::Sat => {
+                            cex.push(cnf.model_inputs(&solver, net));
+                            continue;
+                        }
+                        SatResult::Unsat => {}
+                    }
+                    self.sat_checks += 1;
+                    match solver.solve_with(&[cnf.lit(rep, false), cnf.lit(m, same)]) {
+                        SatResult::Sat => cex.push(cnf.model_inputs(&solver, net)),
+                        SatResult::Unsat => {
+                            self.rep[m.index()] = Some((rep, same));
+                            self.sat_pairs.push((m, rep, same));
+                        }
+                    }
+                }
+            }
+
+            if cex.is_empty() {
+                break;
+            }
+            // Pack the distinguishing vectors into fresh simulation words
+            // (unused lanes replicate the first vector of the chunk —
+            // extra copies can only split classes, never merge them).
+            for chunk in cex.chunks(64) {
+                let words: Vec<u64> = (0..inputs.len())
+                    .map(|i| {
+                        let mut w = 0u64;
+                        for lane in 0..64 {
+                            let v = chunk.get(lane).unwrap_or(&chunk[0]);
+                            if v[i] {
+                                w |= 1 << lane;
+                            }
+                        }
+                        w
+                    })
+                    .collect();
+                sigs.push(net.node_words(&words));
+                self.sim_words += 1;
+            }
+        }
+    }
+
+    /// Path-compresses representative chains and folds constants through
+    /// merges, in one topological pass (representatives always precede
+    /// their members in topological order).
+    fn normalize(&mut self, topo: &[GateId]) {
+        for &id in topo {
+            if let Some((r, phase)) = self.rep[id.index()] {
+                if let Some(c) = self.constant[r.index()] {
+                    self.constant[id.index()] = Some(if phase { c } else { !c });
+                    self.rep[id.index()] = None;
+                } else if let Some((r2, phase2)) = self.rep[r.index()] {
+                    self.rep[id.index()] = Some((r2, phase == phase2));
+                }
+            }
+        }
+    }
+
+    /// The proved constant value of `g`, if any.
+    pub fn node_constant(&self, g: GateId) -> Option<bool> {
+        self.constant[g.index()]
+    }
+
+    /// The proved `(representative, same_phase)` merge of `g`, if any.
+    /// Representatives are fully resolved: a returned representative is
+    /// itself neither merged nor constant.
+    pub fn node_rep(&self, g: GateId) -> Option<(GateId, bool)> {
+        self.rep[g.index()]
+    }
+
+    /// `(duplicate, representative)` merges proved by structural hashing.
+    pub fn structural_pairs(&self) -> &[(GateId, GateId)] {
+        &self.structural
+    }
+
+    /// `(node, representative, same_phase)` merges proved by SAT alone.
+    pub fn sat_pairs(&self) -> &[(GateId, GateId, bool)] {
+        &self.sat_pairs
+    }
+
+    /// `(node, value)` constants proved by SAT.
+    pub fn constant_nodes(&self) -> &[(GateId, bool)] {
+        &self.constants
+    }
+
+    /// Total merged nodes (structural plus SAT-proved).
+    pub fn merged_count(&self) -> usize {
+        self.structural.len() + self.sat_pairs.len()
+    }
+
+    /// Incremental SAT calls spent confirming candidates.
+    pub fn sat_check_count(&self) -> usize {
+        self.sat_checks
+    }
+
+    /// Simulation words (64 patterns each) used for signatures.
+    pub fn sim_word_count(&self) -> usize {
+        self.sim_words
+    }
+}
+
+/// xorshift64* over a splitmix64-initialized state: deterministic, seeded
+/// once per analysis, never from ambient entropy.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::{Delay, Network};
+
+    fn build(net: &Network) -> EquivClasses {
+        let strash = StrashTable::build(net);
+        EquivClasses::build(net, &strash, &AnalysisOptions::default())
+    }
+
+    #[test]
+    fn finds_functional_equivalence_across_structures() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        // De Morgan: !(a & b) == !a | !b — structurally different.
+        let g1 = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let n1 = net.add_gate(GateKind::Not, &[g1], Delay::UNIT);
+        let na = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let nb = net.add_gate(GateKind::Not, &[b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::Or, &[na, nb], Delay::UNIT);
+        net.add_output("y", n1);
+        net.add_output("z", g2);
+        let c = build(&net);
+        // n1, g2 and g1 form one class (g1 antivalent to the other two);
+        // two of the three merge into the third. Each node's phase group:
+        // g1 alone on one side, n1 and g2 on the other.
+        let side = |g: GateId| g != g1;
+        let mut merged = 0;
+        for m in [n1, g2, g1] {
+            if let Some((r, same)) = c.node_rep(m) {
+                merged += 1;
+                assert!(r == n1 || r == g1 || r == g2);
+                assert_eq!(same, side(m) == side(r), "bad phase for {m}");
+            }
+        }
+        assert_eq!(merged, 2);
+    }
+
+    #[test]
+    fn finds_constant_node() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let na = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let g = net.add_gate(GateKind::And, &[a, na], Delay::UNIT);
+        let o = net.add_gate(GateKind::Or, &[g, a], Delay::UNIT);
+        net.add_output("y", o);
+        let c = build(&net);
+        assert_eq!(c.node_constant(g), Some(false));
+        // o == a once g is known 0.
+        assert_eq!(c.node_rep(o), Some((a, true)));
+    }
+
+    #[test]
+    fn no_false_merges_on_distinct_functions() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::Or, &[a, b], Delay::UNIT);
+        net.add_output("y", g1);
+        net.add_output("z", g2);
+        let c = build(&net);
+        assert!(c.node_rep(g1).is_none());
+        assert!(c.node_rep(g2).is_none());
+        assert_eq!(c.merged_count(), 0);
+    }
+
+    #[test]
+    fn structural_duplicates_skip_sat() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::And, &[b, a], Delay::UNIT);
+        net.add_output("y", g1);
+        net.add_output("z", g2);
+        let c = build(&net);
+        // One of the two is the structural duplicate of the other.
+        assert!(c.node_rep(g2) == Some((g1, true)) || c.node_rep(g1) == Some((g2, true)));
+        assert_eq!(c.structural_pairs().len(), 1);
+        assert!(c.sat_pairs().is_empty());
+    }
+}

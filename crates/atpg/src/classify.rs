@@ -30,6 +30,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+use kms_analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
 use kms_netlist::{ConnRef, GateId, GateKind, Network};
 use kms_sat::{Lit, SatResult, Solver};
 
@@ -61,6 +62,12 @@ pub struct ParallelOptions {
     pub drop_patterns: usize,
     /// Seed for the random pre-screen patterns.
     pub seed: u64,
+    /// Run the `kms-analysis` static pass first: faults it proves
+    /// untestable are reported redundant without any PODEM/SAT query, and
+    /// statically merged nodes share one good-circuit literal, shrinking
+    /// the CNF. Both substitutions are semantic (proved over all inputs),
+    /// so the report stays bit-identical to a run without the prescreen.
+    pub static_prescreen: bool,
 }
 
 impl Default for ParallelOptions {
@@ -69,6 +76,7 @@ impl Default for ParallelOptions {
             jobs: 1,
             drop_patterns: 256,
             seed: 0x4B4D_5331,
+            static_prescreen: true,
         }
     }
 }
@@ -97,6 +105,16 @@ pub struct RedundancyScan {
     pub tests: Vec<Vec<bool>>,
 }
 
+/// How a gate's good-circuit literal resolves under the static analysis.
+#[derive(Clone, Copy, Debug)]
+enum StaticAlias {
+    /// The node is proved constant; alias the shared pinned literal.
+    Constant(bool),
+    /// The node is proved equal (`true`) or opposite (`false`) to its
+    /// representative; alias the representative's literal.
+    Rep(GateId, bool),
+}
+
 /// One worker's incremental classification context: good-circuit clauses
 /// are encoded lazily, cone by cone, at most once per gate, and each
 /// classified fault leaves only retired (permanently deactivated) cone
@@ -109,6 +127,11 @@ pub(crate) struct SharedCnf<'n> {
     /// Lazily-encoded good-circuit literal per gate slot; monotone across
     /// faults, so overlapping cones share clauses and learnt facts.
     good: Vec<Option<Lit>>,
+    /// Statically proved merges/constants: merged nodes alias their
+    /// representative's good literal instead of re-encoding their cone.
+    analysis: Option<&'n StaticAnalysis<'n>>,
+    /// A literal pinned true, lazily created for proved-constant nodes.
+    const_true: Option<Lit>,
     fanouts: Vec<Vec<ConnRef>>,
     topo: Vec<GateId>,
     topo_pos: Vec<usize>,
@@ -121,6 +144,19 @@ pub(crate) struct SharedCnf<'n> {
 
 impl<'n> SharedCnf<'n> {
     pub(crate) fn new(net: &'n Network) -> Self {
+        SharedCnf::with_analysis(net, None)
+    }
+
+    /// A context that aliases statically merged nodes to their
+    /// representative's literal and pins proved constants. The merges are
+    /// SAT-proved over all inputs, so the projection of every query onto
+    /// the primary inputs — and with it the UNSAT verdicts and the
+    /// lex-min canonical vectors — is unchanged; only the clause count
+    /// shrinks.
+    pub(crate) fn with_analysis(
+        net: &'n Network,
+        analysis: Option<&'n StaticAnalysis<'n>>,
+    ) -> Self {
         let n = net.num_gate_slots();
         let topo = net.topo_order();
         let mut topo_pos = vec![0usize; n];
@@ -131,6 +167,8 @@ impl<'n> SharedCnf<'n> {
             net,
             solver: Solver::new(),
             good: vec![None; n],
+            analysis,
+            const_true: None,
             fanouts: net.fanouts(),
             topo,
             topo_pos,
@@ -139,6 +177,32 @@ impl<'n> SharedCnf<'n> {
             touched: Vec::new(),
             visit: vec![false; n],
         }
+    }
+
+    /// A literal that is true in every model (unit-pinned on first use);
+    /// proved-constant nodes alias it or its negation.
+    fn const_true_lit(&mut self) -> Lit {
+        if let Some(l) = self.const_true {
+            return l;
+        }
+        let l = self.solver.new_var().positive();
+        self.solver.add_clause(&[l]);
+        self.const_true = Some(l);
+        l
+    }
+
+    /// The static resolution of `g`, if the analysis proved it constant
+    /// or merged it into a representative (representatives are fully
+    /// resolved: never themselves merged or constant).
+    fn static_alias(&self, g: GateId) -> Option<StaticAlias> {
+        let an = self.analysis?;
+        if let Some(c) = an.node_constant(g) {
+            return Some(StaticAlias::Constant(c));
+        }
+        if let Some((r, same)) = an.node_rep(g) {
+            return Some(StaticAlias::Rep(r, same));
+        }
+        None
     }
 
     /// The good-circuit literal for `g`, encoding its transitive fanin on
@@ -150,9 +214,27 @@ impl<'n> SharedCnf<'n> {
         if let Some(l) = self.good[g.index()] {
             return l;
         }
+        match self.static_alias(g) {
+            Some(StaticAlias::Constant(c)) => {
+                let t = self.const_true_lit();
+                let l = if c { t } else { !t };
+                self.good[g.index()] = Some(l);
+                return l;
+            }
+            Some(StaticAlias::Rep(r, same)) => {
+                let rl = self.good_lit(r);
+                let l = if same { rl } else { !rl };
+                self.good[g.index()] = Some(l);
+                return l;
+            }
+            None => {}
+        }
         // Collect the un-encoded transitive fanin, then encode it in
         // topological order so every pin literal exists before its gate.
+        // Statically aliased fanins resolve to their representative (the
+        // representative itself joins the plain-encode set).
         let mut need: Vec<GateId> = Vec::new();
+        let mut aliased: Vec<GateId> = Vec::new();
         let mut stack = vec![g];
         while let Some(id) = stack.pop() {
             let i = id.index();
@@ -160,9 +242,27 @@ impl<'n> SharedCnf<'n> {
                 continue;
             }
             self.visit[i] = true;
-            need.push(id);
-            for p in &self.net.gate(id).pins {
-                stack.push(p.src);
+            match self.static_alias(id) {
+                Some(StaticAlias::Constant(_)) => aliased.push(id),
+                Some(StaticAlias::Rep(r, _)) => {
+                    aliased.push(id);
+                    stack.push(r);
+                }
+                None => {
+                    need.push(id);
+                    for p in &self.net.gate(id).pins {
+                        stack.push(p.src);
+                    }
+                }
+            }
+        }
+        // Constants first: they need no fanin. Representative-aliased
+        // nodes resolve after the plain set is encoded.
+        for &id in &aliased {
+            if let Some(StaticAlias::Constant(c)) = self.static_alias(id) {
+                self.visit[id.index()] = false;
+                let t = self.const_true_lit();
+                self.good[id.index()] = Some(if c { t } else { !t });
             }
         }
         need.sort_unstable_by_key(|id| self.topo_pos[id.index()]);
@@ -179,12 +279,36 @@ impl<'n> SharedCnf<'n> {
                     let pins: Vec<Lit> = gate
                         .pins
                         .iter()
-                        .map(|p| self.good[p.src.index()].expect("fanin encoded first"))
+                        .map(|p| {
+                            if let Some(l) = self.good[p.src.index()] {
+                                l
+                            } else {
+                                // The pin is rep-aliased and its
+                                // representative is already encoded.
+                                let (r, same) = match self.static_alias(p.src) {
+                                    Some(StaticAlias::Rep(r, same)) => (r, same),
+                                    _ => unreachable!("unencoded fanin must be rep-aliased"),
+                                };
+                                let rl = self.good[r.index()].expect("rep encoded first");
+                                if same {
+                                    rl
+                                } else {
+                                    !rl
+                                }
+                            }
+                        })
                         .collect();
                     encode_gate_with_guard(&mut self.solver, gate.kind, out, &pins, None);
                 }
             }
             self.good[id.index()] = Some(out);
+        }
+        for &id in &aliased {
+            if let Some(StaticAlias::Rep(r, same)) = self.static_alias(id) {
+                self.visit[id.index()] = false;
+                let rl = self.good[r.index()].expect("rep encoded first");
+                self.good[id.index()] = Some(if same { rl } else { !rl });
+            }
         }
         self.good[g.index()].expect("just encoded")
     }
@@ -431,19 +555,67 @@ fn run(
     if survivors.is_empty() {
         return outcome;
     }
+    // Static prescreen: one analysis pass proves a slice of the survivors
+    // untestable with no PODEM/SAT query at all, and its merge classes let
+    // every worker alias duplicate good-circuit cones. Both substitutions
+    // are semantic, so the verdicts — and hence the drop cascade and the
+    // final report — match a run without the prescreen bit for bit.
+    let prescreen = Prescreen::build(net, faults, &survivors, opts.static_prescreen);
     if jobs.min(survivors.len()) <= 1 {
-        run_sequential(net, faults, &survivors, stop_at_redundant, &mut outcome);
+        run_sequential(
+            net,
+            faults,
+            &survivors,
+            &prescreen,
+            stop_at_redundant,
+            &mut outcome,
+        );
     } else {
         run_parallel(
             net,
             faults,
             &survivors,
+            &prescreen,
             jobs.min(survivors.len()),
             stop_at_redundant,
             &mut outcome,
         );
     }
     outcome
+}
+
+/// The static-prescreen state shared by the sequential and parallel runs:
+/// the analysis pass (workers alias merged/constant nodes through it when
+/// encoding good-circuit cones) and the per-fault statically-proved flags.
+struct Prescreen<'n> {
+    analysis: Option<StaticAnalysis<'n>>,
+    redundant: Vec<bool>,
+}
+
+impl<'n> Prescreen<'n> {
+    fn build(
+        net: &'n Network,
+        faults: &[Fault],
+        survivors: &[usize],
+        enabled: bool,
+    ) -> Prescreen<'n> {
+        let analysis = enabled.then(|| StaticAnalysis::build(net, &AnalysisOptions::default()));
+        let mut redundant = vec![false; faults.len()];
+        if let Some(an) = &analysis {
+            for &fi in survivors {
+                let f = faults[fi];
+                let site = match f.site {
+                    FaultSite::GateOutput(g) => FaultRef::Output(g),
+                    FaultSite::Conn(c) => FaultRef::Conn(c),
+                };
+                redundant[fi] = an.prove_untestable(site, f.stuck).is_some();
+            }
+        }
+        Prescreen {
+            analysis,
+            redundant,
+        }
+    }
 }
 
 /// Commits a canonical verdict for survivor slot `k` (fault index `fi`):
@@ -484,15 +656,21 @@ fn run_sequential(
     net: &Network,
     faults: &[Fault],
     survivors: &[usize],
+    prescreen: &Prescreen<'_>,
     stop_at_redundant: bool,
     outcome: &mut Outcome,
 ) {
-    let mut ctx = SharedCnf::new(net);
+    let mut ctx = SharedCnf::with_analysis(net, prescreen.analysis.as_ref());
     for (k, &fi) in survivors.iter().enumerate() {
         if outcome.verdicts[fi].is_some() {
             continue; // dropped by an earlier committed vector
         }
-        match ctx.classify(faults[fi]) {
+        let verdict = if prescreen.redundant[fi] {
+            Testability::Redundant
+        } else {
+            ctx.classify(faults[fi])
+        };
+        match verdict {
             Testability::Redundant => {
                 outcome.verdicts[fi] = Some(Testability::Redundant);
                 if stop_at_redundant {
@@ -512,6 +690,7 @@ fn run_parallel(
     net: &Network,
     faults: &[Fault],
     survivors: &[usize],
+    prescreen: &Prescreen<'_>,
     jobs: usize,
     stop_at_redundant: bool,
     outcome: &mut Outcome,
@@ -527,7 +706,7 @@ fn run_parallel(
             let tx = tx.clone();
             let (next, stop, dropped) = (&next, &stop, &dropped);
             s.spawn(move || {
-                let mut ctx = SharedCnf::new(net);
+                let mut ctx = SharedCnf::with_analysis(net, prescreen.analysis.as_ref());
                 loop {
                     if stop.load(Ordering::Acquire) {
                         break;
@@ -538,6 +717,8 @@ fn run_parallel(
                     }
                     let msg = if dropped[k].load(Ordering::Acquire) {
                         WorkerMsg::Skipped
+                    } else if prescreen.redundant[survivors[k]] {
+                        WorkerMsg::Verdict(Testability::Redundant)
                     } else {
                         WorkerMsg::Verdict(ctx.classify(faults[survivors[k]]))
                     };

@@ -1,0 +1,257 @@
+//! Static-prescreen benchmark: how much of the redundancy identification
+//! work the `kms-analysis` pass settles without any PODEM/SAT query, and
+//! what that does to end-to-end classification wall-clock. Emits
+//! `BENCH_sweep.json`.
+//!
+//! Usage: `bench_sweep [--smoke] [--jobs N] [--out FILE]`
+//!
+//! * `--smoke` — two small circuits, one rep: CI schema/determinism check.
+//! * `--jobs N` — worker count for the classification runs (default 4).
+//! * `--out FILE` — output path (default `BENCH_sweep.json`).
+//!
+//! Every row is also a correctness gate: the statically proved faults must
+//! be a subset of the SAT/PODEM oracle's redundant set (soundness), and
+//! the classification report with the prescreen must be bit-identical to
+//! the report without it.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use kms_analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
+use kms_atpg::{analyze, collapsed_faults, Engine, Fault, FaultSite, ParallelOptions};
+use kms_bench::table1_csa;
+use kms_netlist::Network;
+use kms_opt::flow::{prepare_benchmark, FlowOptions};
+use kms_timing::InputArrivals;
+
+struct Config {
+    smoke: bool,
+    jobs: usize,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        smoke: false,
+        jobs: 4,
+        out: "BENCH_sweep.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--jobs" | "-j" => {
+                cfg.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+            }
+            "--out" | "-o" => {
+                cfg.out = it.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: bench_sweep [--smoke] [--jobs N] [--out FILE]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unexpected argument {other:?}")),
+        }
+    }
+    cfg
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// The late-last-input arrivals of the Table I MCNC flow (same preparation
+/// as `bench_atpg`, so rows are comparable across the two benchmarks).
+fn mcnc_net(name: &str) -> Network {
+    let suite = kms_gen::mcnc::table1_suite();
+    let b = suite
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| die(&format!("no MCNC benchmark {name:?}")));
+    let late = |net: &Network| {
+        let mut arr = InputArrivals::zero();
+        if let Some(&last) = net.inputs().last() {
+            arr.set(last, 4);
+        }
+        arr
+    };
+    let (net, _) = prepare_benchmark(&b.pla, b.name, late, FlowOptions::default());
+    net
+}
+
+fn fault_ref(f: Fault) -> (FaultRef, bool) {
+    let site = match f.site {
+        FaultSite::GateOutput(g) => FaultRef::Output(g),
+        FaultSite::Conn(c) => FaultRef::Conn(c),
+    };
+    (site, f.stuck)
+}
+
+fn time_min<T, F: FnMut() -> T>(reps: usize, mut f: F) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+struct Row {
+    name: String,
+    gates: usize,
+    faults: usize,
+    redundant: usize,
+    static_proved: usize,
+    hit_rate: f64,
+    analysis_s: f64,
+    with_s: f64,
+    without_s: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let cfg = parse_args();
+    let reps = if cfg.smoke { 1 } else { 3 };
+    let circuits: Vec<(String, Network)> = if cfg.smoke {
+        vec![
+            ("csa 2.2".into(), table1_csa(2, 2)),
+            ("rd73".into(), mcnc_net("rd73")),
+        ]
+    } else {
+        let mut v: Vec<(String, Network)> = [(2, 2), (4, 4), (8, 2), (8, 4), (16, 4)]
+            .into_iter()
+            .map(|(bits, block)| (format!("csa {bits}.{block}"), table1_csa(bits, block)))
+            .collect();
+        for name in ["rd73", "sao2", "misex1", "f51m"] {
+            v.push((name.to_string(), mcnc_net(name)));
+        }
+        v
+    };
+
+    let with_prescreen = Engine::SharedSat(ParallelOptions {
+        jobs: cfg.jobs,
+        static_prescreen: true,
+        ..Default::default()
+    });
+    let without_prescreen = Engine::SharedSat(ParallelOptions {
+        jobs: cfg.jobs,
+        static_prescreen: false,
+        ..Default::default()
+    });
+
+    let mut rows = Vec::new();
+    let mut total_redundant = 0usize;
+    let mut total_proved = 0usize;
+    for (name, net) in &circuits {
+        let faults = collapsed_faults(net);
+        let fault_refs: Vec<(FaultRef, bool)> = faults.iter().map(|&f| fault_ref(f)).collect();
+
+        // Static pass: timed alone (the prescreen's fixed cost) and its
+        // report kept for the hit-rate and soundness checks.
+        let (analysis_s, report) = time_min(reps, || {
+            let an = StaticAnalysis::build(net, &AnalysisOptions::default());
+            an.report(&fault_refs)
+        });
+
+        // Oracle: the full classification without the prescreen.
+        let (without_s, oracle) = time_min(reps, || analyze(net, without_prescreen));
+        let (with_s, screened) = time_min(reps, || analyze(net, with_prescreen));
+        assert_eq!(
+            oracle, screened,
+            "{name}: prescreen changed the testability report"
+        );
+
+        let redundant: BTreeSet<(FaultRef, bool)> =
+            oracle.redundant().into_iter().map(fault_ref).collect();
+        let proved: BTreeSet<(FaultRef, bool)> =
+            report.proofs.iter().map(|p| (p.fault, p.stuck)).collect();
+        for p in &proved {
+            assert!(
+                redundant.contains(p),
+                "{name}: static proof for {}/{} not confirmed by the oracle",
+                p.0,
+                if p.1 { 1 } else { 0 }
+            );
+        }
+        let hit_rate = if redundant.is_empty() {
+            1.0
+        } else {
+            proved.len() as f64 / redundant.len() as f64
+        };
+        total_redundant += redundant.len();
+        total_proved += proved.len();
+        eprintln!(
+            "{name:<10} {:>5} faults  {:>3} redundant  {:>3} static ({:>5.1}%)  \
+             analysis {analysis_s:.4}s  with {with_s:.4}s  without {without_s:.4}s",
+            faults.len(),
+            redundant.len(),
+            proved.len(),
+            100.0 * hit_rate,
+        );
+        rows.push(Row {
+            name: name.clone(),
+            gates: net.simple_gate_count(),
+            faults: faults.len(),
+            redundant: redundant.len(),
+            static_proved: proved.len(),
+            hit_rate,
+            analysis_s,
+            with_s,
+            without_s,
+        });
+    }
+
+    let overall = if total_redundant == 0 {
+        1.0
+    } else {
+        total_proved as f64 / total_redundant as f64
+    };
+    eprintln!(
+        "overall: {total_proved}/{total_redundant} redundant faults proved statically ({:.1}%)",
+        100.0 * overall
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"static_sweep\",\n  \"mode\": \"{}\",\n  \"jobs\": {},\n  \"reps\": {},\n  \
+         \"total_redundant\": {},\n  \"total_static_proved\": {},\n  \"overall_hit_rate\": {:.4},\n  \"rows\": [\n",
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.jobs,
+        reps,
+        total_redundant,
+        total_proved,
+        overall
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"faults\": {}, \"redundant\": {}, \
+             \"static_proved\": {}, \"hit_rate\": {:.4}, \"analysis_s\": {:.6}, \
+             \"with_prescreen_s\": {:.6}, \"without_prescreen_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            r.gates,
+            r.faults,
+            r.redundant,
+            r.static_proved,
+            r.hit_rate,
+            r.analysis_s,
+            r.with_s,
+            r.without_s,
+            r.without_s / r.with_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&cfg.out, &json).unwrap_or_else(|e| die(&format!("write {}: {e}", cfg.out)));
+    eprintln!("wrote {}", cfg.out);
+}

@@ -158,6 +158,65 @@ fn check_invariants(net: &Network, context: &str) {
 #[cfg(not(feature = "debug-invariants"))]
 fn check_invariants(_net: &Network, _context: &str) {}
 
+/// With the `debug-invariants` feature enabled, the number of structural
+/// duplicates currently in the network (the `kms-analysis` strash table);
+/// always zero otherwise. Paired with [`check_shared`] and
+/// [`check_new_gates_shared`] it pins down the sharing discipline of each
+/// transform step: duplication grows the count by exactly its declared
+/// mapping, constant-setting and redundancy removal may fold existing
+/// gates into twins but never mint fresh duplicates, and the final
+/// structural hash drives the count to zero.
+#[cfg(feature = "debug-invariants")]
+fn strash_duplicates(net: &Network) -> usize {
+    kms_analysis::StrashTable::build(net).duplicate_count()
+}
+
+#[cfg(not(feature = "debug-invariants"))]
+fn strash_duplicates(_net: &Network) -> usize {
+    0
+}
+
+/// With the `debug-invariants` feature enabled, panics if the network
+/// holds more structural duplicates than `allowed`; compiles to nothing
+/// otherwise.
+#[cfg(feature = "debug-invariants")]
+fn check_shared(net: &Network, context: &str, allowed: usize) {
+    kms_analysis::assert_shared(net, context, allowed);
+}
+
+#[cfg(not(feature = "debug-invariants"))]
+fn check_shared(_net: &Network, _context: &str, _allowed: usize) {}
+
+/// Pre-transform liveness snapshot feeding [`check_new_gates_shared`];
+/// a zero-sized placeholder when the `debug-invariants` feature is off.
+#[cfg(feature = "debug-invariants")]
+type StrashSnapshot = kms_analysis::StrashSnapshot;
+#[cfg(not(feature = "debug-invariants"))]
+struct StrashSnapshot;
+
+#[cfg(feature = "debug-invariants")]
+fn strash_snapshot(net: &Network) -> StrashSnapshot {
+    kms_analysis::StrashSnapshot::take(net)
+}
+
+#[cfg(not(feature = "debug-invariants"))]
+fn strash_snapshot(_net: &Network) -> StrashSnapshot {
+    StrashSnapshot
+}
+
+/// With the `debug-invariants` feature enabled, panics if a transform
+/// step created a gate that structurally duplicates an existing node
+/// (simplification steps may fold *pre-existing* gates into twins — the
+/// final structural hash merges those — but must never mint new
+/// unshared duplicates); compiles to nothing otherwise.
+#[cfg(feature = "debug-invariants")]
+fn check_new_gates_shared(net: &Network, context: &str, pre: &StrashSnapshot) {
+    kms_analysis::assert_new_gates_shared(net, context, pre);
+}
+
+#[cfg(not(feature = "debug-invariants"))]
+fn check_new_gates_shared(_net: &Network, _context: &str, _pre: &StrashSnapshot) {}
+
 /// Per-gate count of primary outputs driven, built in one pass over the
 /// output list (the old per-gate `net.outputs()` rescans were
 /// O(gates × outputs)).
@@ -303,11 +362,19 @@ pub fn kms(
                 n_pos = Some(i); // keep the last (closest to the output)
             }
         }
+        let pre_dups = strash_duplicates(net);
         let (p_prime, dup_count) = match n_pos {
             Some(upto) => {
                 let dup = transform::duplicate_path_prefix(net, &path, upto);
                 duplicated_gates += dup.mapping.len();
                 check_invariants(net, "after duplicate_path_prefix");
+                // The duplication is intentional: the count may grow by at
+                // most the declared mapping, never more.
+                check_shared(
+                    net,
+                    "after duplicate_path_prefix",
+                    pre_dups + dup.mapping.len(),
+                );
                 (dup.new_path, dup.mapping.len())
             }
             None => (path.clone(), 0),
@@ -325,8 +392,13 @@ pub fn kms(
         let first = p_prime.first_conn();
         let first_kind = net.gate(first.gate).kind;
         let value = first_kind.controlling_value().unwrap_or(false);
+        let pre_live = strash_snapshot(net);
         transform::set_conn_const(net, first, value);
         check_invariants(net, "after set_conn_const");
+        // Constant propagation may fold existing gates into twins (the
+        // final structural hash merges those) but must not mint new
+        // unshared duplicates.
+        check_new_gates_shared(net, "after set_conn_const", &pre_live);
         timings.transform += t0.elapsed();
 
         iterations.push(KmsIteration {
@@ -340,13 +412,17 @@ pub fn kms(
 
     // Final phase: remove remaining redundancies in any order.
     let t0 = Instant::now();
+    let pre_live = strash_snapshot(net);
     let naive = naive_redundancy_removal(net, options.engine);
     timings.atpg += t0.elapsed();
     check_invariants(net, "after naive_redundancy_removal");
+    check_new_gates_shared(net, "after naive_redundancy_removal", &pre_live);
     if options.strash {
         transform::structural_hash(net);
         transform::sweep(net);
         check_invariants(net, "after structural_hash");
+        // The strash fixpoint contract: zero structural duplicates remain.
+        check_shared(net, "after structural_hash", 0);
         // Merging can in principle re-expose redundancies through changed
         // observability? No: merged gates computed identical functions, so
         // the circuit function and fault behaviour per remaining site are

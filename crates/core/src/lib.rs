@@ -38,6 +38,6 @@ pub use algorithm::{
     kms, kms_on_copy, Condition, KmsIteration, KmsOptions, KmsPhaseTimings, KmsReport,
 };
 pub use verify::{
-    verify_kms_invariants, verify_kms_invariants_engine, verify_kms_invariants_with,
-    InvariantReport,
+    cross_check_static_analysis, verify_kms_invariants, verify_kms_invariants_engine,
+    verify_kms_invariants_with, InvariantReport, StaticCrossCheck,
 };

@@ -1,9 +1,10 @@
 //! Machine-checkable statements of the paper's correctness claims, shared
 //! by the test suites, examples, and benchmark harness.
 
-use kms_atpg::{analyze, Engine};
-use kms_netlist::{NetlistError, Network};
-use kms_sat::check_equivalence;
+use kms_analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
+use kms_atpg::{analyze, Engine, Fault, FaultSite};
+use kms_netlist::{GateId, NetlistError, Network};
+use kms_sat::{check_equivalence, NetworkCnf, SatResult, Solver};
 use kms_timing::{computed_delay, InputArrivals, PathCondition, Time};
 
 /// The verdict of [`verify_kms_invariants`].
@@ -113,6 +114,132 @@ pub fn verify_kms_invariants_engine(
     })
 }
 
+/// The verdict of [`cross_check_static_analysis`]: every claim of the
+/// static semantic-analysis pass (`kms-analysis`) cross-validated against
+/// independent oracles — untestability proofs against the full ATPG
+/// engine, node merges and constant claims against fresh SAT miters.
+#[derive(Clone, Debug)]
+pub struct StaticCrossCheck {
+    /// Size of the collapsed fault set examined.
+    pub faults_checked: usize,
+    /// Faults the static pass proved untestable without ATPG.
+    pub static_proved: usize,
+    /// Faults the ATPG oracle classified redundant.
+    pub oracle_redundant: usize,
+    /// Statically-proved faults the oracle nevertheless found testable —
+    /// each one is a soundness bug in the static pass.
+    pub unsound_faults: Vec<Fault>,
+    /// Equivalence/antivalence merge claims checked with a fresh miter.
+    pub merges_checked: usize,
+    /// Merge claims the miter refuted (soundness bugs).
+    pub unsound_merges: Vec<(GateId, GateId)>,
+    /// Constant-node claims checked with a fresh miter.
+    pub constants_checked: usize,
+    /// Constant claims the miter refuted (soundness bugs).
+    pub unsound_constants: Vec<GateId>,
+}
+
+impl StaticCrossCheck {
+    /// `true` iff no static claim was refuted by any oracle.
+    pub fn sound(&self) -> bool {
+        self.unsound_faults.is_empty()
+            && self.unsound_merges.is_empty()
+            && self.unsound_constants.is_empty()
+    }
+}
+
+/// Cross-validates every verdict of the static semantic analysis against
+/// independent oracles: each statically-proved-untestable fault must be
+/// classified redundant by the full ATPG `engine`, and each node merge or
+/// constant claim must survive a freshly-encoded SAT miter (one that does
+/// not share any state with the sweep's own incremental solver).
+///
+/// When `engine` is [`Engine::SharedSat`], its static prescreen is forced
+/// off so the oracle never consults the very pass under test.
+pub fn cross_check_static_analysis(
+    net: &Network,
+    opts: &AnalysisOptions,
+    engine: Engine,
+) -> StaticCrossCheck {
+    let engine = match engine {
+        Engine::SharedSat(mut popts) => {
+            popts.static_prescreen = false;
+            Engine::SharedSat(popts)
+        }
+        other => other,
+    };
+    let analysis = StaticAnalysis::build(net, opts);
+    let oracle = analyze(net, engine);
+
+    let mut static_proved = 0;
+    let mut oracle_redundant = 0;
+    let mut unsound_faults = Vec::new();
+    for (f, v) in oracle.faults.iter().zip(&oracle.verdicts) {
+        let site = match f.site {
+            FaultSite::GateOutput(g) => FaultRef::Output(g),
+            FaultSite::Conn(c) => FaultRef::Conn(c),
+        };
+        if v.is_redundant() {
+            oracle_redundant += 1;
+        }
+        if analysis.prove_untestable(site, f.stuck).is_some() {
+            static_proved += 1;
+            if !v.is_redundant() {
+                unsound_faults.push(*f);
+            }
+        }
+    }
+
+    // One fresh CNF for all node-level miters; each claim gets its own
+    // XOR check under assumptions, independent of the sweep's solver.
+    let mut solver = Solver::new();
+    let cnf = NetworkCnf::encode(net, &mut solver);
+    let mut differs = |a: GateId, b_lit_same: bool, b: GateId| -> bool {
+        // SAT iff a and (b == b_lit_same ? b : !b) can disagree.
+        let la = cnf.lit(a, true);
+        let lb = cnf.lit(b, b_lit_same);
+        solver.solve_with(&[la, !lb]) == SatResult::Sat
+            || solver.solve_with(&[!la, lb]) == SatResult::Sat
+    };
+
+    let classes = analysis.classes();
+    let mut merges_checked = 0;
+    let mut unsound_merges = Vec::new();
+    for &(dup, rep) in classes.structural_pairs() {
+        merges_checked += 1;
+        if differs(dup, true, rep) {
+            unsound_merges.push((dup, rep));
+        }
+    }
+    for &(node, rep, same) in classes.sat_pairs() {
+        merges_checked += 1;
+        if differs(node, same, rep) {
+            unsound_merges.push((node, rep));
+        }
+    }
+
+    let mut constants_checked = 0;
+    let mut unsound_constants = Vec::new();
+    for &(node, value) in classes.constant_nodes() {
+        constants_checked += 1;
+        let l = cnf.lit(node, !value);
+        if solver.solve_with(&[l]) == SatResult::Sat {
+            unsound_constants.push(node);
+        }
+    }
+
+    StaticCrossCheck {
+        faults_checked: oracle.faults.len(),
+        static_proved,
+        oracle_redundant,
+        unsound_faults,
+        merges_checked,
+        unsound_merges,
+        constants_checked,
+        unsound_constants,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +258,28 @@ mod tests {
         // The algorithm guarantees "equal or less delay"; on this cone it
         // actually improves (the Fig. 6 circuit reads b0 directly).
         assert!(inv.delay_after <= 8, "{inv:?}");
+    }
+
+    #[test]
+    fn static_claims_survive_oracles_on_fig4() {
+        // The Fig. 4 carry cone holds the paper's canonical redundancy;
+        // every claim the static pass makes about it must survive the
+        // independent ATPG and miter oracles.
+        let net = fig4_c2_cone();
+        let check = cross_check_static_analysis(&net, &AnalysisOptions::default(), Engine::Sat);
+        assert!(check.sound(), "{check:?}");
+        assert!(check.static_proved <= check.oracle_redundant, "{check:?}");
+        assert!(check.merges_checked >= check.unsound_merges.len());
+    }
+
+    #[test]
+    fn cross_check_forces_prescreen_off() {
+        // SharedSat normally consults the static pass; the cross-check
+        // must still be meaningful (and sound) through that engine.
+        let net = fig4_c2_cone();
+        let engine = Engine::SharedSat(kms_atpg::ParallelOptions::default());
+        let check = cross_check_static_analysis(&net, &AnalysisOptions::default(), engine);
+        assert!(check.sound(), "{check:?}");
     }
 
     #[test]

@@ -16,9 +16,12 @@ pub enum Level {
 /// Per-check levels for one lint run.
 ///
 /// The defaults deny everything that breaks a hard structural invariant
-/// (`cycle`, `undriven`, `arity`, `duplicate-name`, `fanout`, `delay`) and
+/// (`cycle`, `undriven`, `arity`, `duplicate-name`, `fanout`, `delay`),
 /// warn on the KMS conventions that are legal but suspicious
-/// (`unreachable`, `not-simple`, `const-anomaly`).
+/// (`unreachable`, `not-simple`, `const-anomaly`), and *allow* the
+/// semantic tier (`redundant-node`, `equivalent-node-pair`,
+/// `constant-node`): those checks run the `kms-analysis` SAT-backed pass,
+/// a cost callers opt into explicitly.
 ///
 /// ```
 /// use kms_lint::{CheckId, Level, LintConfig};
@@ -42,6 +45,13 @@ impl Default for LintConfig {
             CheckId::ConstAnomaly,
         ] {
             config.set_level(check, Level::Warn);
+        }
+        for check in [
+            CheckId::RedundantNode,
+            CheckId::EquivalentNodePair,
+            CheckId::ConstantNode,
+        ] {
+            config.set_level(check, Level::Allow);
         }
         config
     }
@@ -102,6 +112,9 @@ mod tests {
         assert_eq!(config.level(CheckId::Unreachable), Level::Warn);
         assert_eq!(config.level(CheckId::NotSimple), Level::Warn);
         assert_eq!(config.level(CheckId::ConstAnomaly), Level::Warn);
+        assert_eq!(config.level(CheckId::RedundantNode), Level::Allow);
+        assert_eq!(config.level(CheckId::EquivalentNodePair), Level::Allow);
+        assert_eq!(config.level(CheckId::ConstantNode), Level::Allow);
     }
 
     #[test]

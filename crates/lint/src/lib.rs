@@ -10,17 +10,25 @@
 //!
 //! # Check catalog
 //!
-//! | check id | default | meaning |
-//! |---|---|---|
-//! | `cycle` | deny | combinational cycle among live gates |
-//! | `undriven` | deny | pin or primary output referencing a dead/missing gate |
-//! | `arity` | deny | pin count invalid for the gate kind |
-//! | `duplicate-name` | deny | two live gates (or two outputs) share a name |
-//! | `fanout` | deny | fanout table inconsistent with the pin edge list |
-//! | `delay` | deny | negative gate or wire delay (defensive; see [`Delay`]) |
-//! | `unreachable` | warn | live logic gate with no path to any primary output |
-//! | `not-simple` | warn | complex gate where the KMS oracles need simple ones |
-//! | `const-anomaly` | warn | unpropagated constants / single-input AND-OR gates |
+//! | check id | tier | default | meaning |
+//! |---|---|---|---|
+//! | `cycle` | structural | deny | combinational cycle among live gates |
+//! | `undriven` | structural | deny | pin or primary output referencing a dead/missing gate |
+//! | `arity` | structural | deny | pin count invalid for the gate kind |
+//! | `duplicate-name` | structural | deny | two live gates (or two outputs) share a name |
+//! | `fanout` | structural | deny | fanout table inconsistent with the pin edge list |
+//! | `delay` | structural | deny | negative gate or wire delay (defensive; see [`Delay`]) |
+//! | `unreachable` | structural | warn | live logic gate with no path to any primary output |
+//! | `not-simple` | structural | warn | complex gate where the KMS oracles need simple ones |
+//! | `const-anomaly` | structural | warn | unpropagated constants / single-input AND-OR gates |
+//! | `redundant-node` | semantic | allow | gate with a statically-proved-untestable stuck-at fault |
+//! | `equivalent-node-pair` | semantic | allow | two gates proved equivalent/antivalent (`kms-analysis`) |
+//! | `constant-node` | semantic | allow | live logic gate proved constant over all inputs |
+//!
+//! The *structural* tier reads the graph only; the *semantic* tier runs
+//! the `kms-analysis` pass (structural hashing, SAT sweeping, implication
+//! learning) and can therefore invoke a SAT solver — it is allow-by-default
+//! and opt-in per check (`--warn redundant-node` on the CLI).
 //!
 //! # Example
 //!
@@ -52,7 +60,7 @@ mod diagnostic;
 mod render;
 
 pub use config::{Level, LintConfig};
-pub use diagnostic::{CheckId, Diagnostic, Severity, Site};
+pub use diagnostic::{CheckId, Diagnostic, Severity, Site, Tier};
 pub use render::render_json;
 
 use kms_netlist::Network;
@@ -115,6 +123,7 @@ impl LintReport {
 /// defect does not hide an unrelated one.
 pub fn lint_network(net: &Network, config: &LintConfig) -> LintReport {
     let mut diagnostics = Vec::new();
+    let mut semantic: Vec<(CheckId, Severity)> = Vec::new();
     for check in CheckId::ALL {
         let level = config.level(check);
         if level == Level::Allow {
@@ -124,8 +133,14 @@ pub fn lint_network(net: &Network, config: &LintConfig) -> LintReport {
             Level::Deny => Severity::Error,
             _ => Severity::Warning,
         };
-        checks::run_check(net, check, severity, &mut diagnostics);
+        if check.tier() == Tier::Semantic {
+            // Deferred: the semantic checks share one analysis pass.
+            semantic.push((check, severity));
+        } else {
+            checks::run_check(net, check, severity, &mut diagnostics);
+        }
     }
+    checks::run_semantic_checks(net, &semantic, &mut diagnostics);
     diagnostics.sort_by_key(|d| (d.severity != Severity::Error, d.check as u8, d.site));
     LintReport { diagnostics }
 }

@@ -1,10 +1,13 @@
 //! Text and JSON rendering of a [`LintReport`].
 //!
 //! The JSON writer is hand-rolled (the workspace has no serde); the schema
-//! is intentionally small and stable:
+//! is intentionally small and stable, and versioned since the semantic
+//! check tier landed (`schema_version` 1 was the same shape without the
+//! version and `tier` fields):
 //!
 //! ```json
 //! {
+//!   "schema_version": 2,
 //!   "network": "<model name>",
 //!   "errors": 1,
 //!   "warnings": 2,
@@ -12,6 +15,7 @@
 //!     {
 //!       "severity": "error",
 //!       "check": "undriven",
+//!       "tier": "structural",
 //!       "site": "g4.0",
 //!       "message": "...",
 //!       "suggestion": "..."
@@ -44,6 +48,7 @@ pub(crate) fn render_text(report: &LintReport) -> String {
 pub fn render_json(report: &LintReport, network_name: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
+    s.push_str("  \"schema_version\": 2,\n");
     let _ = writeln!(s, "  \"network\": {},", json_string(network_name));
     let _ = writeln!(s, "  \"errors\": {},", report.error_count());
     let _ = writeln!(s, "  \"warnings\": {},", report.warning_count());
@@ -59,6 +64,11 @@ pub fn render_json(report: &LintReport, network_name: &str) -> String {
             json_string(&d.severity.to_string())
         );
         let _ = write!(s, "\n      \"check\": {},", json_string(d.check.as_str()));
+        let _ = write!(
+            s,
+            "\n      \"tier\": {},",
+            json_string(&d.check.tier().to_string())
+        );
         let _ = write!(s, "\n      \"site\": {},", json_string(&d.site.to_string()));
         let _ = write!(s, "\n      \"message\": {}", json_string(&d.message));
         if let Some(sug) = &d.suggestion {
@@ -121,11 +131,29 @@ mod tests {
     #[test]
     fn json_escapes_and_structures() {
         let json = render_json(&sample_report(), "c17");
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"network\": \"c17\""));
         assert!(json.contains("\"check\": \"undriven\""));
+        assert!(json.contains("\"tier\": \"structural\""));
         assert!(json.contains("\\\"x\\\" broken\\n(second line)"));
         assert!(json.contains("\"suggestion\": \"fix it\""));
         assert!(json.contains("\"errors\": 1"));
+    }
+
+    #[test]
+    fn json_semantic_tier_field() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                severity: Severity::Warning,
+                check: CheckId::ConstantNode,
+                site: Site::Network,
+                message: "m".into(),
+                suggestion: None,
+            }],
+        };
+        let json = render_json(&report, "n");
+        assert!(json.contains("\"check\": \"constant-node\""));
+        assert!(json.contains("\"tier\": \"semantic\""));
     }
 
     #[test]

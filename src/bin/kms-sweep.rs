@@ -1,0 +1,148 @@
+//! `kms-sweep` — static semantic sweep of BLIF/ISCAS netlists.
+//!
+//! Runs the `kms-analysis` pass (structural hashing, SAT sweeping, static
+//! implication learning) over each input network and prints the
+//! [`StaticRedundancyReport`]: every stuck-at fault of the collapsed fault
+//! set that the pass proves untestable without ATPG, each with a
+//! machine-checkable witness, plus the node-merge/constant statistics.
+//!
+//! ```text
+//! kms-sweep [OPTIONS] <file.blif | -> [more files...]
+//!   -f, --format <text|json>  output format (default: text)
+//!       --iscas               parse inputs as ISCAS-85 instead of BLIF
+//!       --no-sat-sweep        skip SAT sweeping (strash + implications only)
+//!       --no-learning         skip static implication learning
+//!       --seed <N>            simulation seed for the sweep signatures
+//!   -q, --quiet               suppress output; just set the exit code
+//! ```
+//!
+//! Exit status: 0 on success (whether or not redundancies were found),
+//! 1 when any file fails to parse, 2 on usage errors.
+//!
+//! [`StaticRedundancyReport`]: kms::analysis::StaticRedundancyReport
+
+use std::io::Read as _;
+
+use kms::analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
+use kms::atpg::{collapsed_faults, FaultSite};
+use kms::blif::{parse_blif, parse_iscas};
+
+struct Args {
+    inputs: Vec<String>,
+    json: bool,
+    iscas: bool,
+    opts: AnalysisOptions,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        inputs: Vec::new(),
+        json: false,
+        iscas: false,
+        opts: AnalysisOptions::default(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-f" | "--format" => {
+                args.json = match it.next().as_deref() {
+                    Some("text") => false,
+                    Some("json") => true,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
+            "--iscas" => args.iscas = true,
+            "--no-sat-sweep" => args.opts.sat_sweep = false,
+            "--no-learning" => args.opts.static_learning = false,
+            "--seed" => {
+                args.opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "-q" | "--quiet" => args.quiet = true,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: kms-sweep [-f text|json] [--iscas] [--no-sat-sweep] \
+                     [--no-learning] [--seed N] [-q] <file.blif | ->..."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unexpected argument {other:?}"));
+            }
+            other => args.inputs.push(other.to_string()),
+        }
+    }
+    if args.inputs.is_empty() {
+        return Err("missing input file (use '-' for stdin)".into());
+    }
+    Ok(args)
+}
+
+fn read_input(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+fn sweep_file(path: &str, args: &Args) -> Result<String, String> {
+    let text = read_input(path).map_err(|e| format!("{path}: {e}"))?;
+    let net = if args.iscas {
+        parse_iscas(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        parse_blif(&text)
+            .map(|c| c.network)
+            .map_err(|e| format!("{path}: {e}"))?
+    };
+    let faults: Vec<(FaultRef, bool)> = collapsed_faults(&net)
+        .into_iter()
+        .map(|f| {
+            let site = match f.site {
+                FaultSite::GateOutput(g) => FaultRef::Output(g),
+                FaultSite::Conn(c) => FaultRef::Conn(c),
+            };
+            (site, f.stuck)
+        })
+        .collect();
+    let analysis = StaticAnalysis::build(&net, &args.opts);
+    let report = analysis.report(&faults);
+    Ok(if args.json {
+        report.render_json()
+    } else {
+        report.render_text()
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nrun with --help for usage");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+    for path in &args.inputs {
+        match sweep_file(path, &args) {
+            Ok(rendered) => {
+                if !args.quiet {
+                    print!("{rendered}");
+                }
+            }
+            Err(msg) => {
+                failed = true;
+                if !args.quiet {
+                    eprintln!("error: {msg}");
+                }
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
