@@ -29,6 +29,7 @@
 
 pub mod implic;
 pub mod report;
+pub mod signature;
 pub mod strash;
 pub mod sweep;
 
@@ -38,6 +39,7 @@ use kms_netlist::{ConnRef, GateId, GateKind, Network};
 
 pub use implic::{Conflict, ImplStep, Implications, Why};
 pub use report::{AnalysisStats, FaultRef, StaticFaultProof, StaticRedundancyReport, Witness};
+pub use signature::{SignatureInterner, Signatures};
 pub use strash::{assert_new_gates_shared, assert_shared, StrashSnapshot, StrashTable};
 pub use sweep::EquivClasses;
 

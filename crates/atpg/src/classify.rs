@@ -68,6 +68,14 @@ pub struct ParallelOptions {
     /// the CNF. Both substitutions are semantic (proved over all inputs),
     /// so the report stays bit-identical to a run without the prescreen.
     pub static_prescreen: bool,
+    /// Include the counterexample-refined SAT sweep in the prescreen's
+    /// static analysis. Off by default: on the MCNC/CSA suite the sweep's
+    /// solver time exceeds what it saves downstream (BENCH_sweep showed a
+    /// net slowdown on 6 of 9 circuits, down to 0.30× on rd73), while the
+    /// implication-only tier keeps nearly all of the proof yield. Verdict
+    /// substitutions remain semantic either way, so the report is
+    /// bit-identical at any tier.
+    pub prescreen_sweep: bool,
 }
 
 impl Default for ParallelOptions {
@@ -77,6 +85,7 @@ impl Default for ParallelOptions {
             drop_patterns: 256,
             seed: 0x4B4D_5331,
             static_prescreen: true,
+            prescreen_sweep: false,
         }
     }
 }
@@ -560,7 +569,7 @@ fn run(
     // every worker alias duplicate good-circuit cones. Both substitutions
     // are semantic, so the verdicts — and hence the drop cascade and the
     // final report — match a run without the prescreen bit for bit.
-    let prescreen = Prescreen::build(net, faults, &survivors, opts.static_prescreen);
+    let prescreen = Prescreen::build(net, faults, &survivors, &opts);
     if jobs.min(survivors.len()) <= 1 {
         run_sequential(
             net,
@@ -597,9 +606,18 @@ impl<'n> Prescreen<'n> {
         net: &'n Network,
         faults: &[Fault],
         survivors: &[usize],
-        enabled: bool,
+        opts: &ParallelOptions,
     ) -> Prescreen<'n> {
-        let analysis = enabled.then(|| StaticAnalysis::build(net, &AnalysisOptions::default()));
+        // The default tier is implication-only: structural hashing plus
+        // static learning, no SAT sweep (see `ParallelOptions::
+        // prescreen_sweep` for the measurement behind the default).
+        let analysis = opts.static_prescreen.then(|| {
+            let aopts = AnalysisOptions {
+                sat_sweep: opts.prescreen_sweep,
+                ..AnalysisOptions::default()
+            };
+            StaticAnalysis::build(net, &aopts)
+        });
         let mut redundant = vec![false; faults.len()];
         if let Some(an) = &analysis {
             for &fi in survivors {

@@ -3,6 +3,13 @@
 //! what that does to end-to-end classification wall-clock. Emits
 //! `BENCH_sweep.json`.
 //!
+//! Three tiers per circuit: no prescreen (the oracle), the default
+//! prescreen (structural hash + implication learning, no SAT sweep), and
+//! the full-sweep prescreen (`prescreen_sweep: true`). The measurement
+//! that set the default: the SAT sweep's solver time exceeded its
+//! downstream savings on 6 of 9 circuits (rd73 bottomed at 0.30×), while
+//! the implication-only tier is the fixed cost worth paying.
+//!
 //! Usage: `bench_sweep [--smoke] [--jobs N] [--out FILE]`
 //!
 //! * `--smoke` — two small circuits, one rep: CI schema/determinism check.
@@ -11,8 +18,7 @@
 //!
 //! Every row is also a correctness gate: the statically proved faults must
 //! be a subset of the SAT/PODEM oracle's redundant set (soundness), and
-//! the classification report with the prescreen must be bit-identical to
-//! the report without it.
+//! the classification reports at every tier must be bit-identical.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -112,6 +118,7 @@ struct Row {
     hit_rate: f64,
     analysis_s: f64,
     with_s: f64,
+    with_sweep_s: f64,
     without_s: f64,
 }
 
@@ -138,9 +145,17 @@ fn main() {
         v
     };
 
+    // The default tier (implication-only since prescreen_sweep defaults
+    // to false), the full-sweep tier, and the bare oracle.
     let with_prescreen = Engine::SharedSat(ParallelOptions {
         jobs: cfg.jobs,
         static_prescreen: true,
+        ..Default::default()
+    });
+    let with_sweep = Engine::SharedSat(ParallelOptions {
+        jobs: cfg.jobs,
+        static_prescreen: true,
+        prescreen_sweep: true,
         ..Default::default()
     });
     let without_prescreen = Engine::SharedSat(ParallelOptions {
@@ -156,19 +171,31 @@ fn main() {
         let faults = collapsed_faults(net);
         let fault_refs: Vec<(FaultRef, bool)> = faults.iter().map(|&f| fault_ref(f)).collect();
 
-        // Static pass: timed alone (the prescreen's fixed cost) and its
-        // report kept for the hit-rate and soundness checks.
+        // Static pass at the default tier (no SAT sweep): timed alone
+        // (the prescreen's fixed cost) and its report kept for the
+        // hit-rate and soundness checks.
         let (analysis_s, report) = time_min(reps, || {
-            let an = StaticAnalysis::build(net, &AnalysisOptions::default());
+            let an = StaticAnalysis::build(
+                net,
+                &AnalysisOptions {
+                    sat_sweep: false,
+                    ..AnalysisOptions::default()
+                },
+            );
             an.report(&fault_refs)
         });
 
         // Oracle: the full classification without the prescreen.
         let (without_s, oracle) = time_min(reps, || analyze(net, without_prescreen));
         let (with_s, screened) = time_min(reps, || analyze(net, with_prescreen));
+        let (with_sweep_s, swept) = time_min(reps, || analyze(net, with_sweep));
         assert_eq!(
             oracle, screened,
             "{name}: prescreen changed the testability report"
+        );
+        assert_eq!(
+            oracle, swept,
+            "{name}: sweep-tier prescreen changed the testability report"
         );
 
         let redundant: BTreeSet<(FaultRef, bool)> =
@@ -192,7 +219,8 @@ fn main() {
         total_proved += proved.len();
         eprintln!(
             "{name:<10} {:>5} faults  {:>3} redundant  {:>3} static ({:>5.1}%)  \
-             analysis {analysis_s:.4}s  with {with_s:.4}s  without {without_s:.4}s",
+             analysis {analysis_s:.4}s  with {with_s:.4}s  sweep {with_sweep_s:.4}s  \
+             without {without_s:.4}s",
             faults.len(),
             redundant.len(),
             proved.len(),
@@ -207,6 +235,7 @@ fn main() {
             hit_rate,
             analysis_s,
             with_s,
+            with_sweep_s,
             without_s,
         });
     }
@@ -237,7 +266,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"circuit\": \"{}\", \"gates\": {}, \"faults\": {}, \"redundant\": {}, \
              \"static_proved\": {}, \"hit_rate\": {:.4}, \"analysis_s\": {:.6}, \
-             \"with_prescreen_s\": {:.6}, \"without_prescreen_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+             \"with_prescreen_s\": {:.6}, \"with_sweep_s\": {:.6}, \
+             \"without_prescreen_s\": {:.6}, \"speedup\": {:.3}, \"sweep_speedup\": {:.3}}}{}\n",
             json_escape(&r.name),
             r.gates,
             r.faults,
@@ -246,8 +276,10 @@ fn main() {
             r.hit_rate,
             r.analysis_s,
             r.with_s,
+            r.with_sweep_s,
             r.without_s,
             r.without_s / r.with_s,
+            r.without_s / r.with_sweep_s,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -23,12 +23,17 @@
 
 use std::time::{Duration, Instant};
 
+use kms_analysis::SignatureInterner;
 use kms_atpg::{Engine, Fault};
-use kms_netlist::{transform, NetlistError, Network, Path};
+use kms_netlist::{transform, DirtySet, NetlistError, Network, Path};
 use kms_opt::naive_redundancy_removal;
+#[cfg(feature = "debug-invariants")]
+use kms_timing::PathEnumerator;
 use kms_timing::{
-    is_statically_sensitizable, InputArrivals, PathEnumerator, Time, ViabilityAnalysis,
+    is_statically_sensitizable, IncrementalSta, InputArrivals, ResumablePathEnumerator, Time,
 };
+
+use crate::engine::{count_critical_paths, oracle_phase, EngineStats, VerdictCache};
 
 /// The sensitization condition used in the while-loop header (Section VI:
 /// "the user may choose whether viability or static sensitization is
@@ -65,6 +70,16 @@ pub struct KmsOptions {
     /// delay, and sources, so every path maps to an equal-length one);
     /// off by default to match the paper's algorithm exactly.
     pub strash: bool,
+    /// Use the incremental timing engine: cone-scoped STA updates, a
+    /// repaired (rather than rebuilt) path-enumeration frontier, and the
+    /// cross-iteration verdict cache. Observable behavior is bit-identical
+    /// to a per-iteration rebuild — this is purely a performance switch,
+    /// on by default; turn it off to time the non-incremental baseline.
+    pub incremental: bool,
+    /// Worker threads for oracle queries within one iteration (`1` =
+    /// sequential). Results commit in path order, so the loop's decisions
+    /// are identical at any job count.
+    pub jobs: usize,
 }
 
 impl Default for KmsOptions {
@@ -76,6 +91,8 @@ impl Default for KmsOptions {
             max_longest_paths: 256,
             effort_cap: 1 << 22,
             strash: false,
+            incremental: true,
+            jobs: 1,
         }
     }
 }
@@ -94,6 +111,11 @@ pub struct KmsIteration {
     pub constant: bool,
     /// Simple-gate count after the iteration.
     pub gates_after: usize,
+    /// Equal-length longest paths that existed but were not examined
+    /// because [`KmsOptions::max_longest_paths`] (or the effort cap)
+    /// truncated the set. Exact (tight-edge DP count, saturating at
+    /// `u64::MAX`); zero when the set was enumerated in full.
+    pub dropped: u64,
 }
 
 /// Wall-clock spent in each phase of a [`kms`] run, accumulated across
@@ -109,12 +131,16 @@ pub struct KmsPhaseTimings {
     pub transform: Duration,
     /// The final remove-remaining-redundancies phase (ATPG).
     pub atpg: Duration,
+    /// Timing-engine maintenance: the initial build, plus per-iteration
+    /// incremental updates and enumerator repairs (incremental mode) or
+    /// full rebuilds (non-incremental mode).
+    pub engine: Duration,
 }
 
 impl KmsPhaseTimings {
     /// Sum of all phase timers.
     pub fn total(&self) -> Duration {
-        self.path_enum + self.oracle + self.transform + self.atpg
+        self.path_enum + self.oracle + self.transform + self.atpg + self.engine
     }
 }
 
@@ -143,6 +169,14 @@ pub struct KmsReport {
     /// `true` if the iteration cap stopped the loop early (never observed
     /// on the paper's circuits; reported for safety).
     pub capped: bool,
+    /// Total equal-length longest paths dropped by the
+    /// [`KmsOptions::max_longest_paths`] cap across all iterations (the
+    /// sum of [`KmsIteration::dropped`]). Non-zero means the loop decided
+    /// on a truncated view of the longest-path set.
+    pub dropped_longest_paths: u64,
+    /// Incremental-engine counters: update/rebuild split, enumerator
+    /// repair retention, verdict-cache hit rate.
+    pub engine: EngineStats,
     /// Per-phase wall-clock breakdown.
     pub timings: KmsPhaseTimings,
 }
@@ -237,30 +271,57 @@ fn max_fanout(net: &Network) -> usize {
         .unwrap_or(0)
 }
 
-/// A per-iteration condition oracle: the SAT encoding (or the BDD node
-/// functions) is built once per network state and shared across the
-/// longest-path checks of that iteration.
-enum ConditionOracle<'a> {
-    Sens(kms_timing::SensitizationOracle),
-    Via(ViabilityAnalysis<'a>),
+/// With the `debug-invariants` feature enabled, asserts that the
+/// longest-path set collected from the (repaired) resumable enumerator is
+/// exactly what a from-scratch [`PathEnumerator`] would have produced —
+/// same paths, same order. Skipped when the resumable run truncated (pop
+/// budgets differ between a repaired frontier and a fresh one, so a
+/// truncated comparison would be apples to oranges).
+#[cfg(feature = "debug-invariants")]
+fn check_longest_matches_fresh(
+    net: &Network,
+    arrivals: &InputArrivals,
+    longest: &[Path],
+    options: &KmsOptions,
+    truncated: bool,
+) {
+    if truncated {
+        return;
+    }
+    let mut en = PathEnumerator::new(net, arrivals).with_effort_cap(options.effort_cap);
+    let mut fresh: Vec<String> = Vec::new();
+    let mut fresh_length: Option<Time> = None;
+    for (p, len) in en.by_ref() {
+        match fresh_length {
+            None => {
+                fresh_length = Some(len);
+                fresh.push(p.to_string());
+            }
+            Some(l) if len == l => {
+                if fresh.len() < options.max_longest_paths {
+                    fresh.push(p.to_string());
+                } else {
+                    break;
+                }
+            }
+            Some(_) => break,
+        }
+    }
+    let got: Vec<String> = longest.iter().map(|p| p.to_string()).collect();
+    assert_eq!(
+        got, fresh,
+        "repaired enumerator must reproduce the fresh longest-path set"
+    );
 }
 
-impl<'a> ConditionOracle<'a> {
-    fn new(net: &'a Network, arrivals: &InputArrivals, condition: Condition) -> Self {
-        match condition {
-            Condition::StaticSensitization => {
-                ConditionOracle::Sens(kms_timing::SensitizationOracle::new(net))
-            }
-            Condition::Viability => ConditionOracle::Via(ViabilityAnalysis::new(net, arrivals)),
-        }
-    }
-
-    fn satisfies(&mut self, net: &Network, path: &Path) -> Result<bool, NetlistError> {
-        match self {
-            ConditionOracle::Sens(o) => o.is_sensitizable(net, path),
-            ConditionOracle::Via(v) => v.is_viable(path),
-        }
-    }
+#[cfg(not(feature = "debug-invariants"))]
+fn check_longest_matches_fresh(
+    _net: &Network,
+    _arrivals: &InputArrivals,
+    _longest: &[Path],
+    _options: &KmsOptions,
+    _truncated: bool,
+) {
 }
 
 /// Runs the KMS algorithm on `net` in place.
@@ -294,18 +355,55 @@ pub fn kms(
     let mut duplicated_gates = 0usize;
     let mut capped = false;
     let mut timings = KmsPhaseTimings::default();
+    let mut engine_stats = EngineStats::default();
+    let mut dropped_total = 0u64;
+
+    // The timing engine: one persistent incremental view and enumeration
+    // frontier (patched in place each iteration) in incremental mode;
+    // rebuilt from scratch per iteration otherwise. Both modes walk the
+    // same code path below, so the loop's decisions are bit-identical.
+    let t0 = Instant::now();
+    let mut ista = IncrementalSta::new(net, arrivals.clone());
+    let mut enumerator =
+        ResumablePathEnumerator::new(net, &ista).with_effort_cap(options.effort_cap);
+    timings.engine += t0.elapsed();
+    engine_stats.full_recomputes += 1;
+    let mut cache = options.incremental.then(VerdictCache::default);
+    let mut interner = options.incremental.then(SignatureInterner::new);
+    let mut carry_dirty = DirtySet::new();
 
     for _iter in 0.. {
         if _iter >= options.max_iterations {
             capped = true;
             break;
         }
+        // Bring the timing view and the enumeration frontier up to date
+        // with the previous iteration's surgery.
+        if _iter > 0 {
+            let t0 = Instant::now();
+            if options.incremental {
+                ista.update(net, &carry_dirty);
+                let rs = enumerator.repair(net, &ista, &carry_dirty);
+                engine_stats.partials_retained += rs.retained;
+                engine_stats.partials_dropped += rs.dropped;
+                engine_stats.partials_reseeded += rs.reseeded;
+                enumerator.reset_effort();
+            } else {
+                ista = IncrementalSta::new(net, arrivals.clone());
+                enumerator =
+                    ResumablePathEnumerator::new(net, &ista).with_effort_cap(options.effort_cap);
+                engine_stats.full_recomputes += 1;
+            }
+            timings.engine += t0.elapsed();
+        }
+        carry_dirty = DirtySet::new();
+
         // Collect the longest paths (all of maximal length, capped).
         let t0 = Instant::now();
-        let mut en = PathEnumerator::new(net, arrivals).with_effort_cap(options.effort_cap);
         let mut longest: Vec<Path> = Vec::new();
         let mut longest_length: Option<Time> = None;
-        for (p, len) in en.by_ref() {
+        let mut cap_hit = false;
+        while let Some((p, len)) = enumerator.next_path(net, &ista) {
             match longest_length {
                 None => {
                     longest_length = Some(len);
@@ -315,6 +413,7 @@ pub fn kms(
                     if longest.len() < options.max_longest_paths {
                         longest.push(p);
                     } else {
+                        cap_hit = true;
                         break;
                     }
                 }
@@ -322,32 +421,47 @@ pub fn kms(
             }
         }
         timings.path_enum += t0.elapsed();
+        check_longest_matches_fresh(net, arrivals, &longest, &options, enumerator.truncated());
         let Some(longest_length) = longest_length else {
             break; // no IO-paths at all (constant circuit)
         };
+        // The cap must not truncate silently: count what it dropped (the
+        // DP is exact and cheap — one pass over the tight edges).
+        let mut dropped = 0u64;
+        if cap_hit || enumerator.truncated() {
+            dropped = count_critical_paths(net, &ista).saturating_sub(longest.len() as u64);
+            if dropped > 0 {
+                eprintln!(
+                    "kms[{}] iteration {}: examining {} of {} equal-length longest paths \
+                     ({} dropped by max_longest_paths={} / the effort cap)",
+                    net.name(),
+                    _iter,
+                    longest.len(),
+                    longest.len() as u64 + dropped,
+                    dropped,
+                    options.max_longest_paths,
+                );
+                dropped_total = dropped_total.saturating_add(dropped);
+            }
+        }
         // While-loop header: stop when some longest path satisfies the
         // condition — then that path determines the delay and the
         // remaining redundancies may go in any order.
         let t0 = Instant::now();
-        let mut target: Option<Path> = None;
-        let mut any_sensitizable = false;
-        {
-            let net_ref: &Network = net;
-            let mut oracle = ConditionOracle::new(net_ref, arrivals, options.condition);
-            for p in &longest {
-                if oracle.satisfies(net_ref, p)? {
-                    any_sensitizable = true;
-                    break;
-                } else if target.is_none() {
-                    target = Some(p.clone());
-                }
-            }
-        }
+        let outcome = oracle_phase(
+            net,
+            arrivals,
+            &ista,
+            &longest,
+            options.condition,
+            options.jobs,
+            cache.as_mut().zip(interner.as_mut()),
+        )?;
         timings.oracle += t0.elapsed();
-        if any_sensitizable {
+        if outcome.any_sensitizable {
             break;
         }
-        let Some(path) = target else { break };
+        let Some(path) = outcome.target else { break };
 
         // Find n: the gate in P closest to the output with fanout > 1.
         // Both fanout tables are built once per iteration and shared by
@@ -367,6 +481,7 @@ pub fn kms(
             Some(upto) => {
                 let dup = transform::duplicate_path_prefix(net, &path, upto);
                 duplicated_gates += dup.mapping.len();
+                carry_dirty.merge(&dup.dirty);
                 check_invariants(net, "after duplicate_path_prefix");
                 // The duplication is intentional: the count may grow by at
                 // most the declared mapping, never more.
@@ -393,7 +508,7 @@ pub fn kms(
         let first_kind = net.gate(first.gate).kind;
         let value = first_kind.controlling_value().unwrap_or(false);
         let pre_live = strash_snapshot(net);
-        transform::set_conn_const(net, first, value);
+        transform::set_conn_const_tracked(net, first, value, &mut carry_dirty);
         check_invariants(net, "after set_conn_const");
         // Constant propagation may fold existing gates into twins (the
         // final structural hash merges those) but must not mint new
@@ -407,7 +522,19 @@ pub fn kms(
             duplicated: dup_count,
             constant: value,
             gates_after: net.simple_gate_count(),
+            dropped,
         });
+    }
+
+    // Fold the persistent engine's counters into the report. In
+    // non-incremental mode `ista` is the last per-iteration rebuild and
+    // was never `update`d, so its own stats are zero.
+    let ista_stats = ista.stats();
+    engine_stats.incremental_updates += ista_stats.incremental_updates;
+    engine_stats.full_recomputes += ista_stats.full_recomputes;
+    if let Some(c) = &cache {
+        engine_stats.cache_hits = c.hits;
+        engine_stats.cache_misses = c.misses;
     }
 
     // Final phase: remove remaining redundancies in any order.
@@ -440,6 +567,8 @@ pub fn kms(
         max_fanout_before,
         max_fanout_after: max_fanout(net),
         capped,
+        dropped_longest_paths: dropped_total,
+        engine: engine_stats,
         timings,
     })
 }
@@ -595,6 +724,83 @@ mod tests {
             "t has fanout 2 on the longest path; duplication required"
         );
         assert_invariants(&before, &net, &InputArrivals::zero());
+    }
+
+    /// The incremental engine is a performance switch, not a semantic
+    /// one: same final netlist, same iteration trace, same removals —
+    /// with the rebuild-every-iteration baseline and at any job count.
+    #[test]
+    fn incremental_and_parallel_are_bit_identical() {
+        for condition in [Condition::StaticSensitization, Condition::Viability] {
+            let mut net = kms_gen::adders::carry_skip_adder(8, 2, kms_netlist::DelayModel::Unit);
+            transform::decompose_to_simple(&mut net);
+            net.apply_delay_model(kms_netlist::DelayModel::Unit);
+            let arr = InputArrivals::zero();
+            let base = KmsOptions {
+                condition,
+                ..Default::default()
+            };
+            let (inc, r_inc) = kms_on_copy(&net, &arr, base).unwrap();
+            let (full, r_full) = kms_on_copy(
+                &net,
+                &arr,
+                KmsOptions {
+                    incremental: false,
+                    ..base
+                },
+            )
+            .unwrap();
+            let (par, r_par) = kms_on_copy(&net, &arr, KmsOptions { jobs: 4, ..base }).unwrap();
+            for (other, r_other) in [(&full, &r_full), (&par, &r_par)] {
+                assert_eq!(inc.dump(), other.dump(), "{condition:?}: final netlists");
+                assert_eq!(
+                    r_inc.removed_redundancies, r_other.removed_redundancies,
+                    "{condition:?}"
+                );
+                assert_eq!(r_inc.iterations.len(), r_other.iterations.len());
+                for (a, b) in r_inc.iterations.iter().zip(&r_other.iterations) {
+                    assert_eq!(a.path, b.path, "{condition:?}: iteration trace diverged");
+                    assert_eq!((a.duplicated, a.constant), (b.duplicated, b.constant));
+                }
+            }
+            // The engine actually engaged: updates stayed incremental and
+            // the baseline rebuilt once per iteration (plus the initial).
+            if !r_inc.iterations.is_empty() {
+                assert!(r_inc.engine.incremental_updates > 0, "{condition:?}");
+                assert_eq!(
+                    r_full.engine.full_recomputes,
+                    1 + r_full.iterations.len() as u64,
+                    "{condition:?}"
+                );
+            }
+        }
+    }
+
+    /// Cross-iteration caching fires on repeated constraint sets and the
+    /// counters land in the report.
+    #[test]
+    fn verdict_cache_reports_traffic() {
+        let mut net = kms_gen::adders::carry_skip_adder(8, 4, kms_netlist::DelayModel::Unit);
+        transform::decompose_to_simple(&mut net);
+        net.apply_delay_model(kms_netlist::DelayModel::Unit);
+        let (_, report) = kms_on_copy(&net, &InputArrivals::zero(), KmsOptions::default()).unwrap();
+        if report.iterations.len() > 1 {
+            assert!(
+                report.engine.cache_hits + report.engine.cache_misses > 0,
+                "multi-iteration run must exercise the cache"
+            );
+        }
+        // Caching off ⇒ counters stay zero.
+        let (_, nr) = kms_on_copy(
+            &net,
+            &InputArrivals::zero(),
+            KmsOptions {
+                incremental: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(nr.engine.cache_hits + nr.engine.cache_misses, 0);
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! The incremental engine room of the KMS loop: the cross-iteration
+//! verdict cache, the (optionally parallel) oracle phase, and the
+//! critical-path counter behind the no-silent-caps accounting.
+//!
+//! The loop in [`crate::kms`] asks one question per longest path each
+//! iteration: "does this path satisfy the condition (static
+//! sensitization or viability)?". Both conditions reduce to the same
+//! shape — *is the conjunction of "gate g outputs value v" constraints
+//! satisfiable?* — so a verdict is a pure function of the constraint
+//! set, where each gate is identified by its function over the primary
+//! inputs. The [`kms_analysis::SignatureInterner`] provides exactly that
+//! identity, stable across iterations, which makes verdicts cacheable
+//! across the whole run: a duplicated-but-functionally-unchanged cone
+//! hits the cache instead of rebuilding a BDD or re-running SAT.
+//!
+//! Cache misses go to a lazily built per-iteration oracle; with
+//! `jobs > 1` the misses fan out over a scoped thread pool with
+//! in-order commit (the PR 2 classification pattern), so the observable
+//! outcome — which path breaks the loop, which becomes the target — is
+//! bit-identical to the sequential walk.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use kms_analysis::{SignatureInterner, Signatures};
+use kms_netlist::{GateKind, NetlistError, Network, Path};
+use kms_timing::{
+    early_side_constraints, static_side_constraints, InputArrivals, LatenessRule,
+    SensitizationOracle, TimingView, ViabilityAnalysis, NEVER,
+};
+
+use crate::algorithm::Condition;
+
+/// Counters from the incremental engine of a [`crate::kms`] run: how
+/// often the timing view was patched vs rebuilt, what the enumerator
+/// repair retained, and how the cross-iteration verdict cache performed.
+/// All zeros when `incremental` is off except `full_recomputes` (one per
+/// per-iteration rebuild, plus the initial build).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cone-scoped timing updates that stayed incremental.
+    pub incremental_updates: u64,
+    /// Full timing recomputes: the initial build, per-iteration rebuilds
+    /// in non-incremental mode, and incremental-mode fallbacks (dirty
+    /// region over the threshold or an output-list reshape).
+    pub full_recomputes: u64,
+    /// Heap/emitted partials the enumerator repair kept across an update.
+    pub partials_retained: u64,
+    /// Partials invalidated by the dirty region and discarded.
+    pub partials_dropped: u64,
+    /// Primary outputs re-seeded from scratch (their frontier had been
+    /// wiped out entirely).
+    pub partials_reseeded: u64,
+    /// Oracle queries answered by the cross-iteration verdict cache.
+    pub cache_hits: u64,
+    /// Oracle queries that missed the cache (includes every query of a
+    /// non-cached run: the counter tracks lookups, and with caching off
+    /// there are none — both counters stay zero).
+    pub cache_misses: u64,
+}
+
+/// A per-iteration condition oracle: the SAT encoding (or the BDD node
+/// functions) is built once per network state and shared across the
+/// longest-path checks of that iteration.
+pub(crate) enum ConditionOracle<'a> {
+    Sens(SensitizationOracle),
+    Via(ViabilityAnalysis<'a>),
+}
+
+impl<'a> ConditionOracle<'a> {
+    pub(crate) fn new(net: &'a Network, arrivals: &InputArrivals, condition: Condition) -> Self {
+        match condition {
+            Condition::StaticSensitization => ConditionOracle::Sens(SensitizationOracle::new(net)),
+            Condition::Viability => ConditionOracle::Via(ViabilityAnalysis::new(net, arrivals)),
+        }
+    }
+
+    pub(crate) fn satisfies(&mut self, net: &Network, path: &Path) -> Result<bool, NetlistError> {
+        match self {
+            ConditionOracle::Sens(o) => o.is_sensitizable(net, path),
+            ConditionOracle::Via(v) => v.is_viable(path),
+        }
+    }
+}
+
+/// The cross-iteration verdict cache. Keys are canonicalized constraint
+/// sets — sorted, deduplicated `(signature, required value)` pairs — and
+/// the value is "satisfiable?". Both conditions share the space: a
+/// static-sensitization query and a viability query with the same
+/// constraint set have the same verdict by construction.
+#[derive(Default)]
+pub(crate) struct VerdictCache {
+    map: HashMap<Vec<(u32, bool)>, bool>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+/// The canonical cache key of `path` under `condition`: its constraint
+/// set with gates replaced by their interned signatures. Viability keys
+/// include only the *early* side-inputs (late ones are smoothed), so the
+/// current timing view participates in key construction — which is what
+/// makes the key sound under timing drift: the key *is* the verdict's
+/// full input.
+fn constraint_key(
+    net: &Network,
+    view: &impl TimingView,
+    path: &Path,
+    condition: Condition,
+    sigs: &Signatures,
+) -> Result<Vec<(u32, bool)>, NetlistError> {
+    let raw = match condition {
+        Condition::StaticSensitization => static_side_constraints(net, path)?,
+        Condition::Viability => early_side_constraints(net, view, path, LatenessRule::default())?,
+    };
+    let mut key: Vec<(u32, bool)> = raw.into_iter().map(|(g, nc)| (sigs.of(g), nc)).collect();
+    key.sort_unstable();
+    key.dedup();
+    Ok(key)
+}
+
+/// Outcome of one oracle phase over the capped longest-path set.
+pub(crate) struct OracleOutcome {
+    /// `true` if some longest path satisfies the condition (the loop's
+    /// exit criterion).
+    pub(crate) any_sensitizable: bool,
+    /// The first non-satisfying path seen before the satisfying one (the
+    /// iteration's transform target).
+    pub(crate) target: Option<Path>,
+}
+
+/// Scans the verdict prefix: `Some((any_true, first_false))` once the
+/// outcome is determined (a satisfying path reached with no unknowns
+/// before it, or the whole list resolved), `None` while unknowns block.
+fn decide(verdicts: &[Option<bool>]) -> Option<(bool, Option<usize>)> {
+    let mut first_false = None;
+    for (i, v) in verdicts.iter().enumerate() {
+        match v {
+            None => return None,
+            Some(true) => return Some((true, first_false)),
+            Some(false) => {
+                if first_false.is_none() {
+                    first_false = Some(i);
+                }
+            }
+        }
+    }
+    Some((false, first_false))
+}
+
+/// Runs the while-loop header check over `longest`, with optional
+/// verdict caching and optional parallel miss resolution.
+///
+/// Observable behavior is bit-identical to the sequential uncached walk
+/// ("query in order, stop at the first satisfying path"): verdicts are
+/// deterministic, cached entries merely skip the oracle, and parallel
+/// workers commit in order. Speculative verdicts computed past the stop
+/// point still enter the cache (they are correct; they can only turn
+/// future misses into hits).
+pub(crate) fn oracle_phase(
+    net: &Network,
+    arrivals: &InputArrivals,
+    view: &(impl TimingView + Sync),
+    longest: &[Path],
+    condition: Condition,
+    jobs: usize,
+    cache: Option<(&mut VerdictCache, &mut SignatureInterner)>,
+) -> Result<OracleOutcome, NetlistError> {
+    let mut verdicts: Vec<Option<bool>> = vec![None; longest.len()];
+    let mut keys: Vec<Option<Vec<(u32, bool)>>> = vec![None; longest.len()];
+    let mut cache_ref = None;
+    if let Some((cache, interner)) = cache {
+        let sigs = interner.sign_network(net);
+        for (i, p) in longest.iter().enumerate() {
+            let key = constraint_key(net, view, p, condition, &sigs)?;
+            match cache.map.get(&key) {
+                Some(&v) => {
+                    verdicts[i] = Some(v);
+                    cache.hits += 1;
+                }
+                None => cache.misses += 1,
+            }
+            keys[i] = Some(key);
+        }
+        cache_ref = Some(cache);
+    }
+    // Paths past the first cached-satisfying one never need a query.
+    let stop_at = verdicts
+        .iter()
+        .position(|v| *v == Some(true))
+        .map_or(longest.len(), |i| i + 1);
+    let misses: Vec<usize> = (0..stop_at).filter(|&i| verdicts[i].is_none()).collect();
+
+    if !misses.is_empty() {
+        if jobs <= 1 || misses.len() == 1 {
+            let mut oracle: Option<ConditionOracle> = None;
+            for &i in &misses {
+                if decide(&verdicts).is_some() {
+                    break; // an earlier satisfying path ends the scan
+                }
+                let o =
+                    oracle.get_or_insert_with(|| ConditionOracle::new(net, arrivals, condition));
+                let v = o.satisfies(net, &longest[i])?;
+                verdicts[i] = Some(v);
+                if let (Some(c), Some(k)) = (cache_ref.as_deref_mut(), keys[i].take()) {
+                    c.map.insert(k, v);
+                }
+            }
+        } else {
+            resolve_parallel(
+                net,
+                arrivals,
+                longest,
+                condition,
+                jobs,
+                &misses,
+                &mut verdicts,
+                |i, v| {
+                    if let (Some(c), Some(k)) = (cache_ref.as_deref_mut(), keys[i].take()) {
+                        c.map.insert(k, v);
+                    }
+                },
+            )?;
+        }
+    }
+
+    let (any_sensitizable, first_false) =
+        decide(&verdicts).expect("all verdicts up to the stop point resolved");
+    Ok(OracleOutcome {
+        any_sensitizable,
+        target: first_false.map(|i| longest[i].clone()),
+    })
+}
+
+/// Resolves `misses` over a scoped worker pool with in-order commit.
+/// Each worker builds its own oracle lazily; the main thread commits
+/// results in miss order, stops the pool once the outcome is decided
+/// (or an error commits), and passes every committed verdict to `seen`.
+#[allow(clippy::too_many_arguments)]
+fn resolve_parallel(
+    net: &Network,
+    arrivals: &InputArrivals,
+    longest: &[Path],
+    condition: Condition,
+    jobs: usize,
+    misses: &[usize],
+    verdicts: &mut [Option<bool>],
+    mut seen: impl FnMut(usize, bool),
+) -> Result<(), NetlistError> {
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let mut outcome: Result<(), NetlistError> = Ok(());
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Result<bool, NetlistError>)>();
+        for _ in 0..jobs.min(misses.len()) {
+            let tx = tx.clone();
+            let (next, stop) = (&next, &stop);
+            scope.spawn(move || {
+                let mut oracle: Option<ConditionOracle> = None;
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= misses.len() {
+                        break;
+                    }
+                    let o = oracle
+                        .get_or_insert_with(|| ConditionOracle::new(net, arrivals, condition));
+                    let r = o.satisfies(net, &longest[misses[k]]);
+                    if tx.send((k, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut pending: BTreeMap<usize, Result<bool, NetlistError>> = BTreeMap::new();
+        let mut committed = 0usize;
+        let mut decided = false;
+        while committed < misses.len() {
+            let Ok((k, r)) = rx.recv() else { break };
+            pending.insert(k, r);
+            while let Some(r) = pending.remove(&committed) {
+                let i = misses[committed];
+                committed += 1;
+                if decided {
+                    // Speculative result past the stop point: cache it,
+                    // don't let it influence the outcome.
+                    if let Ok(v) = r {
+                        seen(i, v);
+                    }
+                    continue;
+                }
+                match r {
+                    Ok(v) => {
+                        verdicts[i] = Some(v);
+                        seen(i, v);
+                        if decide(verdicts).is_some() {
+                            decided = true;
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) => {
+                        outcome = Err(e);
+                        decided = true;
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        // Unblock any worker still waiting to send.
+        stop.store(true, Ordering::Relaxed);
+        drop(rx);
+    });
+    outcome
+}
+
+/// Exact count of maximal-length IO-paths (per primary output), by
+/// dynamic programming over the tight-arrival edges — `cnt(g)` sums
+/// `cnt(src)` over the pins that realize `arrival(g)`. Saturating: a
+/// reconvergent circuit can hold astronomically many equal paths, which
+/// is precisely why the enumerator caps and why this counter exists (the
+/// no-silent-caps rule: report what the cap dropped, never enumerate
+/// it).
+pub(crate) fn count_critical_paths(net: &Network, view: &impl TimingView) -> u64 {
+    let delay = view.delay();
+    let mut cnt = vec![0u64; net.num_gate_slots()];
+    for id in net.topo_order() {
+        let g = net.gate(id);
+        cnt[id.index()] = match g.kind {
+            GateKind::Input => 1,
+            GateKind::Const(_) => 0,
+            _ => {
+                let a = view.arrival(id);
+                if a == NEVER {
+                    0
+                } else {
+                    let mut total = 0u64;
+                    for p in &g.pins {
+                        let sa = view.arrival(p.src);
+                        if sa != NEVER && sa + p.wire_delay.units() + g.delay.units() == a {
+                            total = total.saturating_add(cnt[p.src.index()]);
+                        }
+                    }
+                    total
+                }
+            }
+        };
+    }
+    let mut total = 0u64;
+    for o in net.outputs() {
+        if net.gate(o.src).kind.is_source() {
+            continue; // no enumerable path ends at a source-driven output
+        }
+        if view.arrival(o.src) == delay {
+            total = total.saturating_add(cnt[o.src.index()]);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::{Delay, GateKind};
+    use kms_timing::{IncrementalSta, PathEnumerator, Sta};
+
+    /// A wide reconvergent fabric: layers of 2-input ANDs over shared
+    /// fanin give exponentially many equal-length paths.
+    fn wide(levels: usize) -> Network {
+        let mut net = Network::new("w");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let mut prev = vec![a, b];
+        for _ in 0..levels {
+            let g1 = net.add_gate(GateKind::And, &[prev[0], prev[1]], Delay::UNIT);
+            let g2 = net.add_gate(GateKind::Or, &[prev[0], prev[1]], Delay::UNIT);
+            prev = vec![g1, g2];
+        }
+        net.add_output("y", prev[0]);
+        net
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for levels in 1..5 {
+            let net = wide(levels);
+            let arr = InputArrivals::zero();
+            let sta = Sta::run(&net, &arr);
+            let delay = sta.delay();
+            let enumerated = PathEnumerator::new(&net, &arr)
+                .take_while(|&(_, len)| len == delay)
+                .count() as u64;
+            assert_eq!(count_critical_paths(&net, &sta), enumerated);
+        }
+    }
+
+    #[test]
+    fn count_works_on_incremental_view() {
+        let net = wide(3);
+        let arr = InputArrivals::zero();
+        let sta = Sta::run(&net, &arr);
+        let inc = IncrementalSta::new(&net, arr);
+        assert_eq!(
+            count_critical_paths(&net, &sta),
+            count_critical_paths(&net, &inc)
+        );
+    }
+}

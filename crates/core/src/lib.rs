@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod engine;
 mod verify;
 
 pub use algorithm::{
     kms, kms_on_copy, Condition, KmsIteration, KmsOptions, KmsPhaseTimings, KmsReport,
 };
+pub use engine::EngineStats;
 pub use verify::{
     cross_check_static_analysis, verify_kms_invariants, verify_kms_invariants_engine,
     verify_kms_invariants_with, InvariantReport, StaticCrossCheck,

@@ -1,0 +1,149 @@
+//! Structured change tracking for network transforms.
+//!
+//! The KMS loop is intrinsically incremental: each iteration duplicates a
+//! handful of gates and folds a constant through a small cone, leaving the
+//! rest of the network untouched. A [`DirtySet`] is the contract between
+//! the transforms in [`crate::transform`] and the incremental consumers in
+//! `kms-timing` (arrival/required maintenance, best-first heap repair): it
+//! records every gate whose *structure* — kind, pin list, delay, or
+//! liveness — changed during a transform step, plus whether any primary
+//! output was retargeted.
+//!
+//! The contract is conservative over-approximation: a gate listed here may
+//! turn out unchanged, but a gate whose structure changed **must** be
+//! listed (under-reporting makes incremental timing silently wrong; the
+//! `debug-invariants` cross-checks and the property tests in `kms-timing`
+//! enforce the contract against a from-scratch recompute).
+
+use crate::gate::GateId;
+
+/// The set of gates (and outputs) touched by one or more transform steps.
+///
+/// Gates appear in at most three roles: `changed` (live gate rewritten in
+/// place), `added` (freshly minted slot), `removed` (killed / tombstoned).
+/// A gate may appear in several roles across a batch — e.g. rewritten by
+/// constant propagation and then swept — consumers treat the union of all
+/// three lists as "structurally dirty".
+#[derive(Clone, Debug, Default)]
+pub struct DirtySet {
+    changed: Vec<GateId>,
+    added: Vec<GateId>,
+    removed: Vec<GateId>,
+    outputs_changed: bool,
+}
+
+impl DirtySet {
+    /// An empty dirty set.
+    pub fn new() -> Self {
+        DirtySet::default()
+    }
+
+    /// Records an in-place rewrite of a live gate (kind, pins, or delay).
+    pub fn mark_changed(&mut self, g: GateId) {
+        self.changed.push(g);
+    }
+
+    /// Records a freshly created gate slot.
+    pub fn mark_added(&mut self, g: GateId) {
+        self.added.push(g);
+    }
+
+    /// Records a killed gate.
+    pub fn mark_removed(&mut self, g: GateId) {
+        self.removed.push(g);
+    }
+
+    /// Records that at least one primary output was retargeted.
+    pub fn mark_outputs(&mut self) {
+        self.outputs_changed = true;
+    }
+
+    /// Records every slot appended to the arena between two
+    /// [`crate::Network::num_gate_slots`] snapshots as `added` (gate ids
+    /// are dense and never reused, so the delta is exactly the fresh
+    /// gates — duplicates, constants — a transform minted).
+    pub fn note_appended(&mut self, slots_before: usize, slots_after: usize) {
+        for i in slots_before..slots_after {
+            self.added.push(GateId::from_index(i));
+        }
+    }
+
+    /// Appends everything recorded in `other`.
+    pub fn merge(&mut self, other: &DirtySet) {
+        self.changed.extend_from_slice(&other.changed);
+        self.added.extend_from_slice(&other.added);
+        self.removed.extend_from_slice(&other.removed);
+        self.outputs_changed |= other.outputs_changed;
+    }
+
+    /// Sorts and deduplicates each role list.
+    pub fn normalize(&mut self) {
+        for v in [&mut self.changed, &mut self.added, &mut self.removed] {
+            v.sort_unstable();
+            v.dedup();
+        }
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+            && !self.outputs_changed
+    }
+
+    /// Live gates rewritten in place.
+    pub fn changed(&self) -> &[GateId] {
+        &self.changed
+    }
+
+    /// Freshly created gates.
+    pub fn added(&self) -> &[GateId] {
+        &self.added
+    }
+
+    /// Killed gates.
+    pub fn removed(&self) -> &[GateId] {
+        &self.removed
+    }
+
+    /// `true` if any primary output was retargeted.
+    pub fn outputs_changed(&self) -> bool {
+        self.outputs_changed
+    }
+
+    /// Every structurally dirty gate, across all three roles (may repeat a
+    /// gate that played several roles).
+    pub fn touched(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.changed
+            .iter()
+            .chain(self.added.iter())
+            .chain(self.removed.iter())
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_and_merge() {
+        let mut d = DirtySet::new();
+        assert!(d.is_empty());
+        d.mark_changed(GateId::from_index(3));
+        d.mark_changed(GateId::from_index(3));
+        d.mark_removed(GateId::from_index(1));
+        d.note_appended(5, 7);
+        let mut e = DirtySet::new();
+        e.mark_outputs();
+        d.merge(&e);
+        d.normalize();
+        assert_eq!(d.changed(), &[GateId::from_index(3)]);
+        assert_eq!(d.added(), &[GateId::from_index(5), GateId::from_index(6)]);
+        assert_eq!(d.removed(), &[GateId::from_index(1)]);
+        assert!(d.outputs_changed());
+        assert_eq!(d.touched().count(), 4);
+        assert!(!d.is_empty());
+    }
+}

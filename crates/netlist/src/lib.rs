@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod delay;
+mod dirty;
 mod error;
 mod gate;
 mod network;
@@ -50,6 +51,7 @@ pub mod cone;
 pub mod transform;
 
 pub use delay::{Delay, DelayModel};
+pub use dirty::DirtySet;
 pub use error::NetlistError;
 pub use gate::{ConnRef, GateId, GateKind, Pin};
 pub use network::{Gate, Network, Output};

@@ -1,0 +1,515 @@
+//! Cone-scoped incremental static timing analysis.
+//!
+//! The KMS loop mutates a handful of gates per iteration (one duplicated
+//! prefix, one constant cone), yet the seed implementation re-ran
+//! [`Sta::run`] over the whole network every time. [`IncrementalSta`]
+//! consumes the [`DirtySet`] the transforms in `kms-netlist` now emit and
+//! recomputes arrival times only over the *fanout cone* of the dirty
+//! gates and required times only over the *fanin cone* of the gates whose
+//! fanout sets changed — each with a worklist in local topological order.
+//! When the combined dirty region exceeds a fraction of the network it
+//! falls back to a full rebuild (the bookkeeping would cost more than it
+//! saves).
+//!
+//! # Bit-identity with `Sta::run`
+//!
+//! Arrival times use literally the same per-gate formula. Required times
+//! are stored in a decomposed form: `required(g) = delay − down(g)` where
+//! `down(g)` is the longest downstream distance from `g`'s output to any
+//! primary output (gate delays + wire delays of the suffix; [`NEVER`]
+//! when no output is reachable). The decomposition is exact by min/max
+//! duality with `Sta`'s backward pass, and it makes `down` independent of
+//! the global delay — a transform that shortens the critical path does
+//! not dirty a single `down` entry. With the `debug-invariants` feature,
+//! every update cross-checks all three quantities against a from-scratch
+//! [`Sta::run`]; the property tests in `tests/` drive random transform
+//! sequences through the same check in release builds.
+
+use kms_netlist::{ConnRef, DirtySet, GateId, GateKind, Network, Pin};
+
+#[cfg(any(test, feature = "debug-invariants"))]
+use crate::sta::Sta;
+use crate::sta::{InputArrivals, Time, TimingView, NEVER};
+
+/// Counters describing how an [`IncrementalSta`] spent its updates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Updates resolved by cone-scoped recomputation.
+    pub incremental_updates: u64,
+    /// Updates that fell back to a full rebuild (dirty region over the
+    /// threshold, or an output list reshape).
+    pub full_recomputes: u64,
+}
+
+/// Incrementally maintained arrival/required times over a mutating
+/// network.
+///
+/// Build once with [`IncrementalSta::new`], then after every transform
+/// call [`IncrementalSta::update`] with the transform's [`DirtySet`]. The
+/// accessors mirror [`Sta`] and the struct implements [`TimingView`], so
+/// the path enumerators run against it unchanged.
+#[derive(Clone, Debug)]
+pub struct IncrementalSta {
+    arrivals: InputArrivals,
+    arrival: Vec<Time>,
+    /// Longest downstream distance to any primary output; `NEVER` when
+    /// unreachable. `required = delay − down`.
+    down: Vec<Time>,
+    delay: Time,
+    /// Maintained fanout lists (conn order is arbitrary; only max-folds
+    /// read them).
+    fanouts: Vec<Vec<ConnRef>>,
+    /// Shadow copy of each live gate's pins (empty for dead slots), used
+    /// to diff a dirty gate's old connectivity against the new one.
+    shadow_pins: Vec<Vec<Pin>>,
+    /// Shadow copy of the output driver list.
+    shadow_out: Vec<GateId>,
+    /// How many primary outputs each gate drives.
+    po_count: Vec<u32>,
+    fallback_fraction: f64,
+    stats: IncrementalStats,
+}
+
+impl IncrementalSta {
+    /// Runs the initial full analysis of `net` under `arrivals` (the
+    /// arrivals are captured; KMS never changes them mid-run).
+    pub fn new(net: &Network, arrivals: InputArrivals) -> Self {
+        let mut this = IncrementalSta {
+            arrivals,
+            arrival: Vec::new(),
+            down: Vec::new(),
+            delay: 0,
+            fanouts: Vec::new(),
+            shadow_pins: Vec::new(),
+            shadow_out: Vec::new(),
+            po_count: Vec::new(),
+            fallback_fraction: 0.5,
+            stats: IncrementalStats::default(),
+        };
+        this.full_rebuild(net);
+        this
+    }
+
+    /// Sets the full-rebuild threshold: when the dirty region exceeds
+    /// `fraction` of the gate slots, [`IncrementalSta::update`] rebuilds
+    /// from scratch instead (default 0.5).
+    pub fn with_fallback_fraction(mut self, fraction: f64) -> Self {
+        self.fallback_fraction = fraction;
+        self
+    }
+
+    /// The arrival time at the output of `id` (bit-identical to
+    /// [`Sta::arrival`]).
+    pub fn arrival(&self, id: GateId) -> Time {
+        self.arrival[id.index()]
+    }
+
+    /// The required time at the output of `id` (bit-identical to
+    /// [`Sta::required`]): `i64::MAX` if the gate reaches no output.
+    pub fn required(&self, id: GateId) -> Time {
+        match self.down[id.index()] {
+            NEVER => i64::MAX,
+            d => self.delay - d,
+        }
+    }
+
+    /// Slack: required − arrival, as in [`Sta::slack`].
+    pub fn slack(&self, id: GateId) -> Time {
+        let (a, r) = (self.arrival(id), self.required(id));
+        if a == NEVER || r == i64::MAX {
+            i64::MAX
+        } else {
+            r - a
+        }
+    }
+
+    /// The network's topological delay.
+    pub fn delay(&self) -> Time {
+        self.delay
+    }
+
+    /// The input arrivals this analysis was built with.
+    pub fn arrivals(&self) -> &InputArrivals {
+        &self.arrivals
+    }
+
+    /// Update counters so far.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Re-analyzes after a transform described by `dirty` (the
+    /// conservative over-approximation contract of [`DirtySet`]: every
+    /// gate whose kind, pins, delay, or liveness changed is listed).
+    ///
+    /// With the `debug-invariants` feature the result is asserted
+    /// bit-identical to a from-scratch [`Sta::run`] on every call.
+    pub fn update(&mut self, net: &Network, dirty: &DirtySet) {
+        self.update_inner(net, dirty);
+        #[cfg(feature = "debug-invariants")]
+        self.assert_matches(net);
+    }
+
+    fn update_inner(&mut self, net: &Network, dirty: &DirtySet) {
+        let n = net.num_gate_slots();
+        if net.outputs().len() != self.shadow_out.len() {
+            // Output list reshaped — not a KMS transform; rebuild.
+            self.stats.full_recomputes += 1;
+            self.full_rebuild(net);
+            return;
+        }
+        // Grow the per-slot tables for freshly appended gates.
+        if n > self.arrival.len() {
+            self.arrival.resize(n, NEVER);
+            self.down.resize(n, NEVER);
+            self.fanouts.resize_with(n, Vec::new);
+            self.shadow_pins.resize_with(n, Vec::new);
+            self.po_count.resize(n, 0);
+        }
+
+        let mut touched_mask = vec![false; n];
+        let mut touched: Vec<GateId> = Vec::new();
+        for g in dirty.touched() {
+            if !touched_mask[g.index()] {
+                touched_mask[g.index()] = true;
+                touched.push(g);
+            }
+        }
+        // Sync pins and fanout lists of every touched gate; seed the
+        // backward (down) pass with every gate whose fanout set changed.
+        // Delay-only changes keep the pin diff empty, so old and new
+        // sources coincide — both are seeded regardless.
+        let mut seeds: Vec<GateId> = Vec::new();
+        for &t in &touched {
+            let ti = t.index();
+            let g = net.gate(t);
+            let old_pins = std::mem::take(&mut self.shadow_pins[ti]);
+            for p in &old_pins {
+                self.fanouts[p.src.index()].retain(|c| c.gate != t);
+                seeds.push(p.src);
+            }
+            if !g.is_dead() {
+                for (pi, p) in g.pins.iter().enumerate() {
+                    self.fanouts[p.src.index()].push(ConnRef::new(t, pi));
+                    seeds.push(p.src);
+                }
+                self.shadow_pins[ti] = g.pins.clone();
+            }
+            seeds.push(t);
+        }
+        // Diff the output drivers (retargets flip `down`'s 0-contribution
+        // on both the old and the new driver).
+        for idx in 0..self.shadow_out.len() {
+            let new_src = net.outputs()[idx].src;
+            let old_src = self.shadow_out[idx];
+            if new_src != old_src {
+                self.po_count[old_src.index()] -= 1;
+                self.po_count[new_src.index()] += 1;
+                self.shadow_out[idx] = new_src;
+                seeds.push(old_src);
+                seeds.push(new_src);
+            }
+        }
+
+        // Forward region: the fanout closure of the touched gates — a
+        // superset of every gate whose arrival can have changed.
+        let mut fmask = vec![false; n];
+        let mut fregion: Vec<GateId> = Vec::new();
+        let mut stack: Vec<GateId> = Vec::new();
+        for &g in &touched {
+            fmask[g.index()] = true;
+            fregion.push(g);
+            stack.push(g);
+        }
+        while let Some(g) = stack.pop() {
+            for c in &self.fanouts[g.index()] {
+                if !fmask[c.gate.index()] {
+                    fmask[c.gate.index()] = true;
+                    fregion.push(c.gate);
+                    stack.push(c.gate);
+                }
+            }
+        }
+        // Backward region: the fanin closure of the seeds — a superset of
+        // every gate whose `down` can have changed.
+        let mut bmask = vec![false; n];
+        let mut bregion: Vec<GateId> = Vec::new();
+        for g in seeds {
+            if !bmask[g.index()] {
+                bmask[g.index()] = true;
+                bregion.push(g);
+                stack.push(g);
+            }
+        }
+        while let Some(g) = stack.pop() {
+            for p in &self.shadow_pins[g.index()] {
+                if !bmask[p.src.index()] {
+                    bmask[p.src.index()] = true;
+                    bregion.push(p.src);
+                    stack.push(p.src);
+                }
+            }
+        }
+
+        if (fregion.len() + bregion.len()) as f64 > self.fallback_fraction * n as f64 {
+            self.stats.full_recomputes += 1;
+            self.full_rebuild(net);
+            return;
+        }
+        self.stats.incremental_updates += 1;
+
+        // Arrival sweep over the forward region in local topological
+        // order (Kahn over the in-region fanin edges).
+        let mut indeg = vec![0u32; n];
+        debug_assert!(stack.is_empty());
+        for &g in &fregion {
+            let d = self.shadow_pins[g.index()]
+                .iter()
+                .filter(|p| fmask[p.src.index()])
+                .count() as u32;
+            indeg[g.index()] = d;
+            if d == 0 {
+                stack.push(g);
+            }
+        }
+        let mut processed = 0usize;
+        while let Some(g) = stack.pop() {
+            processed += 1;
+            self.arrival[g.index()] = self.compute_arrival(net, g);
+            for ci in 0..self.fanouts[g.index()].len() {
+                let sink = self.fanouts[g.index()][ci].gate;
+                if fmask[sink.index()] {
+                    indeg[sink.index()] -= 1;
+                    if indeg[sink.index()] == 0 {
+                        stack.push(sink);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(processed, fregion.len(), "forward region must be acyclic");
+
+        // The delay is a global max over the outputs: O(|outputs|).
+        self.delay = net
+            .outputs()
+            .iter()
+            .map(|o| self.arrival[o.src.index()])
+            .filter(|&a| a != NEVER)
+            .max()
+            .unwrap_or(0);
+
+        // Down sweep over the backward region in reverse topological
+        // order (Kahn over the in-region fanout edges).
+        for &g in &bregion {
+            let d = self.fanouts[g.index()]
+                .iter()
+                .filter(|c| bmask[c.gate.index()])
+                .count() as u32;
+            indeg[g.index()] = d;
+            if d == 0 {
+                stack.push(g);
+            }
+        }
+        processed = 0;
+        while let Some(g) = stack.pop() {
+            processed += 1;
+            self.down[g.index()] = self.compute_down(net, g);
+            for pi in 0..self.shadow_pins[g.index()].len() {
+                let src = self.shadow_pins[g.index()][pi].src;
+                if bmask[src.index()] {
+                    indeg[src.index()] -= 1;
+                    if indeg[src.index()] == 0 {
+                        stack.push(src);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(processed, bregion.len(), "backward region must be acyclic");
+    }
+
+    /// `Sta::run`'s per-gate arrival formula, verbatim.
+    fn compute_arrival(&self, net: &Network, id: GateId) -> Time {
+        let g = net.gate(id);
+        if g.is_dead() {
+            return NEVER;
+        }
+        match g.kind {
+            GateKind::Input => self.arrivals.get(id),
+            GateKind::Const(_) => NEVER,
+            _ => {
+                let worst = g
+                    .pins
+                    .iter()
+                    .map(|p| {
+                        let a = self.arrival[p.src.index()];
+                        if a == NEVER {
+                            NEVER
+                        } else {
+                            a + p.wire_delay.units()
+                        }
+                    })
+                    .max()
+                    .unwrap_or(NEVER);
+                if worst == NEVER {
+                    NEVER
+                } else {
+                    worst + g.delay.units()
+                }
+            }
+        }
+    }
+
+    /// Longest downstream distance from `id`'s output to any primary
+    /// output: 0 if it drives one directly, else the max over its fanout
+    /// connections of `down(sink) + d(sink) + wire`.
+    fn compute_down(&self, net: &Network, id: GateId) -> Time {
+        if net.gate(id).is_dead() {
+            return NEVER;
+        }
+        let mut best = if self.po_count[id.index()] > 0 {
+            0
+        } else {
+            NEVER
+        };
+        for c in &self.fanouts[id.index()] {
+            let dsink = self.down[c.gate.index()];
+            if dsink == NEVER {
+                continue;
+            }
+            let sink = net.gate(c.gate);
+            let v = dsink + sink.delay.units() + sink.pins[c.pin].wire_delay.units();
+            best = best.max(v);
+        }
+        best
+    }
+
+    fn full_rebuild(&mut self, net: &Network) {
+        let n = net.num_gate_slots();
+        self.arrival = vec![NEVER; n];
+        self.down = vec![NEVER; n];
+        self.fanouts = net.fanouts();
+        self.shadow_pins = (0..n)
+            .map(|i| {
+                let g = net.gate(GateId::from_index(i));
+                if g.is_dead() {
+                    Vec::new()
+                } else {
+                    g.pins.clone()
+                }
+            })
+            .collect();
+        self.shadow_out = net.outputs().iter().map(|o| o.src).collect();
+        self.po_count = vec![0; n];
+        for o in net.outputs() {
+            self.po_count[o.src.index()] += 1;
+        }
+        let order = net.topo_order();
+        for &id in &order {
+            self.arrival[id.index()] = self.compute_arrival(net, id);
+        }
+        self.delay = net
+            .outputs()
+            .iter()
+            .map(|o| self.arrival[o.src.index()])
+            .filter(|&a| a != NEVER)
+            .max()
+            .unwrap_or(0);
+        for &id in order.iter().rev() {
+            self.down[id.index()] = self.compute_down(net, id);
+        }
+    }
+
+    /// Asserts bit-identity of arrival, required, and delay against a
+    /// from-scratch [`Sta::run`]. Compiled in tests and under the
+    /// `debug-invariants` feature; the property tests call it explicitly.
+    #[cfg(any(test, feature = "debug-invariants"))]
+    pub fn assert_matches(&self, net: &Network) {
+        let fresh = Sta::run(net, &self.arrivals);
+        assert_eq!(self.delay, fresh.delay(), "incremental delay diverged");
+        for i in 0..net.num_gate_slots() {
+            let id = GateId::from_index(i);
+            assert_eq!(
+                self.arrival(id),
+                fresh.arrival(id),
+                "incremental arrival diverged at {id:?}"
+            );
+            assert_eq!(
+                self.required(id),
+                fresh.required(id),
+                "incremental required diverged at {id:?}"
+            );
+        }
+    }
+}
+
+impl TimingView for IncrementalSta {
+    fn arrival(&self, id: GateId) -> Time {
+        IncrementalSta::arrival(self, id)
+    }
+
+    fn delay(&self) -> Time {
+        IncrementalSta::delay(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::{transform, Delay, GateKind};
+
+    fn fixture() -> (Network, GateId, GateId) {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(GateKind::Not, &[a], Delay::new(2));
+        let g2 = net.add_gate(GateKind::And, &[g1, b], Delay::new(3));
+        let g3 = net.add_gate(GateKind::Or, &[g2, a], Delay::new(1));
+        net.add_output("y", g3);
+        net.add_output("z", g2);
+        (net, g2, g3)
+    }
+
+    #[test]
+    fn matches_sta_at_rest() {
+        let (net, _, _) = fixture();
+        let arr = InputArrivals::zero();
+        let inc = IncrementalSta::new(&net, arr.clone());
+        inc.assert_matches(&net);
+        let sta = Sta::run(&net, &arr);
+        for id in net.gate_ids() {
+            assert_eq!(inc.slack(id), sta.slack(id));
+        }
+    }
+
+    #[test]
+    fn tracks_const_propagation() {
+        let (mut net, g2, _) = fixture();
+        let mut inc = IncrementalSta::new(&net, InputArrivals::zero());
+        let mut dirty = DirtySet::new();
+        transform::set_conn_const_tracked(&mut net, ConnRef::new(g2, 1), false, &mut dirty);
+        inc.update(&net, &dirty);
+        inc.assert_matches(&net);
+    }
+
+    #[test]
+    fn tracks_duplication() {
+        let (mut net, _, _) = fixture();
+        let mut inc = IncrementalSta::new(&net, InputArrivals::zero().with(net.inputs()[0], 4));
+        let (paths, _) =
+            crate::paths::longest_paths(&net, &InputArrivals::zero().with(net.inputs()[0], 4), 16);
+        let dup = transform::duplicate_path_prefix(&mut net, &paths[0], 0);
+        inc.update(&net, &dup.dirty);
+        inc.assert_matches(&net);
+    }
+
+    #[test]
+    fn fallback_threshold_forces_full_rebuild() {
+        let (mut net, g2, _) = fixture();
+        let mut inc = IncrementalSta::new(&net, InputArrivals::zero()).with_fallback_fraction(0.0);
+        let mut dirty = DirtySet::new();
+        transform::set_conn_const_tracked(&mut net, ConnRef::new(g2, 1), false, &mut dirty);
+        inc.update(&net, &dirty);
+        inc.assert_matches(&net);
+        assert_eq!(inc.stats().full_recomputes, 1);
+        assert_eq!(inc.stats().incremental_updates, 0);
+    }
+}

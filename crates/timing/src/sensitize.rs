@@ -50,6 +50,27 @@ fn side_constraints(
     Ok(out)
 }
 
+/// The static-sensitization constraint set of a path as `(driving gate,
+/// required value)` pairs: the path is statically sensitizable iff some
+/// input cube makes every listed gate output its required (noncontrolling)
+/// value. This is the cacheable abstraction of [`sensitization_cube`] —
+/// two paths with the same constraint set (up to gate-function identity)
+/// have the same verdict.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::NotSimple`] if a MUX gate appears as a fanout
+/// of the path.
+pub fn static_side_constraints(
+    net: &Network,
+    path: &Path,
+) -> Result<Vec<(kms_netlist::GateId, bool)>, NetlistError> {
+    Ok(side_constraints(net, path)?
+        .into_iter()
+        .map(|(_, src, nc)| (src, nc))
+        .collect())
+}
+
 /// SAT-based static sensitization check. Returns a sensitizing input
 /// vector (in input order) if one exists, `None` if the path is not
 /// statically sensitizable.

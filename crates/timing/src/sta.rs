@@ -46,6 +46,31 @@ impl InputArrivals {
     }
 }
 
+/// Read-only access to an arrival-time analysis, implemented by both the
+/// from-scratch [`Sta`] pass and the incremental engine
+/// ([`crate::IncrementalSta`]). The path enumerator and the viability
+/// lateness rules are generic over this trait, so the same (proven) code
+/// runs against either backend.
+pub trait TimingView {
+    /// The arrival time at the output of `id` ([`NEVER`] for constants and
+    /// cones driven only by constants).
+    fn arrival(&self, id: GateId) -> Time;
+
+    /// The network's topological delay (longest-path length including
+    /// input arrival offsets).
+    fn delay(&self) -> Time;
+}
+
+impl TimingView for Sta {
+    fn arrival(&self, id: GateId) -> Time {
+        Sta::arrival(self, id)
+    }
+
+    fn delay(&self) -> Time {
+        Sta::delay(self)
+    }
+}
+
 /// The result of a static timing analysis pass over a network.
 #[derive(Clone, Debug)]
 pub struct Sta {

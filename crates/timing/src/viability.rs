@@ -15,9 +15,9 @@
 //! (Theorem 7.2 compares plain path lengths).
 
 use kms_bdd::{Bdd, BddManager, NodeFunctions};
-use kms_netlist::{GateKind, NetlistError, Network, Path};
+use kms_netlist::{GateId, GateKind, NetlistError, Network, Path};
 
-use crate::sta::{InputArrivals, Sta, Time, NEVER};
+use crate::sta::{InputArrivals, Sta, Time, TimingView, NEVER};
 
 /// When is a side-input of gate `gi` "early"?
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -32,6 +32,74 @@ pub enum LatenessRule {
     /// fewer get smoothed, so fewer paths are viable. Used by the ablation
     /// bench.
     BeforeGateInput,
+}
+
+/// The viability constraint set of a path under `rule`: the `(driving
+/// gate, required noncontrolling value)` pairs of its **early**
+/// side-inputs. Late side-inputs are smoothed (omitted), XOR/XNOR
+/// side-inputs are unconstrained. The path is viable iff some input cube
+/// satisfies every listed constraint — this is the cacheable abstraction
+/// of [`ViabilityAnalysis::viability_function`], generic over
+/// [`TimingView`] so it runs against the incremental engine too.
+///
+/// The caller must ensure the path's source actually launches events
+/// (arrival ≠ [`NEVER`]); a never-eventing source makes the path
+/// trivially non-viable regardless of constraints.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::NotSimple`] if a MUX lies on the path's
+/// fanout.
+pub fn early_side_constraints(
+    net: &Network,
+    view: &impl TimingView,
+    path: &Path,
+    rule: LatenessRule,
+) -> Result<Vec<(GateId, bool)>, NetlistError> {
+    let source_arrival = view.arrival(path.source(net));
+    debug_assert_ne!(source_arrival, NEVER, "path source never events");
+    let mut out = Vec::new();
+    for (i, conn) in path.side_inputs(net) {
+        let gate = net.gate(conn.gate);
+        let nc = match gate.kind {
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => gate
+                .kind
+                .noncontrolling_value()
+                .expect("kinds above have noncontrolling values"),
+            GateKind::Xor | GateKind::Xnor => continue, // always propagate
+            GateKind::Mux => {
+                return Err(NetlistError::NotSimple {
+                    gate: conn.gate,
+                    kind: gate.kind,
+                })
+            }
+            GateKind::Not | GateKind::Buf | GateKind::Input | GateKind::Const(_) => {
+                unreachable!("no side-inputs on these kinds")
+            }
+        };
+        let tau = match rule {
+            LatenessRule::BeforeGateOutput => source_arrival + path.event_time(net, i).units(),
+            LatenessRule::BeforeGateInput => {
+                let before_gate = if i == 0 {
+                    source_arrival
+                } else {
+                    source_arrival + path.event_time(net, i - 1).units()
+                };
+                before_gate + net.pin(path.conns()[i]).wire_delay.units()
+            }
+        };
+        let pin = net.pin(conn);
+        let settle = match view.arrival(pin.src) {
+            NEVER => NEVER, // constants settled at -∞: always early
+            a => a + pin.wire_delay.units(),
+        };
+        let late = settle != NEVER && settle >= tau;
+        if late {
+            continue; // smoothed out (Section V.1)
+        }
+        out.push((pin.src, nc));
+    }
+    Ok(out)
 }
 
 /// A viability oracle over one network + arrival context.
@@ -90,48 +158,10 @@ impl<'a> ViabilityAnalysis<'a> {
         if source_arrival == NEVER {
             return Ok(Bdd::FALSE); // constants launch no events
         }
+        let constraints = early_side_constraints(self.net, &self.sta, path, self.rule)?;
         let mut acc = Bdd::TRUE;
-        for (i, conn) in path.side_inputs(self.net) {
-            let gate = self.net.gate(conn.gate);
-            let nc = match gate.kind {
-                GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => gate
-                    .kind
-                    .noncontrolling_value()
-                    .expect("kinds above have noncontrolling values"),
-                GateKind::Xor | GateKind::Xnor => continue, // always propagate
-                GateKind::Mux => {
-                    return Err(NetlistError::NotSimple {
-                        gate: conn.gate,
-                        kind: gate.kind,
-                    })
-                }
-                GateKind::Not | GateKind::Buf | GateKind::Input | GateKind::Const(_) => {
-                    unreachable!("no side-inputs on these kinds")
-                }
-            };
-            let tau = match self.rule {
-                LatenessRule::BeforeGateOutput => {
-                    source_arrival + path.event_time(self.net, i).units()
-                }
-                LatenessRule::BeforeGateInput => {
-                    let before_gate = if i == 0 {
-                        source_arrival
-                    } else {
-                        source_arrival + path.event_time(self.net, i - 1).units()
-                    };
-                    before_gate + self.net.pin(path.conns()[i]).wire_delay.units()
-                }
-            };
-            let pin = self.net.pin(conn);
-            let settle = match self.sta.arrival(pin.src) {
-                NEVER => NEVER, // constants settled at -∞: always early
-                a => a + pin.wire_delay.units(),
-            };
-            let late = settle != NEVER && settle >= tau;
-            if late {
-                continue; // smoothed out (Section V.1)
-            }
-            let f = self.funcs.of(pin.src);
+        for (src, nc) in constraints {
+            let f = self.funcs.of(src);
             let lit = if nc { f } else { self.manager.not(f) };
             acc = self.manager.and(acc, lit);
             if acc.is_false() {

@@ -155,8 +155,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
         let t = &report.timings;
         eprintln!(
-            "phases: path_enum {:.3?}, oracle {:.3?}, transform {:.3?}, atpg {:.3?}",
-            t.path_enum, t.oracle, t.transform, t.atpg
+            "phases: engine {:.3?}, path_enum {:.3?}, oracle {:.3?}, transform {:.3?}, atpg {:.3?}",
+            t.engine, t.path_enum, t.oracle, t.transform, t.atpg
         );
     }
 
