@@ -57,6 +57,11 @@ pub struct AnalysisOptions {
     pub static_learning: bool,
     /// Seed for the signature simulation.
     pub seed: u64,
+    /// Log a RUP/DRAT proof for every UNSAT answer of the SAT sweep and
+    /// check it with the independent `kms-proof` checker, so each merge
+    /// and constant claim carries a verified certificate (see
+    /// [`EquivClasses::certification`]).
+    pub certify: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -67,6 +72,7 @@ impl Default for AnalysisOptions {
             sat_sweep: true,
             static_learning: true,
             seed: 0x4B4D_5333,
+            certify: false,
         }
     }
 }
@@ -140,6 +146,12 @@ impl<'n> StaticAnalysis<'n> {
     /// The implication database.
     pub fn implications(&self) -> &Implications {
         &self.implications
+    }
+
+    /// Certification accounting of the SAT sweep, present when the
+    /// analysis ran with [`AnalysisOptions::certify`].
+    pub fn certification(&self) -> Option<&kms_proof::CertificationReport> {
+        self.classes.certification()
     }
 
     /// The proved constant value of node `g`, if any: explicit constant

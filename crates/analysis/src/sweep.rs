@@ -17,7 +17,8 @@
 use std::collections::HashMap;
 
 use kms_netlist::{GateId, GateKind, Network};
-use kms_sat::{NetworkCnf, SatResult, Solver};
+use kms_proof::{core_conclusion, Certificate, CertificationReport};
+use kms_sat::{Lit, NetworkCnf, SatResult, Solver};
 
 use crate::strash::StrashTable;
 use crate::AnalysisOptions;
@@ -41,6 +42,10 @@ pub struct EquivClasses {
     constants: Vec<(GateId, bool)>,
     sat_checks: usize,
     sim_words: usize,
+    /// Certification accounting when the sweep ran under
+    /// [`AnalysisOptions::certify`]: one checked certificate per UNSAT
+    /// answer (two per merge claim, one per constant claim).
+    certification: Option<CertificationReport>,
 }
 
 impl EquivClasses {
@@ -55,6 +60,7 @@ impl EquivClasses {
             constants: Vec::new(),
             sat_checks: 0,
             sim_words: 0,
+            certification: None,
         }
     }
 
@@ -76,6 +82,10 @@ impl EquivClasses {
     /// The sim-and-refine SAT sweeping loop.
     fn sweep(&mut self, net: &Network, topo: &[GateId], opts: &AnalysisOptions) {
         let mut solver = Solver::new();
+        if opts.certify {
+            solver.enable_proof();
+            self.certification = Some(CertificationReport::default());
+        }
         let cnf = NetworkCnf::encode(net, &mut solver);
         let mut rng = Rng::new(opts.seed);
         let inputs: Vec<GateId> = net.inputs().to_vec();
@@ -129,8 +139,12 @@ impl EquivClasses {
                             continue;
                         }
                         self.sat_checks += 1;
-                        match solver.solve_with(&[cnf.lit(m, !inverted)]) {
+                        let asm = [cnf.lit(m, !inverted)];
+                        match solver.solve_with(&asm) {
                             SatResult::Unsat => {
+                                if let Some(r) = self.certification.as_mut() {
+                                    certify_unsat(r, &solver, &asm, format!("sweep const {m}"));
+                                }
                                 self.constant[m.index()] = Some(inverted);
                                 self.constants.push((m, inverted));
                             }
@@ -153,17 +167,36 @@ impl EquivClasses {
                     // refute rep == m.
                     let same = rep_phase == m_phase;
                     self.sat_checks += 1;
-                    match solver.solve_with(&[cnf.lit(rep, true), cnf.lit(m, !same)]) {
+                    let asm = [cnf.lit(rep, true), cnf.lit(m, !same)];
+                    match solver.solve_with(&asm) {
                         SatResult::Sat => {
                             cex.push(cnf.model_inputs(&solver, net));
                             continue;
                         }
-                        SatResult::Unsat => {}
+                        SatResult::Unsat => {
+                            if let Some(r) = self.certification.as_mut() {
+                                certify_unsat(
+                                    r,
+                                    &solver,
+                                    &asm,
+                                    format!("sweep merge {m} {rep} hi"),
+                                );
+                            }
+                        }
                     }
                     self.sat_checks += 1;
-                    match solver.solve_with(&[cnf.lit(rep, false), cnf.lit(m, same)]) {
+                    let asm = [cnf.lit(rep, false), cnf.lit(m, same)];
+                    match solver.solve_with(&asm) {
                         SatResult::Sat => cex.push(cnf.model_inputs(&solver, net)),
                         SatResult::Unsat => {
+                            if let Some(r) = self.certification.as_mut() {
+                                certify_unsat(
+                                    r,
+                                    &solver,
+                                    &asm,
+                                    format!("sweep merge {m} {rep} lo"),
+                                );
+                            }
                             self.rep[m.index()] = Some((rep, same));
                             self.sat_pairs.push((m, rep, same));
                         }
@@ -253,6 +286,23 @@ impl EquivClasses {
     pub fn sim_word_count(&self) -> usize {
         self.sim_words
     }
+
+    /// The proof-checking ledger, present when the sweep ran with
+    /// [`AnalysisOptions::certify`]. Every UNSAT answer behind a merge or
+    /// constant claim contributes one independently checked certificate.
+    pub fn certification(&self) -> Option<&CertificationReport> {
+        self.certification.as_ref()
+    }
+}
+
+/// Builds the certificate for the solver's last UNSAT answer under `asm`
+/// and checks it against the full logged proof stream, recording the
+/// outcome in `report`.
+fn certify_unsat(report: &mut CertificationReport, solver: &Solver, asm: &[Lit], label: String) {
+    let conclusion = core_conclusion(solver.unsat_core());
+    let cert = Certificate::from_solver(solver, asm, &conclusion)
+        .expect("certify mode enables proof logging");
+    kms_proof::certify(report, &label, &cert);
 }
 
 /// xorshift64* over a splitmix64-initialized state: deterministic, seeded
@@ -357,5 +407,47 @@ mod tests {
         assert!(c.node_rep(g2) == Some((g1, true)) || c.node_rep(g1) == Some((g2, true)));
         assert_eq!(c.structural_pairs().len(), 1);
         assert!(c.sat_pairs().is_empty());
+    }
+
+    #[test]
+    fn certified_sweep_checks_every_claim_and_matches_plain_run() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        // A SAT-provable merge (De Morgan) plus a SAT-provable constant.
+        let g1 = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let n1 = net.add_gate(GateKind::Not, &[g1], Delay::UNIT);
+        let na = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let nb = net.add_gate(GateKind::Not, &[b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::Or, &[na, nb], Delay::UNIT);
+        let k = net.add_gate(GateKind::And, &[a, na], Delay::UNIT);
+        net.add_output("y", n1);
+        net.add_output("z", g2);
+        net.add_output("k", k);
+
+        let strash = StrashTable::build(&net);
+        let plain = EquivClasses::build(&net, &strash, &AnalysisOptions::default());
+        assert!(plain.certification().is_none());
+
+        let opts = AnalysisOptions {
+            certify: true,
+            ..Default::default()
+        };
+        let certified = EquivClasses::build(&net, &strash, &opts);
+
+        // Certification never changes the verdicts.
+        assert_eq!(plain.sat_pairs(), certified.sat_pairs());
+        assert_eq!(plain.constant_nodes(), certified.constant_nodes());
+
+        let report = certified.certification().expect("certify report");
+        assert!(report.all_verified(), "failures: {:?}", report.failures);
+        // Every merge contributes two UNSAT answers, every constant one;
+        // half-pairs (first query UNSAT, second SAT) may add more.
+        let floor = 2 * certified.sat_pairs().len() + certified.constant_nodes().len();
+        assert!(!certified.sat_pairs().is_empty());
+        assert!(!certified.constant_nodes().is_empty());
+        assert!(report.proofs_emitted >= floor);
+        assert_eq!(report.proofs_emitted, report.proofs_checked);
+        assert_eq!(report.proofs_failed, 0);
     }
 }

@@ -28,11 +28,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
 use kms_analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
 use kms_netlist::{ConnRef, GateId, GateKind, Network};
-use kms_sat::{Lit, SatResult, Solver};
+use kms_proof::{core_conclusion, Certificate, CertificationReport};
+use kms_sat::{Lit, SatResult, Solver, Stats};
 
 use crate::engine::{encode_gate_with_guard, random_tests, Testability, TestabilityReport};
 use crate::fault::{Fault, FaultSite};
@@ -76,6 +77,16 @@ pub struct ParallelOptions {
     /// substitutions remain semantic either way, so the report is
     /// bit-identical at any tier.
     pub prescreen_sweep: bool,
+    /// Emit and independently check a RUP/DRAT certificate for every
+    /// `Redundant` verdict. All redundancy claims — including PODEM's
+    /// decision-tree exhaustions, the static prescreen's implication
+    /// proofs, and the structural unreachable-output shortcut — are
+    /// re-derived as incremental UNSAT queries on the shared CNF so each
+    /// comes with an assumption core, and the static prescreen's
+    /// literal-aliasing is disabled so the certified formula is the plain
+    /// Tseitin encoding of the circuit. Verdicts are semantic, so the
+    /// [`TestabilityReport`] stays bit-identical; only the cost changes.
+    pub certify: bool,
 }
 
 impl Default for ParallelOptions {
@@ -86,6 +97,7 @@ impl Default for ParallelOptions {
             seed: 0x4B4D_5331,
             static_prescreen: true,
             prescreen_sweep: false,
+            certify: false,
         }
     }
 }
@@ -112,6 +124,62 @@ pub struct RedundancyScan {
     /// commit order — callers cache these across removal restarts so later
     /// scans drop the same faults without a solver call.
     pub tests: Vec<Vec<bool>>,
+    /// Aggregated solver counters across every worker of the scan.
+    pub solver: Stats,
+    /// Certification accounting when [`ParallelOptions::certify`] is on.
+    /// Covers every certificate the workers emitted, including
+    /// speculative verdicts past the first committed redundancy — a
+    /// failed check anywhere is a soundness alarm regardless of whether
+    /// that verdict was put to use.
+    pub certification: Option<CertificationReport>,
+}
+
+/// [`classify_faults`] plus engine diagnostics: aggregated SAT-solver
+/// counters and, under [`ParallelOptions::certify`], the certification
+/// accounting for every redundancy proof.
+#[derive(Clone, Debug)]
+pub struct ClassifyReport {
+    /// The per-fault verdicts.
+    pub testability: TestabilityReport,
+    /// Solver counters summed over every worker's incremental solver.
+    pub solver: Stats,
+    /// Present iff certification was requested; any
+    /// [`CertificationReport::proofs_failed`] is a soundness alarm.
+    pub certification: Option<CertificationReport>,
+}
+
+impl ClassifyReport {
+    /// JSON object rendering (no trailing newline): verdict tallies, the
+    /// summed solver counters, and the certification ledger when present.
+    pub fn render_json(&self) -> String {
+        let redundant = self
+            .testability
+            .verdicts
+            .iter()
+            .filter(|v| v.is_redundant())
+            .count();
+        let unknown = self
+            .testability
+            .verdicts
+            .iter()
+            .filter(|v| matches!(v, Testability::Unknown))
+            .count();
+        let mut out = format!(
+            "{{\"faults\": {}, \"testable\": {}, \"redundant\": {}, \"unknown\": {}, \
+             \"solver\": {}",
+            self.testability.faults.len(),
+            self.testability.testable_count(),
+            redundant,
+            unknown,
+            self.solver.render_json()
+        );
+        if let Some(cert) = &self.certification {
+            out.push_str(", \"certification\": ");
+            out.push_str(&cert.render_json());
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// How a gate's good-circuit literal resolves under the static analysis.
@@ -149,11 +217,15 @@ pub(crate) struct SharedCnf<'n> {
     faulty_var: Vec<Option<Lit>>,
     touched: Vec<usize>,
     visit: Vec<bool>,
+    /// Certification accounting, `Some` iff the solver logs proofs: every
+    /// redundancy verdict is certified eagerly against the cumulative
+    /// shared proof stream, and only counters/digests are retained.
+    certification: Option<CertificationReport>,
 }
 
 impl<'n> SharedCnf<'n> {
     pub(crate) fn new(net: &'n Network) -> Self {
-        SharedCnf::with_analysis(net, None)
+        SharedCnf::with_analysis(net, None, false)
     }
 
     /// A context that aliases statically merged nodes to their
@@ -165,16 +237,25 @@ impl<'n> SharedCnf<'n> {
     pub(crate) fn with_analysis(
         net: &'n Network,
         analysis: Option<&'n StaticAnalysis<'n>>,
+        certify: bool,
     ) -> Self {
+        assert!(
+            !(certify && analysis.is_some()),
+            "certified runs encode the plain circuit (no analysis aliasing)"
+        );
         let n = net.num_gate_slots();
         let topo = net.topo_order();
         let mut topo_pos = vec![0usize; n];
         for (pos, id) in topo.iter().enumerate() {
             topo_pos[id.index()] = pos;
         }
+        let mut solver = Solver::new();
+        if certify {
+            solver.enable_proof();
+        }
         SharedCnf {
             net,
-            solver: Solver::new(),
+            solver,
             good: vec![None; n],
             analysis,
             const_true: None,
@@ -185,6 +266,7 @@ impl<'n> SharedCnf<'n> {
             faulty_var: vec![None; n],
             touched: Vec::new(),
             visit: vec![false; n],
+            certification: certify.then(CertificationReport::default),
         }
     }
 
@@ -338,7 +420,14 @@ impl<'n> SharedCnf<'n> {
         let result = podem(self.net, fault, PODEM_BUDGET);
         match result.test_vector() {
             Some(t) => Testability::Testable(t),
-            None if result == PodemResult::Redundant => Testability::Redundant,
+            // In certify mode PODEM's redundancy verdicts (decision-tree
+            // exhaustion — no extractable proof object) are re-derived as
+            // incremental UNSAT queries so they too come with a checkable
+            // certificate. The verdicts are semantic, so nothing changes
+            // but the cost.
+            None if result == PodemResult::Redundant && self.certification.is_none() => {
+                Testability::Redundant
+            }
             None => self.classify_sat(fault),
         }
     }
@@ -359,9 +448,14 @@ impl<'n> SharedCnf<'n> {
                 stack.push(c.gate);
             }
         }
-        if !net.outputs().iter().any(|o| self.in_tfo[o.src.index()]) {
+        if !net.outputs().iter().any(|o| self.in_tfo[o.src.index()]) && self.certification.is_none()
+        {
+            // Effect cannot reach any PO. Under certification the shortcut
+            // is not taken: the encoding below then has an empty difference
+            // disjunction, so the query is UNSAT with core `{act}` and the
+            // structural argument becomes an ordinary certificate.
             self.clear_scratch();
-            return Testability::Redundant; // effect cannot reach any PO
+            return Testability::Redundant;
         }
 
         // Activation literal: the fault's clauses hold only under `act`.
@@ -421,16 +515,40 @@ impl<'n> SharedCnf<'n> {
             diffs.push(d);
         }
         self.clear_scratch();
-        if diffs.len() == 1 || !self.solver.add_clause(&diffs) {
+        if self.certification.is_none() && (diffs.len() == 1 || !self.solver.add_clause(&diffs)) {
             self.retire(act);
             return Testability::Redundant;
         }
+        if self.certification.is_some() {
+            // Always pose the clause and the query, even when `diffs` is
+            // just `¬act` (no observable difference is encodable): the
+            // solver then answers UNSAT with an assumption core, and every
+            // structural shortcut above becomes a checkable proof.
+            self.solver.add_clause(&diffs);
+        }
         let verdict = match self.solver.solve_with(&[act]) {
-            SatResult::Unsat => Testability::Redundant,
+            SatResult::Unsat => {
+                self.certify_redundant(fault, act);
+                Testability::Redundant
+            }
             SatResult::Sat => Testability::Testable(self.lex_min_inputs(act)),
         };
         self.retire(act);
         verdict
+    }
+
+    /// Under certification, checks the proof of the UNSAT verdict the
+    /// solver just produced for `fault` (assumption `act`) against the
+    /// cumulative shared proof stream, recording the outcome.
+    fn certify_redundant(&mut self, fault: Fault, act: Lit) {
+        let Some(report) = self.certification.as_mut() else {
+            return;
+        };
+        let conclusion = core_conclusion(self.solver.unsat_core());
+        let assumptions = [act];
+        let cert = Certificate::from_solver(&self.solver, &assumptions, &conclusion)
+            .expect("certify mode logs proofs");
+        kms_proof::certify(report, &format!("atpg {fault}"), &cert);
     }
 
     /// The lexicographically smallest satisfying primary-input assignment
@@ -490,13 +608,28 @@ pub fn classify_faults(
     faults: Vec<Fault>,
     opts: ParallelOptions,
 ) -> TestabilityReport {
+    classify_faults_report(net, faults, opts).testability
+}
+
+/// As [`classify_faults`], but also returns the aggregated solver
+/// counters and (under [`ParallelOptions::certify`]) the certification
+/// accounting for every redundancy proof.
+pub fn classify_faults_report(
+    net: &Network,
+    faults: Vec<Fault>,
+    opts: ParallelOptions,
+) -> ClassifyReport {
     let outcome = run(net, &faults, opts, &[], true, false);
     let verdicts = outcome
         .verdicts
         .into_iter()
         .map(|v| v.expect("a complete run decides every fault"))
         .collect();
-    TestabilityReport { faults, verdicts }
+    ClassifyReport {
+        testability: TestabilityReport { faults, verdicts },
+        solver: outcome.solver,
+        certification: outcome.certification,
+    }
 }
 
 /// Finds the first redundant fault in `faults` order, pre-screening with
@@ -515,6 +648,8 @@ pub fn scan_for_redundancy(
     RedundancyScan {
         redundant: outcome.first_redundant.map(|i| faults[i]),
         tests: outcome.sat_tests,
+        solver: outcome.solver,
+        certification: outcome.certification,
     }
 }
 
@@ -522,6 +657,8 @@ struct Outcome {
     verdicts: Vec<Option<Testability>>,
     first_redundant: Option<usize>,
     sat_tests: Vec<Vec<bool>>,
+    solver: Stats,
+    certification: Option<CertificationReport>,
 }
 
 /// A worker's message for survivor slot `k`: a speculative verdict, or a
@@ -560,6 +697,8 @@ fn run(
         verdicts,
         first_redundant: None,
         sat_tests: Vec::new(),
+        solver: Stats::default(),
+        certification: opts.certify.then(CertificationReport::default),
     };
     if survivors.is_empty() {
         return outcome;
@@ -576,6 +715,7 @@ fn run(
             faults,
             &survivors,
             &prescreen,
+            opts.certify,
             stop_at_redundant,
             &mut outcome,
         );
@@ -586,6 +726,7 @@ fn run(
             &survivors,
             &prescreen,
             jobs.min(survivors.len()),
+            opts.certify,
             stop_at_redundant,
             &mut outcome,
         );
@@ -611,7 +752,11 @@ impl<'n> Prescreen<'n> {
         // The default tier is implication-only: structural hashing plus
         // static learning, no SAT sweep (see `ParallelOptions::
         // prescreen_sweep` for the measurement behind the default).
-        let analysis = opts.static_prescreen.then(|| {
+        // Certified runs skip the pass entirely: its verdicts have no
+        // per-fault proof object and its merge-aliasing would make every
+        // certificate conditional on the analysis being right, so each
+        // fault instead gets a full SAT query over the plain encoding.
+        let analysis = (opts.static_prescreen && !opts.certify).then(|| {
             let aopts = AnalysisOptions {
                 sat_sweep: opts.prescreen_sweep,
                 ..AnalysisOptions::default()
@@ -675,11 +820,12 @@ fn run_sequential(
     faults: &[Fault],
     survivors: &[usize],
     prescreen: &Prescreen<'_>,
+    certify: bool,
     stop_at_redundant: bool,
     outcome: &mut Outcome,
 ) {
-    let mut ctx = SharedCnf::with_analysis(net, prescreen.analysis.as_ref());
-    for (k, &fi) in survivors.iter().enumerate() {
+    let mut ctx = SharedCnf::with_analysis(net, prescreen.analysis.as_ref(), certify);
+    'faults: for (k, &fi) in survivors.iter().enumerate() {
         if outcome.verdicts[fi].is_some() {
             continue; // dropped by an earlier committed vector
         }
@@ -693,7 +839,7 @@ fn run_sequential(
                 outcome.verdicts[fi] = Some(Testability::Redundant);
                 if stop_at_redundant {
                     outcome.first_redundant = Some(fi);
-                    return;
+                    break 'faults;
                 }
             }
             Testability::Testable(t) => {
@@ -702,14 +848,20 @@ fn run_sequential(
             Testability::Unknown => unreachable!("SAT classification is complete"),
         }
     }
+    outcome.solver.merge(&ctx.solver.stats());
+    if let (Some(total), Some(mine)) = (outcome.certification.as_mut(), ctx.certification.take()) {
+        total.merge(&mine);
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     net: &Network,
     faults: &[Fault],
     survivors: &[usize],
     prescreen: &Prescreen<'_>,
     jobs: usize,
+    certify: bool,
     stop_at_redundant: bool,
     outcome: &mut Outcome,
 ) {
@@ -718,13 +870,17 @@ fn run_parallel(
     // Advisory per-survivor drop flags: workers skip flagged slots; the
     // committer is the only writer, so a stale read merely wastes a solve.
     let dropped: Vec<AtomicBool> = survivors.iter().map(|_| AtomicBool::new(false)).collect();
+    // Each worker folds its solver counters and certification accounting
+    // in here as it exits; verdicts themselves still travel the in-order
+    // commit channel, so the diagnostics never influence the report.
+    let agg: Mutex<(Stats, CertificationReport)> = Mutex::new(Default::default());
     let (tx, rx) = mpsc::channel::<(usize, WorkerMsg)>();
     std::thread::scope(|s| {
         for _ in 0..jobs {
             let tx = tx.clone();
-            let (next, stop, dropped) = (&next, &stop, &dropped);
+            let (next, stop, dropped, agg) = (&next, &stop, &dropped, &agg);
             s.spawn(move || {
-                let mut ctx = SharedCnf::with_analysis(net, prescreen.analysis.as_ref());
+                let mut ctx = SharedCnf::with_analysis(net, prescreen.analysis.as_ref(), certify);
                 loop {
                     if stop.load(Ordering::Acquire) {
                         break;
@@ -743,6 +899,11 @@ fn run_parallel(
                     if tx.send((k, msg)).is_err() {
                         break;
                     }
+                }
+                let mut total = agg.lock().expect("aggregate lock");
+                total.0.merge(&ctx.solver.stats());
+                if let Some(mine) = ctx.certification.take() {
+                    total.1.merge(&mine);
                 }
             });
         }
@@ -795,4 +956,9 @@ fn run_parallel(
             }
         }
     });
+    let (stats, certs) = agg.into_inner().expect("aggregate lock");
+    outcome.solver.merge(&stats);
+    if let Some(total) = outcome.certification.as_mut() {
+        total.merge(&certs);
+    }
 }

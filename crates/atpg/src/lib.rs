@@ -41,7 +41,10 @@ mod fsim;
 mod inject;
 mod podem;
 
-pub use classify::{classify_faults, scan_for_redundancy, ParallelOptions, RedundancyScan};
+pub use classify::{
+    classify_faults, classify_faults_report, scan_for_redundancy, ClassifyReport, ParallelOptions,
+    RedundancyScan,
+};
 pub use compact::{compact_tests, CompactionReport};
 pub use engine::{
     analyze, analyze_all, find_redundant_fault, is_testable, random_tests, redundancy_count,

@@ -1,8 +1,11 @@
 //! Regenerates Table I of the paper (experiments E1 and E2).
 //!
-//! Usage: `table1 [--csa] [--mcnc] [--no-verify] [--jobs N]`
+//! Usage: `table1 [--csa] [--mcnc] [--no-verify] [--jobs N] [--certify]`
 //! (no selection flags = both suites). `--jobs N` switches the ATPG to the
 //! shared-CNF classification engine with `N` workers (0 = all cores).
+//! `--certify` re-checks every UNSAT verdict behind each row with the
+//! independent proof checker, prints the merged ledger, and exits 1 if
+//! any certificate fails to check.
 //!
 //! Columns: redundancy count, initial/final simple-gate counts, viable
 //! delay before/after, topological delay before/after, loop iterations,
@@ -29,6 +32,12 @@ fn main() {
         });
         args.drain(i..i + 2);
     }
+    let certify = if let Some(i) = args.iter().position(|a| a == "--certify") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let verify = !args.iter().any(|a| a == "--no-verify");
     let which_csa = args.is_empty()
         || args.iter().any(|a| a == "--csa")
@@ -37,17 +46,33 @@ fn main() {
         || args.iter().any(|a| a == "--mcnc")
         || args.iter().all(|a| a == "--no-verify");
 
+    let mut ledger = kms_proof::CertificationReport::default();
+    let mut tally = |row: &kms_bench::Table1Row| {
+        if let Some(c) = &row.certification {
+            ledger.merge(c);
+        }
+    };
     println!("Table I — redundancy removal with no delay increase");
     println!("{}", kms_bench::Table1Row::header());
     if which_csa {
-        for row in kms_bench::csa_rows_engine(verify, engine) {
+        for row in kms_bench::csa_rows_engine(verify, engine, certify) {
             println!("{}", row.format());
+            tally(&row);
         }
     }
     if which_mcnc {
         for b in kms_gen::mcnc::table1_suite() {
-            let row = kms_bench::mcnc_row_engine(&b, verify, engine);
+            let row = kms_bench::mcnc_row_engine(&b, verify, engine, certify);
             println!("{}", row.format());
+            tally(&row);
+        }
+    }
+    if certify {
+        println!();
+        print!("{}", ledger.render_text());
+        if !ledger.all_verified() {
+            eprintln!("error: certification failed — some solver verdict has no checkable proof");
+            std::process::exit(1);
         }
     }
     println!();

@@ -14,12 +14,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use kms_atpg::Engine;
-use kms_core::{kms_on_copy, verify_kms_invariants_engine, Condition, KmsOptions};
+use kms_atpg::{Engine, ParallelOptions};
+use kms_core::{
+    kms_on_copy, verify_kms_invariants_certified, verify_kms_invariants_engine, Condition,
+    KmsOptions,
+};
 use kms_gen::mcnc::Benchmark;
 use kms_netlist::{transform, DelayModel, Network};
 use kms_opt::flow::{prepare_benchmark, FlowOptions};
 use kms_opt::naive_redundancy_removal;
+use kms_proof::CertificationReport;
 use kms_timing::{computed_delay, InputArrivals, PathCondition, Time};
 
 /// One row of the reproduced Table I.
@@ -48,13 +52,25 @@ pub struct Table1Row {
     pub duplicated: usize,
     /// `true` once the three KMS invariants were machine-checked.
     pub verified: bool,
+    /// The merged proof-checking ledger of a certified row (redundancy
+    /// count, KMS run, and invariant check all emit certificates);
+    /// `None` when the row ran without `--certify`.
+    pub certification: Option<CertificationReport>,
 }
 
 impl Table1Row {
     /// Formats the row for the console table.
     pub fn format(&self) -> String {
+        let cert = match &self.certification {
+            None => String::new(),
+            Some(c) if c.all_verified() => format!("  [{} proofs checked]", c.proofs_checked),
+            Some(c) => format!(
+                "  [CERTIFICATION FAILED: {} of {} proofs rejected]",
+                c.proofs_failed, c.proofs_emitted
+            ),
+        };
         format!(
-            "{:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>7} {:>6} {:>6}  {}",
+            "{:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>7} {:>6} {:>6}  {}{}",
             self.name,
             self.redundancies,
             self.gates_initial,
@@ -65,7 +81,8 @@ impl Table1Row {
             self.topo_final,
             self.iterations,
             self.duplicated,
-            if self.verified { "ok" } else { "unchecked" }
+            if self.verified { "ok" } else { "unchecked" },
+            cert
         )
     }
 
@@ -103,18 +120,23 @@ pub fn table1_csa(bits: usize, block: usize) -> Network {
 /// (equivalence, full testability, no viable-delay increase) — slower, so
 /// the scaling sweeps can turn it off.
 pub fn run_row(name: &str, net: &Network, arrivals: &InputArrivals, verify: bool) -> Table1Row {
-    run_row_engine(name, net, arrivals, verify, Engine::Sat)
+    run_row_engine(name, net, arrivals, verify, Engine::Sat, false)
 }
 
 /// As [`run_row`], with an explicit ATPG engine used for the redundancy
 /// count, the removal phase, and the invariant check — pass
 /// [`Engine::SharedSat`] to measure the shared-CNF classification engine.
+/// With `certify`, every UNSAT verdict behind the row (redundancy count,
+/// KMS loop and removal phase, invariant miter) is certified by the
+/// independent proof checker and the merged ledger is attached to the
+/// row.
 pub fn run_row_engine(
     name: &str,
     net: &Network,
     arrivals: &InputArrivals,
     verify: bool,
     engine: Engine,
+    certify: bool,
 ) -> Table1Row {
     // The BDD-backed viability oracle is exponential in the input count;
     // wide benchmarks are measured with the SAT-backed static-
@@ -127,7 +149,33 @@ pub fn run_row_engine(
         PathCondition::Viability
     };
     let cap = if wide { 200_000 } else { 1 << 22 };
-    let redundancies = kms_atpg::redundancy_count(net, engine);
+    let mut certification = certify.then(CertificationReport::default);
+    let popts = match engine {
+        Engine::SharedSat(p) => p,
+        _ => ParallelOptions::default(),
+    };
+    let redundancies = match certification.as_mut() {
+        Some(total) => {
+            let classify = kms_atpg::classify_faults_report(
+                net,
+                kms_atpg::collapsed_faults(net),
+                ParallelOptions {
+                    certify: true,
+                    ..popts
+                },
+            );
+            if let Some(atpg) = classify.certification {
+                total.merge(&atpg);
+            }
+            classify
+                .testability
+                .verdicts
+                .iter()
+                .filter(|v| v.is_redundant())
+                .count()
+        }
+        None => kms_atpg::redundancy_count(net, engine),
+    };
     let delay_initial = computed_delay(net, arrivals, condition, cap)
         .expect("simple-gate network")
         .delay;
@@ -136,17 +184,39 @@ pub fn run_row_engine(
         arrivals,
         KmsOptions {
             engine,
+            certify,
             ..Default::default()
         },
     )
     .expect("simple-gate network");
+    if let (Some(total), Some(run)) = (certification.as_mut(), report.certification.as_ref()) {
+        total.merge(run);
+    }
     let delay_final = computed_delay(&after, arrivals, condition, cap)
         .expect("simple-gate network")
         .delay;
     let verified = if verify {
-        verify_kms_invariants_engine(net, &after, arrivals, condition, cap, engine)
-            .expect("simple-gate network")
-            .holds()
+        match certification.as_mut() {
+            Some(total) => {
+                let (inv, ledger) = verify_kms_invariants_certified(
+                    net,
+                    &after,
+                    arrivals,
+                    condition,
+                    cap,
+                    ParallelOptions {
+                        certify: true,
+                        ..popts
+                    },
+                )
+                .expect("simple-gate network");
+                total.merge(&ledger);
+                inv.holds()
+            }
+            None => verify_kms_invariants_engine(net, &after, arrivals, condition, cap, engine)
+                .expect("simple-gate network")
+                .holds(),
+        }
     } else {
         false
     };
@@ -162,16 +232,18 @@ pub fn run_row_engine(
         iterations: report.iterations.len(),
         duplicated: report.duplicated_gates,
         verified,
+        certification,
     }
 }
 
 /// The carry-skip rows of Table I: csa 2.2, 4.4, 8.2, 8.4.
 pub fn csa_rows(verify: bool) -> Vec<Table1Row> {
-    csa_rows_engine(verify, Engine::Sat)
+    csa_rows_engine(verify, Engine::Sat, false)
 }
 
-/// See [`csa_rows`]; `engine` selects the ATPG engine for every row.
-pub fn csa_rows_engine(verify: bool, engine: Engine) -> Vec<Table1Row> {
+/// See [`csa_rows`]; `engine` selects the ATPG engine for every row and
+/// `certify` attaches a checked proof ledger per row.
+pub fn csa_rows_engine(verify: bool, engine: Engine, certify: bool) -> Vec<Table1Row> {
     [(2, 2), (4, 4), (8, 2), (8, 4)]
         .into_iter()
         .map(|(bits, block)| {
@@ -182,6 +254,7 @@ pub fn csa_rows_engine(verify: bool, engine: Engine) -> Vec<Table1Row> {
                 &InputArrivals::zero(),
                 verify,
                 engine,
+                certify,
             )
         })
         .collect()
@@ -200,15 +273,21 @@ fn late_last_input(net: &Network) -> InputArrivals {
 /// One MCNC-substitute row: PLA → area optimization → timing optimization
 /// (redundancy-introducing bypass) → KMS.
 pub fn mcnc_row(benchmark: &Benchmark, verify: bool) -> Table1Row {
-    mcnc_row_engine(benchmark, verify, Engine::Sat)
+    mcnc_row_engine(benchmark, verify, Engine::Sat, false)
 }
 
-/// See [`mcnc_row`]; `engine` selects the ATPG engine.
-pub fn mcnc_row_engine(benchmark: &Benchmark, verify: bool, engine: Engine) -> Table1Row {
+/// See [`mcnc_row`]; `engine` selects the ATPG engine and `certify`
+/// attaches a checked proof ledger.
+pub fn mcnc_row_engine(
+    benchmark: &Benchmark,
+    verify: bool,
+    engine: Engine,
+    certify: bool,
+) -> Table1Row {
     let options = FlowOptions::default();
     let (net, _) = prepare_benchmark(&benchmark.pla, benchmark.name, late_last_input, options);
     let arrivals = late_last_input(&net);
-    run_row_engine(benchmark.name, &net, &arrivals, verify, engine)
+    run_row_engine(benchmark.name, &net, &arrivals, verify, engine, certify)
 }
 
 /// The MCNC-substitute rows of Table I.

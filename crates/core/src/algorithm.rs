@@ -24,9 +24,11 @@
 use std::time::{Duration, Instant};
 
 use kms_analysis::SignatureInterner;
-use kms_atpg::{Engine, Fault};
+use kms_atpg::{Engine, Fault, ParallelOptions};
 use kms_netlist::{transform, DirtySet, NetlistError, Network, Path};
 use kms_opt::naive_redundancy_removal;
+use kms_proof::CertificationReport;
+use kms_sat::Stats;
 #[cfg(feature = "debug-invariants")]
 use kms_timing::PathEnumerator;
 use kms_timing::{
@@ -80,6 +82,14 @@ pub struct KmsOptions {
     /// sequential). Results commit in path order, so the loop's decisions
     /// are identical at any job count.
     pub jobs: usize,
+    /// Certify every UNSAT verdict behind the run with an independently
+    /// checked proof: unsensitizable-path verdicts in the oracle phase
+    /// (static sensitization only — viability verdicts are BDD-backed and
+    /// carry no SAT proof, a documented gap) and redundant-fault verdicts
+    /// in the removal phase (which is forced onto the shared-CNF engine
+    /// with its own certification on). Verdicts are unchanged; the merged
+    /// ledger lands in [`KmsReport::certification`].
+    pub certify: bool,
 }
 
 impl Default for KmsOptions {
@@ -93,6 +103,7 @@ impl Default for KmsOptions {
             strash: false,
             incremental: true,
             jobs: 1,
+            certify: false,
         }
     }
 }
@@ -179,6 +190,60 @@ pub struct KmsReport {
     pub engine: EngineStats,
     /// Per-phase wall-clock breakdown.
     pub timings: KmsPhaseTimings,
+    /// SAT search counters of the oracle phase (the sensitization
+    /// solvers, summed over all iterations and workers). All zeros under
+    /// the BDD-backed viability condition.
+    pub oracle_solver: Stats,
+    /// SAT search counters of the final removal phase (zeros for the
+    /// per-fault engines, which don't report).
+    pub atpg_solver: Stats,
+    /// The merged proof-checking ledger of a [`KmsOptions::certify`] run:
+    /// oracle-phase unsensitizability certificates plus removal-phase
+    /// redundancy certificates. `None` when certification was off.
+    pub certification: Option<CertificationReport>,
+}
+
+impl KmsReport {
+    /// JSON object rendering (no trailing newline): the headline numbers,
+    /// per-phase wall-clock, per-phase solver counters, and the
+    /// certification ledger when present.
+    pub fn render_json(&self) -> String {
+        let t = &self.timings;
+        let mut out = format!(
+            "{{\"iterations\": {}, \"removed_redundancies\": {}, \
+             \"gates_before\": {}, \"gates_after\": {}, \"duplicated_gates\": {}, \
+             \"topological_before\": {}, \"topological_after\": {}, \
+             \"max_fanout_before\": {}, \"max_fanout_after\": {}, \"capped\": {}, \
+             \"dropped_longest_paths\": {}, \
+             \"timings_ns\": {{\"path_enum\": {}, \"oracle\": {}, \"transform\": {}, \
+             \"atpg\": {}, \"engine\": {}}}, \
+             \"oracle_solver\": {}, \"atpg_solver\": {}",
+            self.iterations.len(),
+            self.removed_redundancies.len(),
+            self.gates_before,
+            self.gates_after,
+            self.duplicated_gates,
+            self.topological_before,
+            self.topological_after,
+            self.max_fanout_before,
+            self.max_fanout_after,
+            self.capped,
+            self.dropped_longest_paths,
+            t.path_enum.as_nanos(),
+            t.oracle.as_nanos(),
+            t.transform.as_nanos(),
+            t.atpg.as_nanos(),
+            t.engine.as_nanos(),
+            self.oracle_solver.render_json(),
+            self.atpg_solver.render_json()
+        );
+        if let Some(cert) = &self.certification {
+            out.push_str(", \"certification\": ");
+            out.push_str(&cert.render_json());
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// With the `debug-invariants` feature enabled, re-lints the network after
@@ -371,6 +436,8 @@ pub fn kms(
     let mut cache = options.incremental.then(VerdictCache::default);
     let mut interner = options.incremental.then(SignatureInterner::new);
     let mut carry_dirty = DirtySet::new();
+    let mut certification = options.certify.then(CertificationReport::default);
+    let mut oracle_solver = Stats::default();
 
     for _iter in 0.. {
         if _iter >= options.max_iterations {
@@ -456,6 +523,8 @@ pub fn kms(
             options.condition,
             options.jobs,
             cache.as_mut().zip(interner.as_mut()),
+            certification.as_mut(),
+            &mut oracle_solver,
         )?;
         timings.oracle += t0.elapsed();
         if outcome.any_sensitizable {
@@ -537,10 +606,28 @@ pub fn kms(
         engine_stats.cache_misses = c.misses;
     }
 
-    // Final phase: remove remaining redundancies in any order.
+    // Final phase: remove remaining redundancies in any order. Under
+    // certification the phase is forced onto the shared-CNF engine (the
+    // only one that emits certificates); the removal sequence is the same
+    // by the engines' agreement on redundancy (see `kms-opt`).
     let t0 = Instant::now();
     let pre_live = strash_snapshot(net);
-    let naive = naive_redundancy_removal(net, options.engine);
+    let removal_engine = if options.certify {
+        let popts = match options.engine {
+            Engine::SharedSat(p) => p,
+            _ => ParallelOptions::default(),
+        };
+        Engine::SharedSat(ParallelOptions {
+            certify: true,
+            ..popts
+        })
+    } else {
+        options.engine
+    };
+    let naive = naive_redundancy_removal(net, removal_engine);
+    if let (Some(total), Some(atpg)) = (certification.as_mut(), naive.certification.as_ref()) {
+        total.merge(atpg);
+    }
     timings.atpg += t0.elapsed();
     check_invariants(net, "after naive_redundancy_removal");
     check_new_gates_shared(net, "after naive_redundancy_removal", &pre_live);
@@ -570,6 +657,9 @@ pub fn kms(
         dropped_longest_paths: dropped_total,
         engine: engine_stats,
         timings,
+        oracle_solver,
+        atpg_solver: naive.solver,
+        certification,
     })
 }
 
@@ -801,6 +891,43 @@ mod tests {
         )
         .unwrap();
         assert_eq!(nr.engine.cache_hits + nr.engine.cache_misses, 0);
+    }
+
+    /// Certification is a pure observer: same netlist, same trace, same
+    /// removals — and every UNSAT verdict behind the run carries a proof
+    /// that the independent checker accepts, at any job count.
+    #[test]
+    fn certified_run_is_bit_identical_and_fully_verified() {
+        let mut net = kms_gen::adders::carry_skip_adder(8, 2, kms_netlist::DelayModel::Unit);
+        transform::decompose_to_simple(&mut net);
+        net.apply_delay_model(kms_netlist::DelayModel::Unit);
+        let arr = InputArrivals::zero();
+        let (plain, r_plain) = kms_on_copy(&net, &arr, KmsOptions::default()).unwrap();
+        assert!(r_plain.certification.is_none());
+        for jobs in [1, 4] {
+            let (cert, r_cert) = kms_on_copy(
+                &net,
+                &arr,
+                KmsOptions {
+                    certify: true,
+                    jobs,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(plain.dump(), cert.dump(), "jobs={jobs}: final netlists");
+            assert_eq!(r_plain.removed_redundancies, r_cert.removed_redundancies);
+            assert_eq!(r_plain.iterations.len(), r_cert.iterations.len());
+            for (a, b) in r_plain.iterations.iter().zip(&r_cert.iterations) {
+                assert_eq!(a.path, b.path, "jobs={jobs}: iteration trace diverged");
+            }
+            let ledger = r_cert.certification.as_ref().expect("certify ledger");
+            assert!(ledger.all_verified(), "failures: {:?}", ledger.failures);
+            // The loop fires on this circuit, so unsensitizable paths and
+            // removal-phase verdicts both contribute proofs.
+            assert!(ledger.proofs_checked > 0);
+            assert!(r_cert.oracle_solver.propagations > 0);
+        }
     }
 
     #[test]

@@ -21,10 +21,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
 use kms_analysis::{SignatureInterner, Signatures};
 use kms_netlist::{GateKind, NetlistError, Network, Path};
+use kms_proof::CertificationReport;
+use kms_sat::Stats;
 use kms_timing::{
     early_side_constraints, static_side_constraints, InputArrivals, LatenessRule,
     SensitizationOracle, TimingView, ViabilityAnalysis, NEVER,
@@ -69,9 +71,19 @@ pub(crate) enum ConditionOracle<'a> {
 }
 
 impl<'a> ConditionOracle<'a> {
-    pub(crate) fn new(net: &'a Network, arrivals: &InputArrivals, condition: Condition) -> Self {
+    pub(crate) fn new(
+        net: &'a Network,
+        arrivals: &InputArrivals,
+        condition: Condition,
+        certify: bool,
+    ) -> Self {
         match condition {
+            Condition::StaticSensitization if certify => {
+                ConditionOracle::Sens(SensitizationOracle::with_certification(net))
+            }
             Condition::StaticSensitization => ConditionOracle::Sens(SensitizationOracle::new(net)),
+            // Viability is BDD-backed: its verdicts are not SAT answers
+            // and carry no proof (the documented certification gap).
             Condition::Viability => ConditionOracle::Via(ViabilityAnalysis::new(net, arrivals)),
         }
     }
@@ -82,19 +94,49 @@ impl<'a> ConditionOracle<'a> {
             ConditionOracle::Via(v) => v.is_viable(path),
         }
     }
+
+    /// As [`ConditionOracle::satisfies`], certifying negative
+    /// static-sensitization verdicts into `report` and returning the
+    /// certificate digest. Viability verdicts pass through uncertified.
+    pub(crate) fn satisfies_certified(
+        &mut self,
+        net: &Network,
+        path: &Path,
+        report: &mut CertificationReport,
+    ) -> Result<(bool, Option<u64>), NetlistError> {
+        match self {
+            ConditionOracle::Sens(o) => o.is_sensitizable_certified(net, path, report),
+            ConditionOracle::Via(v) => Ok((v.is_viable(path)?, None)),
+        }
+    }
+
+    /// The oracle's SAT search counters (zeros for the BDD-backed one).
+    pub(crate) fn stats(&self) -> Stats {
+        match self {
+            ConditionOracle::Sens(o) => o.solver_stats(),
+            ConditionOracle::Via(_) => Stats::default(),
+        }
+    }
 }
 
 /// The cross-iteration verdict cache. Keys are canonicalized constraint
 /// sets — sorted, deduplicated `(signature, required value)` pairs — and
-/// the value is "satisfiable?". Both conditions share the space: a
-/// static-sensitization query and a viability query with the same
-/// constraint set have the same verdict by construction.
+/// the value is "satisfiable?" plus, in certify mode, the digest of the
+/// checked certificate that established a negative verdict (a cache hit
+/// then re-uses the proof by reference instead of re-deriving it). Both
+/// conditions share the space: a static-sensitization query and a
+/// viability query with the same constraint set have the same verdict by
+/// construction.
 #[derive(Default)]
 pub(crate) struct VerdictCache {
-    map: HashMap<Vec<(u32, bool)>, bool>,
+    map: HashMap<Vec<(u32, bool)>, CachedVerdict>,
     pub(crate) hits: u64,
     pub(crate) misses: u64,
 }
+
+/// A cached oracle answer: the verdict plus, for certified negative
+/// verdicts, the digest of the already-checked certificate.
+type CachedVerdict = (bool, Option<u64>);
 
 /// The canonical cache key of `path` under `condition`: its constraint
 /// set with gates replaced by their interned signatures. Viability keys
@@ -157,6 +199,7 @@ fn decide(verdicts: &[Option<bool>]) -> Option<(bool, Option<usize>)> {
 /// workers commit in order. Speculative verdicts computed past the stop
 /// point still enter the cache (they are correct; they can only turn
 /// future misses into hits).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn oracle_phase(
     net: &Network,
     arrivals: &InputArrivals,
@@ -165,6 +208,8 @@ pub(crate) fn oracle_phase(
     condition: Condition,
     jobs: usize,
     cache: Option<(&mut VerdictCache, &mut SignatureInterner)>,
+    mut certify: Option<&mut CertificationReport>,
+    oracle_stats: &mut Stats,
 ) -> Result<OracleOutcome, NetlistError> {
     let mut verdicts: Vec<Option<bool>> = vec![None; longest.len()];
     let mut keys: Vec<Option<Vec<(u32, bool)>>> = vec![None; longest.len()];
@@ -174,7 +219,7 @@ pub(crate) fn oracle_phase(
         for (i, p) in longest.iter().enumerate() {
             let key = constraint_key(net, view, p, condition, &sigs)?;
             match cache.map.get(&key) {
-                Some(&v) => {
+                Some(&(v, _digest)) => {
                     verdicts[i] = Some(v);
                     cache.hits += 1;
                 }
@@ -198,13 +243,20 @@ pub(crate) fn oracle_phase(
                 if decide(&verdicts).is_some() {
                     break; // an earlier satisfying path ends the scan
                 }
-                let o =
-                    oracle.get_or_insert_with(|| ConditionOracle::new(net, arrivals, condition));
-                let v = o.satisfies(net, &longest[i])?;
+                let o = oracle.get_or_insert_with(|| {
+                    ConditionOracle::new(net, arrivals, condition, certify.is_some())
+                });
+                let (v, digest) = match certify.as_deref_mut() {
+                    Some(report) => o.satisfies_certified(net, &longest[i], report)?,
+                    None => (o.satisfies(net, &longest[i])?, None),
+                };
                 verdicts[i] = Some(v);
                 if let (Some(c), Some(k)) = (cache_ref.as_deref_mut(), keys[i].take()) {
-                    c.map.insert(k, v);
+                    c.map.insert(k, (v, digest));
                 }
+            }
+            if let Some(o) = &oracle {
+                oracle_stats.merge(&o.stats());
             }
         } else {
             resolve_parallel(
@@ -215,9 +267,11 @@ pub(crate) fn oracle_phase(
                 jobs,
                 &misses,
                 &mut verdicts,
-                |i, v| {
+                certify,
+                oracle_stats,
+                |i, v, digest| {
                     if let (Some(c), Some(k)) = (cache_ref.as_deref_mut(), keys[i].take()) {
-                        c.map.insert(k, v);
+                        c.map.insert(k, (v, digest));
                     }
                 },
             )?;
@@ -236,6 +290,10 @@ pub(crate) fn oracle_phase(
 /// Each worker builds its own oracle lazily; the main thread commits
 /// results in miss order, stops the pool once the outcome is decided
 /// (or an error commits), and passes every committed verdict to `seen`.
+/// With `certify` set, each worker keeps its own proof ledger (merged at
+/// worker exit — speculative certificates past the stop point are
+/// counted too; any check failure is an alarm regardless of where it
+/// happened), and per-worker solver counters land in `oracle_stats`.
 #[allow(clippy::too_many_arguments)]
 fn resolve_parallel(
     net: &Network,
@@ -245,18 +303,24 @@ fn resolve_parallel(
     jobs: usize,
     misses: &[usize],
     verdicts: &mut [Option<bool>],
-    mut seen: impl FnMut(usize, bool),
+    certify: Option<&mut CertificationReport>,
+    oracle_stats: &mut Stats,
+    mut seen: impl FnMut(usize, bool, Option<u64>),
 ) -> Result<(), NetlistError> {
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
+    let do_certify = certify.is_some();
+    let agg: Mutex<(Stats, CertificationReport)> = Mutex::new(Default::default());
     let mut outcome: Result<(), NetlistError> = Ok(());
     std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, Result<bool, NetlistError>)>();
+        type Slot = (usize, Result<(bool, Option<u64>), NetlistError>);
+        let (tx, rx) = mpsc::channel::<Slot>();
         for _ in 0..jobs.min(misses.len()) {
             let tx = tx.clone();
-            let (next, stop) = (&next, &stop);
+            let (next, stop, agg) = (&next, &stop, &agg);
             scope.spawn(move || {
                 let mut oracle: Option<ConditionOracle> = None;
+                let mut local = do_certify.then(CertificationReport::default);
                 loop {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -265,17 +329,29 @@ fn resolve_parallel(
                     if k >= misses.len() {
                         break;
                     }
-                    let o = oracle
-                        .get_or_insert_with(|| ConditionOracle::new(net, arrivals, condition));
-                    let r = o.satisfies(net, &longest[misses[k]]);
+                    let o = oracle.get_or_insert_with(|| {
+                        ConditionOracle::new(net, arrivals, condition, do_certify)
+                    });
+                    let r = match local.as_mut() {
+                        Some(report) => o.satisfies_certified(net, &longest[misses[k]], report),
+                        None => o.satisfies(net, &longest[misses[k]]).map(|v| (v, None)),
+                    };
                     if tx.send((k, r)).is_err() {
                         break;
                     }
                 }
+                let mut total = agg.lock().expect("oracle aggregate lock");
+                if let Some(o) = &oracle {
+                    total.0.merge(&o.stats());
+                }
+                if let Some(report) = local {
+                    total.1.merge(&report);
+                }
             });
         }
         drop(tx);
-        let mut pending: BTreeMap<usize, Result<bool, NetlistError>> = BTreeMap::new();
+        let mut pending: BTreeMap<usize, Result<(bool, Option<u64>), NetlistError>> =
+            BTreeMap::new();
         let mut committed = 0usize;
         let mut decided = false;
         while committed < misses.len() {
@@ -287,15 +363,15 @@ fn resolve_parallel(
                 if decided {
                     // Speculative result past the stop point: cache it,
                     // don't let it influence the outcome.
-                    if let Ok(v) = r {
-                        seen(i, v);
+                    if let Ok((v, digest)) = r {
+                        seen(i, v, digest);
                     }
                     continue;
                 }
                 match r {
-                    Ok(v) => {
+                    Ok((v, digest)) => {
                         verdicts[i] = Some(v);
-                        seen(i, v);
+                        seen(i, v, digest);
                         if decide(verdicts).is_some() {
                             decided = true;
                             stop.store(true, Ordering::Relaxed);
@@ -313,6 +389,11 @@ fn resolve_parallel(
         stop.store(true, Ordering::Relaxed);
         drop(rx);
     });
+    let (stats, certs) = agg.into_inner().expect("oracle aggregate lock");
+    oracle_stats.merge(&stats);
+    if let Some(report) = certify {
+        report.merge(&certs);
+    }
     outcome
 }
 

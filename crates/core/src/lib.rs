@@ -40,6 +40,7 @@ pub use algorithm::{
 };
 pub use engine::EngineStats;
 pub use verify::{
-    cross_check_static_analysis, verify_kms_invariants, verify_kms_invariants_engine,
-    verify_kms_invariants_with, InvariantReport, StaticCrossCheck,
+    check_equivalence_certified, cross_check_static_analysis, verify_kms_invariants,
+    verify_kms_invariants_certified, verify_kms_invariants_engine, verify_kms_invariants_with,
+    InvariantReport, StaticCrossCheck,
 };

@@ -9,6 +9,8 @@
 
 use kms_atpg::{Engine, Fault, FaultSite};
 use kms_netlist::{transform, Network};
+use kms_proof::CertificationReport;
+use kms_sat::Stats;
 
 /// What one naive removal pass did.
 #[derive(Clone, Debug)]
@@ -19,6 +21,14 @@ pub struct NaiveRemovalReport {
     pub gates_before: usize,
     /// See [`NaiveRemovalReport::gates_before`].
     pub gates_after: usize,
+    /// Solver search counters, aggregated across every restart of the
+    /// shared-CNF engine. All zeros for the per-fault engines (they build
+    /// a throwaway solver per query and don't report).
+    pub solver: Stats,
+    /// The proof-checking ledger, present when the shared-CNF engine ran
+    /// with [`kms_atpg::ParallelOptions::certify`]: one checked
+    /// certificate per redundant verdict, aggregated across restarts.
+    pub certification: Option<CertificationReport>,
 }
 
 /// With the `debug-invariants` feature enabled, re-lints the network after
@@ -106,6 +116,8 @@ pub fn naive_redundancy_removal(net: &mut Network, engine: Engine) -> NaiveRemov
         removed,
         gates_before,
         gates_after: net.simple_gate_count(),
+        solver: Stats::default(),
+        certification: None,
     }
 }
 
@@ -122,11 +134,17 @@ fn shared_redundancy_removal(
     use kms_atpg::{collapsed_faults, scan_for_redundancy};
     let gates_before = net.simple_gate_count();
     let mut removed = Vec::new();
+    let mut solver = Stats::default();
+    let mut certification = opts.certify.then(CertificationReport::default);
     let mut tests: Vec<Vec<bool>> = kms_atpg::random_tests(net, 128, 0x4B4D_5332);
     loop {
         let faults = collapsed_faults(net);
         let scan = scan_for_redundancy(net, &faults, opts, &tests);
         tests.extend(scan.tests);
+        solver.merge(&scan.solver);
+        if let (Some(total), Some(mine)) = (certification.as_mut(), scan.certification) {
+            total.merge(&mine);
+        }
         match scan.redundant {
             Some(f) => {
                 remove_fault(net, f);
@@ -142,6 +160,8 @@ fn shared_redundancy_removal(
         removed,
         gates_before,
         gates_after: net.simple_gate_count(),
+        solver,
+        certification,
     }
 }
 

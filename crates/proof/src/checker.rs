@@ -1,0 +1,450 @@
+//! The backward RUP/DRAT checking engine.
+//!
+//! Forward pass: replay the stream bookkeeping only (clause births,
+//! deletion matching) to reconstruct the final live clause set. Backward
+//! pass: RUP-check the conclusion against the final set, then walk the
+//! steps in reverse — deletions re-activate their clause, additions
+//! deactivate theirs and are RUP-checked only if an already-verified
+//! consequence marked them as an antecedent (LRAT-style trimming).
+//!
+//! The propagation loop here is the checker's entire inference power: a
+//! clause is accepted iff asserting the negation of all its literals and
+//! running two-watched-literal unit propagation over the live set yields
+//! a conflict. No clause learning, no decisions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use kms_sat::{Lit, ProofStep};
+
+use crate::Certificate;
+
+/// Statistics from a successful check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Derivation steps in the stream (adds + deletes).
+    pub steps_total: usize,
+    /// RUP checks performed (the conclusion plus every marked add).
+    pub steps_checked: usize,
+    /// Add steps skipped by trimming (not in the conclusion's cone).
+    pub steps_skipped: usize,
+    /// Axioms that appeared in some antecedent cone.
+    pub axioms_used: usize,
+    /// Literals enqueued across all propagation runs.
+    pub propagations: u64,
+}
+
+/// Why a certificate was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A clause mentions a variable outside `num_vars`.
+    VarOutOfRange {
+        /// Step index (`None` = an axiom or the conclusion).
+        step: Option<usize>,
+    },
+    /// A `Delete` step names a clause that is not live.
+    UnknownDelete {
+        /// Step index of the offending deletion.
+        step: usize,
+    },
+    /// A conclusion literal is not the negation of an assumption: the
+    /// certificate does not discharge the query it claims to.
+    ConclusionNotFromCore {
+        /// The offending literal.
+        lit: Lit,
+    },
+    /// A clause failed reverse unit propagation.
+    NotRup {
+        /// Step index (`None` = the conclusion itself).
+        step: Option<usize>,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::VarOutOfRange { step: Some(s) } => {
+                write!(f, "step {s}: variable out of range")
+            }
+            CheckError::VarOutOfRange { step: None } => {
+                write!(f, "axiom or conclusion: variable out of range")
+            }
+            CheckError::UnknownDelete { step } => {
+                write!(f, "step {step}: deletion of a clause that is not live")
+            }
+            CheckError::ConclusionNotFromCore { lit } => {
+                write!(f, "conclusion literal {lit} is not a negated assumption")
+            }
+            CheckError::NotRup { step: Some(s) } => {
+                write!(f, "step {s}: clause is not a RUP consequence")
+            }
+            CheckError::NotRup { step: None } => {
+                write!(
+                    f,
+                    "conclusion is not a RUP consequence of the final clause set"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    True,
+    False,
+    Undef,
+}
+
+struct CClause {
+    /// Current literal order; positions 0 and 1 are the watched ones for
+    /// clauses of length ≥ 2. Watch repairs permute the order but never
+    /// change the set.
+    lits: Vec<Lit>,
+    active: bool,
+    marked: bool,
+    tautology: bool,
+}
+
+struct Checker {
+    clauses: Vec<CClause>,
+    /// Watch lists indexed by `Lit::index()`. Entries persist across
+    /// deactivation (a clause deleted in the stream re-activates during
+    /// the backward walk), so propagation skips inactive ids instead of
+    /// dropping them.
+    watches: Vec<Vec<u32>>,
+    /// Ids of all unit clauses ever added (checked for activity on use).
+    units: Vec<u32>,
+    /// Ids of all empty clauses ever added.
+    empties: Vec<u32>,
+    assign: Vec<Assign>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    num_vars: usize,
+    propagations: u64,
+}
+
+/// Sorts, deduplicates and range-checks a clause; reports whether it is
+/// a tautology (contains `l` and `¬l`).
+fn normalize(
+    lits: &[Lit],
+    num_vars: usize,
+    step: Option<usize>,
+) -> Result<(Vec<Lit>, bool), CheckError> {
+    let mut c: Vec<Lit> = lits.to_vec();
+    c.sort_unstable();
+    c.dedup();
+    let mut taut = false;
+    for (i, &l) in c.iter().enumerate() {
+        if l.var().index() >= num_vars {
+            return Err(CheckError::VarOutOfRange { step });
+        }
+        if i + 1 < c.len() && c[i + 1] == !l {
+            taut = true;
+        }
+    }
+    Ok((c, taut))
+}
+
+impl Checker {
+    fn new(num_vars: usize) -> Checker {
+        Checker {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            units: Vec::new(),
+            empties: Vec::new(),
+            assign: vec![Assign::Undef; num_vars],
+            reason: vec![NO_REASON; num_vars],
+            trail: Vec::new(),
+            num_vars,
+            propagations: 0,
+        }
+    }
+
+    fn value(&self, l: Lit) -> Assign {
+        match self.assign[l.var().index()] {
+            Assign::Undef => Assign::Undef,
+            a => {
+                if (a == Assign::True) == l.is_positive() {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+        }
+    }
+
+    /// Registers a clause (already normalized) and returns its id.
+    /// Tautologies are inert: they never propagate, conflict, or get
+    /// marked, so they take no watch/unit slot.
+    fn intake(&mut self, lits: Vec<Lit>, tautology: bool, active: bool) -> u32 {
+        let id = self.clauses.len() as u32;
+        if !tautology {
+            match lits.len() {
+                0 => self.empties.push(id),
+                1 => self.units.push(id),
+                _ => {
+                    self.watches[(!lits[0]).index()].push(id);
+                    self.watches[(!lits[1]).index()].push(id);
+                }
+            }
+        }
+        self.clauses.push(CClause {
+            lits,
+            active,
+            marked: false,
+            tautology,
+        });
+        id
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        self.assign[l.var().index()] = if l.is_positive() {
+            Assign::True
+        } else {
+            Assign::False
+        };
+        self.reason[l.var().index()] = reason;
+        self.trail.push(l);
+        self.propagations += 1;
+    }
+
+    fn undo(&mut self) {
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            self.assign[v] = Assign::Undef;
+            self.reason[v] = NO_REASON;
+        }
+        self.trail.clear();
+    }
+
+    /// Two-watched-literal propagation over the active clause set.
+    /// Returns the id of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        let mut qhead = 0;
+        while qhead < self.trail.len() {
+            let p = self.trail[qhead];
+            qhead += 1;
+            let ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let ci = ws[i];
+                i += 1;
+                if !self.clauses[ci as usize].active {
+                    self.watches[p.index()].push(ci);
+                    continue;
+                }
+                {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.value(first) == Assign::True {
+                    self.watches[p.index()].push(ci);
+                    continue;
+                }
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.value(lk) != Assign::False {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                self.watches[p.index()].push(ci);
+                if self.value(first) == Assign::False {
+                    while i < ws.len() {
+                        self.watches[p.index()].push(ws[i]);
+                        i += 1;
+                    }
+                    return Some(ci);
+                }
+                self.enqueue(first, ci);
+            }
+        }
+        None
+    }
+
+    /// Marks the antecedent cone of a conflict: the conflicting clause,
+    /// plus (transitively) the reason clause of every propagated literal
+    /// that contributed to it. Assumed literals terminate the walk.
+    fn mark_antecedents(&mut self, confl: u32) {
+        let mut involved = vec![false; self.num_vars];
+        self.mark(confl, &mut involved);
+        for i in (0..self.trail.len()).rev() {
+            let v = self.trail[i].var().index();
+            if !involved[v] {
+                continue;
+            }
+            let r = self.reason[v];
+            if r != NO_REASON {
+                self.mark(r, &mut involved);
+            }
+        }
+    }
+
+    fn mark(&mut self, ci: u32, involved: &mut [bool]) {
+        let c = &mut self.clauses[ci as usize];
+        c.marked = true;
+        for &l in &c.lits {
+            involved[l.var().index()] = true;
+        }
+    }
+
+    /// RUP check: asserting the negation of every literal in `lits` and
+    /// unit-propagating over the active set must conflict. On success
+    /// the conflict's antecedent cone is marked.
+    fn rup(&mut self, lits: &[Lit], step: Option<usize>) -> Result<(), CheckError> {
+        debug_assert!(self.trail.is_empty());
+        let mut confl: Option<u32> = self
+            .empties
+            .iter()
+            .copied()
+            .find(|&e| self.clauses[e as usize].active);
+        if confl.is_none() {
+            for &l in lits {
+                match self.value(!l) {
+                    Assign::True => {} // duplicate literal
+                    Assign::False => {
+                        // ¬lits is self-contradictory: the checked clause
+                        // is a tautology, vacuously implied.
+                        self.undo();
+                        return Ok(());
+                    }
+                    Assign::Undef => self.enqueue(!l, NO_REASON),
+                }
+            }
+        }
+        if confl.is_none() {
+            for i in 0..self.units.len() {
+                let u = self.units[i];
+                if !self.clauses[u as usize].active {
+                    continue;
+                }
+                let l = self.clauses[u as usize].lits[0];
+                match self.value(l) {
+                    Assign::True => {}
+                    Assign::False => {
+                        confl = Some(u);
+                        break;
+                    }
+                    Assign::Undef => self.enqueue(l, u),
+                }
+            }
+        }
+        if confl.is_none() {
+            confl = self.propagate();
+        }
+        let outcome = match confl {
+            Some(c) => {
+                self.mark_antecedents(c);
+                Ok(())
+            }
+            None => Err(CheckError::NotRup { step }),
+        };
+        self.undo();
+        outcome
+    }
+}
+
+/// Checks a certificate. See the crate docs for the checking model.
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] describing the first defect found: a
+/// malformed clause, an unmatched deletion, a conclusion that does not
+/// discharge the claimed assumptions, or a failed RUP step.
+pub fn check(cert: &Certificate) -> Result<CheckStats, CheckError> {
+    let mut ck = Checker::new(cert.num_vars);
+
+    // Forward pass: build the clause timeline. `live` maps a normalized
+    // clause to the stack of active ids carrying it, for deletion
+    // matching (duplicate clauses are matched most-recent-first, like
+    // DRAT checkers do).
+    let mut live: HashMap<Vec<Lit>, Vec<u32>> = HashMap::new();
+    for ax in cert.axioms {
+        let (lits, taut) = normalize(ax, cert.num_vars, None)?;
+        let id = ck.intake(lits.clone(), taut, true);
+        live.entry(lits).or_default().push(id);
+    }
+    let num_axioms = ck.clauses.len();
+    let mut step_clause: Vec<u32> = Vec::with_capacity(cert.steps.len());
+    for (si, step) in cert.steps.iter().enumerate() {
+        match step {
+            ProofStep::Add(c) => {
+                let (lits, taut) = normalize(c, cert.num_vars, Some(si))?;
+                let id = ck.intake(lits.clone(), taut, true);
+                live.entry(lits).or_default().push(id);
+                step_clause.push(id);
+            }
+            ProofStep::Delete(c) => {
+                let (lits, _) = normalize(c, cert.num_vars, Some(si))?;
+                let id = live
+                    .get_mut(&lits)
+                    .and_then(Vec::pop)
+                    .ok_or(CheckError::UnknownDelete { step: si })?;
+                ck.clauses[id as usize].active = false;
+                step_clause.push(id);
+            }
+        }
+    }
+
+    // The discharge rule: every conclusion literal must negate an
+    // assumption, so deriving the conclusion refutes the query.
+    for &l in cert.conclusion {
+        if l.var().index() >= cert.num_vars {
+            return Err(CheckError::VarOutOfRange { step: None });
+        }
+        if !cert.assumptions.contains(&!l) {
+            return Err(CheckError::ConclusionNotFromCore { lit: l });
+        }
+    }
+
+    // Backward pass: conclusion first, then the trimmed step walk.
+    let mut checked = 1usize;
+    ck.rup(cert.conclusion, None)?;
+    for si in (0..cert.steps.len()).rev() {
+        let id = step_clause[si] as usize;
+        match &cert.steps[si] {
+            ProofStep::Delete(_) => ck.clauses[id].active = true,
+            ProofStep::Add(_) => {
+                ck.clauses[id].active = false;
+                if ck.clauses[id].marked && !ck.clauses[id].tautology {
+                    let lits = std::mem::take(&mut ck.clauses[id].lits);
+                    ck.rup(&lits, Some(si))?;
+                    ck.clauses[id].lits = lits;
+                }
+            }
+        }
+    }
+
+    let adds = cert
+        .steps
+        .iter()
+        .filter(|s| matches!(s, ProofStep::Add(_)))
+        .count();
+    let checked_adds = step_clause
+        .iter()
+        .zip(cert.steps)
+        .filter(|(&id, s)| {
+            matches!(s, ProofStep::Add(_))
+                && ck.clauses[id as usize].marked
+                && !ck.clauses[id as usize].tautology
+        })
+        .count();
+    checked += checked_adds;
+    Ok(CheckStats {
+        steps_total: cert.steps.len(),
+        steps_checked: checked,
+        steps_skipped: adds - checked_adds,
+        axioms_used: ck.clauses[..num_axioms].iter().filter(|c| c.marked).count(),
+        propagations: ck.propagations,
+    })
+}

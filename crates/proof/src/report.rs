@@ -1,0 +1,139 @@
+//! Aggregated certification accounting, rendered as text or JSON by the
+//! `--certify` modes of `kms`, `kms-sweep` and `table1`.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::checker::{CheckError, CheckStats};
+
+/// Counters accumulated over every certificate a run emitted and
+/// checked. Merged across phases (ATPG, sweeping, miters, the oracle)
+/// into one per-run report; any failure makes the run exit nonzero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CertificationReport {
+    /// Certificates emitted (one per UNSAT verdict put to use).
+    pub proofs_emitted: usize,
+    /// Certificates that passed the independent check.
+    pub proofs_checked: usize,
+    /// Certificates the checker rejected.
+    pub proofs_failed: usize,
+    /// Wall-clock time spent inside the checker.
+    pub check_time: Duration,
+    /// Sum of proof-stream lengths (axioms + steps) across certificates.
+    pub proof_stream_total: u64,
+    /// Largest single proof stream seen.
+    pub proof_stream_max: u64,
+    /// RUP checks performed (conclusions plus marked adds).
+    pub steps_checked: u64,
+    /// Add steps skipped by backward trimming.
+    pub steps_skipped: u64,
+    /// Literals enqueued by the checker's propagation.
+    pub propagations: u64,
+    /// Human-readable descriptions of every rejected certificate.
+    pub failures: Vec<String>,
+}
+
+impl CertificationReport {
+    /// `true` when every emitted certificate was checked successfully.
+    pub fn all_verified(&self) -> bool {
+        self.proofs_failed == 0 && self.proofs_checked == self.proofs_emitted
+    }
+
+    /// Records one check outcome under a human-readable `label`.
+    pub fn record(
+        &mut self,
+        label: &str,
+        outcome: &Result<CheckStats, CheckError>,
+        elapsed: Duration,
+        stream_len: usize,
+    ) {
+        self.proofs_emitted += 1;
+        self.check_time += elapsed;
+        self.proof_stream_total += stream_len as u64;
+        self.proof_stream_max = self.proof_stream_max.max(stream_len as u64);
+        match outcome {
+            Ok(stats) => {
+                self.proofs_checked += 1;
+                self.steps_checked += stats.steps_checked as u64;
+                self.steps_skipped += stats.steps_skipped as u64;
+                self.propagations += stats.propagations;
+            }
+            Err(e) => {
+                self.proofs_failed += 1;
+                self.failures.push(format!("{label}: {e}"));
+            }
+        }
+    }
+
+    /// Accumulates another phase's report into this one.
+    pub fn merge(&mut self, other: &CertificationReport) {
+        self.proofs_emitted += other.proofs_emitted;
+        self.proofs_checked += other.proofs_checked;
+        self.proofs_failed += other.proofs_failed;
+        self.check_time += other.check_time;
+        self.proof_stream_total += other.proof_stream_total;
+        self.proof_stream_max = self.proof_stream_max.max(other.proof_stream_max);
+        self.steps_checked += other.steps_checked;
+        self.steps_skipped += other.steps_skipped;
+        self.propagations += other.propagations;
+        self.failures.extend(other.failures.iter().cloned());
+    }
+
+    /// Multi-line text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "certification: {} proofs emitted, {} checked, {} failed",
+            self.proofs_emitted, self.proofs_checked, self.proofs_failed
+        );
+        let _ = writeln!(
+            out,
+            "  checker time {:.3?}, stream total {} (max {}), \
+             rup checks {} (skipped by trimming {}), propagations {}",
+            self.check_time,
+            self.proof_stream_total,
+            self.proof_stream_max,
+            self.steps_checked,
+            self.steps_skipped,
+            self.propagations
+        );
+        for fail in &self.failures {
+            let _ = writeln!(out, "  FAILED: {fail}");
+        }
+        out
+    }
+
+    /// JSON object rendering (no trailing newline).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"proofs_emitted\": {}, \"proofs_checked\": {}, \"proofs_failed\": {}, \
+             \"check_time_ns\": {}, \"proof_stream_total\": {}, \"proof_stream_max\": {}, \
+             \"steps_checked\": {}, \"steps_skipped\": {}, \"propagations\": {}, \
+             \"failures\": [",
+            self.proofs_emitted,
+            self.proofs_checked,
+            self.proofs_failed,
+            self.check_time.as_nanos(),
+            self.proof_stream_total,
+            self.proof_stream_max,
+            self.steps_checked,
+            self.steps_skipped,
+            self.propagations
+        );
+        for (i, fail) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\"{}\"",
+                fail.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}

@@ -48,6 +48,12 @@ impl Cnf {
     }
 }
 
+/// Renders `cnf` in DIMACS format; the writer counterpart of
+/// [`parse_dimacs`] (free-function form of [`Cnf::to_dimacs`]).
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    cnf.to_dimacs()
+}
+
 /// Error parsing DIMACS text.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseDimacsError(String);

@@ -37,10 +37,12 @@ mod dimacs;
 mod heap;
 mod lit;
 mod miter;
+mod proof;
 mod solver;
 
 pub use cnf::NetworkCnf;
-pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
+pub use dimacs::{parse_dimacs, to_dimacs, Cnf, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
-pub use miter::{check_equivalence, Equivalence};
+pub use miter::{check_equivalence, encode_miter, Equivalence};
+pub use proof::{ProofLog, ProofStep};
 pub use solver::{SatResult, Solver, Stats};

@@ -57,6 +57,26 @@ impl Equivalence {
 /// assert!(check_equivalence(&n1, &n2).is_equivalent());
 /// ```
 pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
+    let mut solver = Solver::new();
+    let (ca, _) = encode_miter(a, b, &mut solver);
+    match solver.solve() {
+        SatResult::Unsat => Equivalence::Equivalent,
+        SatResult::Sat => Equivalence::CounterExample(ca.model_inputs(&solver, a)),
+    }
+}
+
+/// Encodes the standard equivalence miter of `a` against `b` into a
+/// caller-supplied solver: both networks Tseitin-encoded, primary inputs
+/// tied pairwise, each output pair XORed into a difference variable, and
+/// the difference disjunction asserted. A subsequent [`Solver::solve`]
+/// answers UNSAT exactly when the networks are equivalent. Callers that
+/// need a checkable proof enable [`Solver::enable_proof`] first.
+///
+/// # Panics
+///
+/// Panics when the input or output counts differ (inputs and outputs are
+/// matched positionally).
+pub fn encode_miter(a: &Network, b: &Network, solver: &mut Solver) -> (NetworkCnf, NetworkCnf) {
     assert_eq!(
         a.inputs().len(),
         b.inputs().len(),
@@ -67,9 +87,8 @@ pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
         b.outputs().len(),
         "output count mismatch in miter"
     );
-    let mut solver = Solver::new();
-    let ca = NetworkCnf::encode(a, &mut solver);
-    let cb = NetworkCnf::encode(b, &mut solver);
+    let ca = NetworkCnf::encode(a, solver);
+    let cb = NetworkCnf::encode(b, solver);
     // Tie the primary inputs together.
     for (&ia, &ib) in a.inputs().iter().zip(b.inputs()) {
         let la = ca.lit(ia, true);
@@ -91,10 +110,7 @@ pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
     }
     // Some output must differ.
     solver.add_clause(&diffs);
-    match solver.solve() {
-        SatResult::Unsat => Equivalence::Equivalent,
-        SatResult::Sat => Equivalence::CounterExample(ca.model_inputs(&solver, a)),
-    }
+    (ca, cb)
 }
 
 #[cfg(test)]

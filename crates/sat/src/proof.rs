@@ -1,0 +1,83 @@
+//! DRAT-style proof logging for the solver.
+//!
+//! When a [`crate::Solver`] has proof logging enabled, it records every
+//! clause of the formula (the *axioms*) and every clause it derives or
+//! deletes (the *steps*). An UNSAT verdict can then be replayed by an
+//! independent checker (the `kms-proof` crate) without trusting the
+//! solver: each `Add` step must be a reverse-unit-propagation (RUP)
+//! consequence of the clauses live at that point, and the final verdict
+//! must follow from the surviving clause set.
+//!
+//! The stream mirrors the DRAT format used by certified SAT competition
+//! checkers, held in memory instead of serialized: `Add` corresponds to
+//! a DRAT addition line, `Delete` to a `d` line. Incremental solving
+//! under assumptions is covered by the *assumption-core discharge rule*
+//! (see DESIGN §14): after an UNSAT answer from
+//! [`crate::Solver::solve_with`], the clause consisting of the negated
+//! [`crate::Solver::unsat_core`] literals is itself a RUP consequence of
+//! the stream, and implies the verdict.
+
+use crate::lit::Lit;
+
+/// One derived event of a proof stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A clause derived from the live clause set. Sound iff it is a RUP
+    /// consequence of the axioms plus the earlier `Add` steps that have
+    /// not been deleted yet. The empty clause asserts unsatisfiability.
+    Add(Vec<Lit>),
+    /// A clause removed from the live set (learnt-database reduction).
+    /// Deletions never affect soundness — only completeness of later
+    /// steps — but the checker must honor them to validate the stream
+    /// the solver actually used.
+    Delete(Vec<Lit>),
+}
+
+/// An in-memory DRAT-style proof stream: the original clauses plus the
+/// derivation trace. Obtained from [`crate::Solver::proof`] after
+/// enabling logging with [`crate::Solver::enable_proof`].
+///
+/// The log is cumulative across [`crate::Solver::solve_with`] calls,
+/// matching incremental use: a certificate for the *n*-th query
+/// references the whole stream up to that point.
+#[derive(Clone, Debug, Default)]
+pub struct ProofLog {
+    axioms: Vec<Vec<Lit>>,
+    steps: Vec<ProofStep>,
+}
+
+impl ProofLog {
+    /// The original clauses, as simplified at ingestion (sorted,
+    /// deduplicated; tautologies and clauses already satisfied at level
+    /// 0 are omitted — proving a subset unsatisfiable suffices).
+    pub fn axioms(&self) -> &[Vec<Lit>] {
+        &self.axioms
+    }
+
+    /// The derivation trace, in solver order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Total events recorded (axioms plus steps).
+    pub fn len(&self) -> usize {
+        self.axioms.len() + self.steps.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty() && self.steps.is_empty()
+    }
+
+    pub(crate) fn log_axiom(&mut self, lits: Vec<Lit>) {
+        self.axioms.push(lits);
+    }
+
+    pub(crate) fn log_add(&mut self, lits: Vec<Lit>) {
+        self.steps.push(ProofStep::Add(lits));
+    }
+
+    pub(crate) fn log_delete(&mut self, lits: Vec<Lit>) {
+        self.steps.push(ProofStep::Delete(lits));
+    }
+}

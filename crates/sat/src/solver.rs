@@ -9,6 +9,7 @@
 
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::ProofLog;
 
 /// The verdict of a SAT query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -43,6 +44,41 @@ pub struct Stats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnts: u64,
+    /// Total clauses learnt over the solver's lifetime (including unit
+    /// learns, which never enter the clause database).
+    pub learned_total: u64,
+    /// Total learnt clauses deleted by database reductions.
+    pub deleted_total: u64,
+}
+
+impl Stats {
+    /// Accumulates another solver's counters into this one (used to
+    /// aggregate per-worker solvers into a per-phase total).
+    pub fn merge(&mut self, other: &Stats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnts += other.learnts;
+        self.learned_total += other.learned_total;
+        self.deleted_total += other.deleted_total;
+    }
+
+    /// JSON object rendering (no trailing newline) for report surfaces.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"conflicts\": {}, \"decisions\": {}, \"propagations\": {}, \
+             \"restarts\": {}, \"learnts\": {}, \"learned_total\": {}, \
+             \"deleted_total\": {}}}",
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+            self.learnts,
+            self.learned_total,
+            self.deleted_total
+        )
+    }
 }
 
 /// A CDCL SAT solver.
@@ -78,6 +114,7 @@ pub struct Solver {
     conflict_core: Vec<Lit>,
     stats: Stats,
     num_learnts: usize,
+    proof: Option<Box<ProofLog>>,
 }
 
 impl Solver {
@@ -117,6 +154,26 @@ impl Solver {
             learnts: self.num_learnts as u64,
             ..self.stats
         }
+    }
+
+    /// Starts DRAT-style proof logging. Must be called before any clause
+    /// is added so the axiom list is complete; the hot propagate/analyze
+    /// loops are untouched, so a solver without logging pays nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if clauses or unit facts have already been added.
+    pub fn enable_proof(&mut self) {
+        assert!(
+            self.clauses.is_empty() && self.trail.is_empty() && self.ok,
+            "enable_proof must precede add_clause"
+        );
+        self.proof = Some(Box::default());
+    }
+
+    /// The proof stream recorded so far, if logging is enabled.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_deref()
     }
 
     fn value(&self, l: Lit) -> LBool {
@@ -162,6 +219,18 @@ impl Solver {
                 LBool::Undef => filtered.push(l),
             }
         }
+        if let Some(p) = self.proof.as_deref_mut() {
+            // The kept clause is an axiom (tautologies and satisfied
+            // clauses above were dropped: proving a subset of the
+            // formula unsatisfiable is sound). If level-0 falsified
+            // literals were stripped, the strengthened clause is logged
+            // as a derived step — it is RUP, because the level-0 facts
+            // re-falsify the stripped literals under propagation.
+            p.log_axiom(c.clone());
+            if filtered != c {
+                p.log_add(filtered.clone());
+            }
+        }
         match filtered.len() {
             0 => {
                 self.ok = false;
@@ -171,6 +240,9 @@ impl Solver {
                 self.enqueue(filtered[0], NO_REASON);
                 if self.propagate().is_some() {
                     self.ok = false;
+                    if let Some(p) = self.proof.as_deref_mut() {
+                        p.log_add(Vec::new());
+                    }
                 }
                 self.ok
             }
@@ -390,10 +462,14 @@ impl Solver {
                 .expect("activities are finite")
         });
         for &ci in learnt_ids.iter().take(learnt_ids.len() / 2) {
+            if let Some(p) = self.proof.as_deref_mut() {
+                p.log_delete(self.clauses[ci as usize].lits.clone());
+            }
             self.clauses[ci as usize].deleted = true;
             self.clauses[ci as usize].lits.clear();
             self.clauses[ci as usize].lits.shrink_to_fit();
             self.num_learnts -= 1;
+            self.stats.deleted_total += 1;
         }
     }
 
@@ -432,10 +508,19 @@ impl Solver {
                 conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    if let Some(p) = self.proof.as_deref_mut() {
+                        p.log_add(Vec::new());
+                    }
                     return SatResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
                 self.cancel_until(bt);
+                if let Some(p) = self.proof.as_deref_mut() {
+                    // Every 1-UIP clause is a resolvent of clauses in the
+                    // database, hence RUP with respect to the live set.
+                    p.log_add(learnt.clone());
+                }
+                self.stats.learned_total += 1;
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
                     self.enqueue(asserting, NO_REASON);

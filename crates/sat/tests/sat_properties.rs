@@ -107,4 +107,24 @@ proptest! {
             }
         }
     }
+
+    /// The DIMACS writer and reader are mutually inverse: any formula
+    /// (including empty clauses and unused header variables) survives a
+    /// write/parse cycle literal for literal.
+    #[test]
+    fn dimacs_round_trips(clauses in formula(9), extra_vars in 0usize..4) {
+        use kms_sat::{parse_dimacs, to_dimacs, Cnf};
+        let cnf = Cnf {
+            num_vars: 9 + extra_vars,
+            clauses: clauses
+                .iter()
+                .map(|c| c.iter().map(|&(v, pos)| Var::from_index(v).lit(pos)).collect())
+                .collect(),
+        };
+        let text = to_dimacs(&cnf);
+        let reparsed = parse_dimacs(&text).expect("writer output must parse");
+        prop_assert_eq!(&reparsed, &cnf);
+        // A second cycle is a fixpoint, text included.
+        prop_assert_eq!(to_dimacs(&reparsed), text);
+    }
 }

@@ -13,7 +13,8 @@
 
 use kms_bdd::{Bdd, BddManager, NodeFunctions};
 use kms_netlist::{GateKind, NetlistError, Network, Path};
-use kms_sat::{Lit, NetworkCnf, SatResult, Solver};
+use kms_proof::{core_conclusion, Certificate, CertificationReport};
+use kms_sat::{Lit, NetworkCnf, SatResult, Solver, Stats};
 
 /// The noncontrolling-value constraints of a path: for each constrained
 /// side-input connection, the connection itself, its driving gate, and the
@@ -121,13 +122,32 @@ impl SensitizationOracle {
     /// Encodes `net` once. The oracle answers queries for paths of this
     /// network only; rebuild after any structural change.
     pub fn new(net: &Network) -> Self {
+        Self::build(net, false)
+    }
+
+    /// As [`SensitizationOracle::new`], with proof logging enabled so
+    /// that unsensitizable verdicts can be certified through
+    /// [`SensitizationOracle::is_sensitizable_certified`].
+    pub fn with_certification(net: &Network) -> Self {
+        Self::build(net, true)
+    }
+
+    fn build(net: &Network, certify: bool) -> Self {
         let mut solver = Solver::new();
+        if certify {
+            solver.enable_proof();
+        }
         let cnf = NetworkCnf::encode(net, &mut solver);
         SensitizationOracle {
             solver,
             cnf,
             num_inputs: net.inputs().len(),
         }
+    }
+
+    /// The underlying solver's search counters.
+    pub fn solver_stats(&self) -> Stats {
+        self.solver.stats()
     }
 
     /// As [`sensitization_cube`], but reusing the shared encoding.
@@ -166,6 +186,41 @@ impl SensitizationOracle {
     /// Returns [`NetlistError::NotSimple`] for MUX fanouts.
     pub fn is_sensitizable(&mut self, net: &Network, path: &Path) -> Result<bool, NetlistError> {
         Ok(self.sensitization_cube(net, path)?.is_some())
+    }
+
+    /// As [`SensitizationOracle::is_sensitizable`], but an unsensitizable
+    /// verdict comes with a checked proof: the solver's refutation of the
+    /// noncontrolling-value assumptions is re-derived by the independent
+    /// `kms-proof` checker and recorded in `report`, and the certificate
+    /// digest is returned alongside the verdict. Requires the oracle to
+    /// have been built with [`SensitizationOracle::with_certification`]
+    /// (panics otherwise). Sensitizable verdicts carry no certificate —
+    /// the witness cube is checkable by simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotSimple`] for MUX fanouts.
+    pub fn is_sensitizable_certified(
+        &mut self,
+        net: &Network,
+        path: &Path,
+        report: &mut CertificationReport,
+    ) -> Result<(bool, Option<u64>), NetlistError> {
+        let constraints = side_constraints(net, path)?;
+        let assumptions: Vec<Lit> = constraints
+            .iter()
+            .map(|&(_, src, nc)| self.cnf.lit(src, nc))
+            .collect();
+        Ok(match self.solver.solve_with(&assumptions) {
+            SatResult::Sat => (true, None),
+            SatResult::Unsat => {
+                let conclusion = core_conclusion(self.solver.unsat_core());
+                let cert = Certificate::from_solver(&self.solver, &assumptions, &conclusion)
+                    .expect("oracle built with certification enabled");
+                let digest = kms_proof::certify(report, &format!("sens {path}"), &cert);
+                (false, digest)
+            }
+        })
     }
 
     /// Explains *why* a path is false: for an unsensitizable path, returns

@@ -12,7 +12,8 @@
 //! ```
 //!
 //! Exit status: 0 when every file is clean or has only warnings, 1 when
-//! any file has errors (or fails to parse), 2 on usage errors.
+//! any file has errors, 2 on usage errors or when any file fails to read
+//! or parse.
 
 use std::io::Read as _;
 
@@ -127,6 +128,7 @@ fn main() {
         }
     };
     let mut failed = false;
+    let mut io_failed = false;
     for path in &args.inputs {
         match lint_file(path, &args) {
             Ok((report, name)) => {
@@ -144,12 +146,12 @@ fn main() {
                 }
             }
             Err(msg) => {
-                failed = true;
+                io_failed = true;
                 if !args.quiet {
                     eprintln!("error: {msg}");
                 }
             }
         }
     }
-    std::process::exit(i32::from(failed));
+    std::process::exit(if io_failed { 2 } else { i32::from(failed) });
 }

@@ -13,11 +13,15 @@
 //!       --no-sat-sweep        skip SAT sweeping (strash + implications only)
 //!       --no-learning         skip static implication learning
 //!       --seed <N>            simulation seed for the sweep signatures
+//!       --certify             re-derive every sweep claim as an UNSAT query,
+//!                             log a DRAT proof, and re-check it with the
+//!                             independent checker; print the merged ledger
 //!   -q, --quiet               suppress output; just set the exit code
 //! ```
 //!
-//! Exit status: 0 on success (whether or not redundancies were found),
-//! 1 when any file fails to parse, 2 on usage errors.
+//! Exit status: 0 when no file has findings, 1 when any file has statically
+//! proved redundancies or a `--certify` proof fails to check, 2 on usage
+//! errors or when any file fails to read or parse.
 //!
 //! [`StaticRedundancyReport`]: kms::analysis::StaticRedundancyReport
 
@@ -26,6 +30,7 @@ use std::io::Read as _;
 use kms::analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
 use kms::atpg::{collapsed_faults, FaultSite};
 use kms::blif::{parse_blif, parse_iscas};
+use kms::proof::CertificationReport;
 
 struct Args {
     inputs: Vec<String>,
@@ -56,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
             "--iscas" => args.iscas = true,
             "--no-sat-sweep" => args.opts.sat_sweep = false,
             "--no-learning" => args.opts.static_learning = false,
+            "--certify" => args.opts.certify = true,
             "--seed" => {
                 args.opts.seed = it
                     .next()
@@ -66,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "-h" | "--help" => {
                 eprintln!(
                     "usage: kms-sweep [-f text|json] [--iscas] [--no-sat-sweep] \
-                     [--no-learning] [--seed N] [-q] <file.blif | ->..."
+                     [--no-learning] [--seed N] [--certify] [-q] <file.blif | ->..."
                 );
                 std::process::exit(0);
             }
@@ -92,7 +98,12 @@ fn read_input(path: &str) -> std::io::Result<String> {
     }
 }
 
-fn sweep_file(path: &str, args: &Args) -> Result<String, String> {
+/// Sweeps one file; returns the rendered report, the number of statically
+/// proved redundant faults, and the certification ledger when `--certify`.
+fn sweep_file(
+    path: &str,
+    args: &Args,
+) -> Result<(String, usize, Option<CertificationReport>), String> {
     let text = read_input(path).map_err(|e| format!("{path}: {e}"))?;
     let net = if args.iscas {
         parse_iscas(&text).map_err(|e| format!("{path}: {e}"))?
@@ -113,11 +124,16 @@ fn sweep_file(path: &str, args: &Args) -> Result<String, String> {
         .collect();
     let analysis = StaticAnalysis::build(&net, &args.opts);
     let report = analysis.report(&faults);
-    Ok(if args.json {
+    let rendered = if args.json {
         report.render_json()
     } else {
         report.render_text()
-    })
+    };
+    Ok((
+        rendered,
+        report.proved_count(),
+        analysis.certification().cloned(),
+    ))
 }
 
 fn main() {
@@ -128,21 +144,46 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut failed = false;
+    let mut io_failed = false;
+    let mut findings = 0usize;
+    let mut ledger = args.opts.certify.then(CertificationReport::default);
     for path in &args.inputs {
         match sweep_file(path, &args) {
-            Ok(rendered) => {
+            Ok((rendered, proved, certification)) => {
+                findings += proved;
+                if let (Some(total), Some(cert)) = (ledger.as_mut(), certification.as_ref()) {
+                    total.merge(cert);
+                }
                 if !args.quiet {
                     print!("{rendered}");
                 }
             }
             Err(msg) => {
-                failed = true;
+                io_failed = true;
                 if !args.quiet {
                     eprintln!("error: {msg}");
                 }
             }
         }
     }
-    std::process::exit(i32::from(failed));
+    let mut check_failed = false;
+    if let Some(ledger) = &ledger {
+        if !args.quiet {
+            if args.json {
+                print!("{}", ledger.render_json());
+            } else {
+                print!("{}", ledger.render_text());
+            }
+        }
+        if !ledger.all_verified() {
+            check_failed = true;
+            eprintln!("error: certification failed — some sweep claim has no checkable proof");
+        }
+    }
+    let code = if io_failed {
+        2
+    } else {
+        i32::from(findings > 0 || check_failed)
+    };
+    std::process::exit(code);
 }

@@ -13,8 +13,18 @@
 //!   -j, --jobs <N>          use the shared-CNF classification engine with
 //!                           N worker threads (0 = all cores) for the
 //!                           removal phase
+//!       --certify           log a DRAT proof for every UNSAT verdict the
+//!                           run depends on and re-check each with the
+//!                           independent proof checker
+//!   -f, --format <text|json>
+//!                           report format on stderr (default: text); json
+//!                           includes per-phase solver counters and the
+//!                           certification ledger
 //!   -q, --quiet             suppress the report
 //! ```
+//!
+//! Exit status: 0 on success, 1 when a `--certify` proof fails to check,
+//! 2 on usage errors or when the input fails to read or parse.
 
 use std::error::Error;
 use std::io::Read as _;
@@ -31,6 +41,8 @@ struct Args {
     condition: Condition,
     arrivals: Vec<(String, i64)>,
     jobs: Option<usize>,
+    certify: bool,
+    json: bool,
     quiet: bool,
 }
 
@@ -42,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
         condition: Condition::StaticSensitization,
         arrivals: Vec::new(),
         jobs: None,
+        certify: false,
+        json: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -74,9 +88,17 @@ fn parse_args() -> Result<Args, String> {
                 let n = it.next().ok_or("missing value for --jobs")?;
                 args.jobs = Some(n.parse().map_err(|_| format!("bad job count {n:?}"))?);
             }
+            "--certify" => args.certify = true,
+            "-f" | "--format" => {
+                args.json = match it.next().as_deref() {
+                    Some("text") => false,
+                    Some("json") => true,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => {
-                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-j N] <input.blif | ->");
+                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-j N] [--certify] [-f text|json] <input.blif | ->");
                 std::process::exit(0);
             }
             other if args.input.is_empty() => args.input = other.to_string(),
@@ -89,14 +111,24 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn main() -> Result<(), Box<dyn Error>> {
-    let args = parse_args()
-        .map_err(|e| {
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
             eprintln!("error: {e}\nrun with --help for usage");
             std::process::exit(2);
-        })
-        .unwrap_or_else(|_: ()| unreachable!());
+        }
+    };
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
+fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
     let text = if args.input == "-" {
         let mut s = String::new();
         std::io::stdin().read_to_string(&mut s)?;
@@ -130,11 +162,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         KmsOptions {
             condition: args.condition,
             engine,
+            certify: args.certify,
             ..Default::default()
         },
     )?;
 
-    if !args.quiet {
+    if !args.quiet && args.json {
+        eprintln!("{}", report.render_json());
+    }
+    if !args.quiet && !args.json {
         eprint!("{}", kms::netlist::NetworkStats::of(&net));
         eprintln!(
             "{}: gates {} -> {}, loop iterations {}, duplicated {}, \
@@ -158,6 +194,32 @@ fn main() -> Result<(), Box<dyn Error>> {
             "phases: engine {:.3?}, path_enum {:.3?}, oracle {:.3?}, transform {:.3?}, atpg {:.3?}",
             t.engine, t.path_enum, t.oracle, t.transform, t.atpg
         );
+        for (phase, s) in [
+            ("oracle", &report.oracle_solver),
+            ("atpg", &report.atpg_solver),
+        ] {
+            eprintln!(
+                "solver[{phase}]: conflicts {}, decisions {}, propagations {}, \
+                 restarts {}, learned {}, deleted {}",
+                s.conflicts,
+                s.decisions,
+                s.propagations,
+                s.restarts,
+                s.learned_total,
+                s.deleted_total
+            );
+        }
+    }
+
+    let mut check_failed = false;
+    if let Some(certification) = &report.certification {
+        if !args.quiet && !args.json {
+            eprint!("{}", certification.render_text());
+        }
+        if !certification.all_verified() {
+            check_failed = true;
+            eprintln!("error: certification failed — some solver verdict has no checkable proof");
+        }
     }
 
     let out = write_blif(&net);
@@ -165,5 +227,5 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(path) => std::fs::write(path, out)?,
         None => print!("{out}"),
     }
-    Ok(())
+    Ok(i32::from(check_failed))
 }

@@ -25,6 +25,7 @@ pub use kms_gen as gen;
 pub use kms_lint as lint;
 pub use kms_netlist as netlist;
 pub use kms_opt as opt;
+pub use kms_proof as proof;
 pub use kms_sat as sat;
 pub use kms_timing as timing;
 pub use kms_twolevel as twolevel;
