@@ -1,11 +1,14 @@
 //! Regenerates Table I of the paper (experiments E1 and E2).
 //!
-//! Usage: `table1 [--csa] [--mcnc] [--no-verify] [--jobs N] [--certify]`
-//! (no selection flags = both suites). `--jobs N` switches the ATPG to the
-//! shared-CNF classification engine with `N` workers (0 = all cores).
-//! `--certify` re-checks every UNSAT verdict behind each row with the
-//! independent proof checker, prints the merged ledger, and exits 1 if
-//! any certificate fails to check.
+//! Usage: `table1 [--csa] [--mcnc] [--no-verify] [--jobs N] [--certify]
+//! [--budget SECONDS]` (no selection flags = both suites). `--jobs N`
+//! switches the ATPG to the shared-CNF classification engine with `N`
+//! workers (0 = all cores). `--certify` re-checks every UNSAT verdict
+//! behind each row with the independent proof checker, prints the merged
+//! ledger, and exits 1 if any certificate fails to check. `--budget`
+//! enforces a wall-clock ceiling on the whole run and exits 1 when
+//! exceeded — CI uses it as a performance-regression tripwire for the
+//! SAT kernel on the certified Table I path.
 //!
 //! Columns: redundancy count, initial/final simple-gate counts, viable
 //! delay before/after, topological delay before/after, loop iterations,
@@ -32,6 +35,20 @@ fn main() {
         });
         args.drain(i..i + 2);
     }
+    let budget: Option<f64> = if let Some(i) = args.iter().position(|a| a == "--budget") {
+        let secs = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("error: --budget needs a wall-clock ceiling in seconds");
+                std::process::exit(2);
+            });
+        args.drain(i..i + 2);
+        Some(secs)
+    } else {
+        None
+    };
+    let start = std::time::Instant::now();
     let certify = if let Some(i) = args.iter().position(|a| a == "--certify") {
         args.remove(i);
         true
@@ -86,4 +103,16 @@ fn main() {
     println!("                                rd73:  red 9,  91 -> 80");
     println!("                                sao2:  red 8, 122 -> 114");
     println!("                                z4ml:  red 7,  59 -> 53");
+    if let Some(limit) = budget {
+        let elapsed = start.elapsed().as_secs_f64();
+        println!();
+        println!("budget: {elapsed:.1}s used of {limit:.1}s allowed");
+        if elapsed > limit {
+            eprintln!(
+                "error: wall-clock budget exceeded ({elapsed:.1}s > {limit:.1}s) — \
+                 the SAT/ATPG hot path has regressed"
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -66,8 +66,11 @@ pub struct EngineStats {
 /// functions) is built once per network state and shared across the
 /// longest-path checks of that iteration.
 pub(crate) enum ConditionOracle<'a> {
-    Sens(SensitizationOracle),
-    Via(ViabilityAnalysis<'a>),
+    // Both variants boxed: the SAT oracle embeds the full arena solver
+    // and the BDD analysis carries its node table, so either inline body
+    // would bloat the enum.
+    Sens(Box<SensitizationOracle>),
+    Via(Box<ViabilityAnalysis<'a>>),
 }
 
 impl<'a> ConditionOracle<'a> {
@@ -79,12 +82,16 @@ impl<'a> ConditionOracle<'a> {
     ) -> Self {
         match condition {
             Condition::StaticSensitization if certify => {
-                ConditionOracle::Sens(SensitizationOracle::with_certification(net))
+                ConditionOracle::Sens(Box::new(SensitizationOracle::with_certification(net)))
             }
-            Condition::StaticSensitization => ConditionOracle::Sens(SensitizationOracle::new(net)),
+            Condition::StaticSensitization => {
+                ConditionOracle::Sens(Box::new(SensitizationOracle::new(net)))
+            }
             // Viability is BDD-backed: its verdicts are not SAT answers
             // and carry no proof (the documented certification gap).
-            Condition::Viability => ConditionOracle::Via(ViabilityAnalysis::new(net, arrivals)),
+            Condition::Viability => {
+                ConditionOracle::Via(Box::new(ViabilityAnalysis::new(net, arrivals)))
+            }
         }
     }
 

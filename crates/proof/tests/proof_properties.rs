@@ -384,6 +384,67 @@ fn digests_are_stable_and_sensitive() {
 }
 
 #[test]
+fn minimized_proofs_are_certified_and_fail_closed() {
+    // Large enough that recursive conflict-clause minimization provably
+    // fires; the logged lemmas are the *minimized* clauses, and the
+    // certificate must still check.
+    let (nvars, clauses, guard) = guarded_pigeonhole(6, 5);
+    let mut s = Solver::new();
+    s.enable_proof();
+    for _ in 0..nvars {
+        s.new_var();
+    }
+    for c in &clauses {
+        assert!(s.add_clause(c));
+    }
+    let assumptions = [guard];
+    assert_eq!(s.solve_with(&assumptions), SatResult::Unsat);
+    assert!(
+        s.stats().minimized_lits > 0,
+        "fixture must exercise the minimizer: {:?}",
+        s.stats()
+    );
+    let conclusion = core_conclusion(s.unsat_core());
+    let cert = Certificate::from_solver(&s, &assumptions, &conclusion).unwrap();
+    check(&cert).expect("proof built from minimized lemmas accepted");
+
+    // Fail-closed: corrupting a logged (minimized) lemma by dropping one
+    // more literal over-strengthens it. At least one such mutation must
+    // be rejected — either the stronger clause is no RUP consequence, or
+    // the stream's bookkeeping (a later deletion of the original) no
+    // longer lines up.
+    let proof = s.proof().unwrap();
+    let mut any_rejected = false;
+    for idx in 0..proof.steps().len() {
+        let ProofStep::Add(c) = &proof.steps()[idx] else {
+            continue;
+        };
+        if c.len() < 2 {
+            continue;
+        }
+        let mut steps = proof.steps().to_vec();
+        let mut cut = c.clone();
+        cut.pop();
+        steps[idx] = ProofStep::Add(cut);
+        let mutated = Certificate {
+            num_vars: s.num_vars(),
+            axioms: proof.axioms(),
+            steps: &steps,
+            assumptions: &assumptions,
+            conclusion: &conclusion,
+        };
+        if check(&mutated).is_err() {
+            any_rejected = true;
+            break;
+        }
+    }
+    assert!(
+        any_rejected,
+        "no over-strengthened lemma was rejected — minimized clauses are not being RUP-checked"
+    );
+}
+
+#[test]
 fn database_reductions_round_trip() {
     // A large enough pigeonhole run triggers learnt-database reduction,
     // exercising Delete steps end to end through the solver.

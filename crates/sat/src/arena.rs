@@ -1,0 +1,232 @@
+//! Flat clause storage for the CDCL solver.
+//!
+//! Every clause in the solver — original and learnt — lives in one
+//! contiguous `Vec<u32>` (the *arena*) and is referenced by the `u32`
+//! word offset of its header. Compared to the boxed `Vec<Vec<Lit>>`
+//! representation this removes one heap allocation and one pointer
+//! chase per clause visit, keeps clauses that are visited together
+//! adjacent in memory, and makes the whole clause database relocatable:
+//! deleted clauses are compacted away by [`ClauseArena::collect`], with
+//! a relocation table the solver uses to patch watch lists and reason
+//! references.
+//!
+//! # Layout
+//!
+//! A clause at offset `r` occupies `HEADER_WORDS + size` words:
+//!
+//! ```text
+//! data[r]     header: size << 2 | learnt << 1 | deleted
+//! data[r + 1] LBD (literal block distance; 0 for original clauses)
+//! data[r + 2] activity (f32 bit pattern; 0.0 for original clauses)
+//! data[r + 3 ..] the literals, as Lit::index() codes
+//! ```
+//!
+//! The size field leaves 30 bits (≈10⁹ literals per clause), far beyond
+//! anything a Tseitin encoding produces. Because every allocation is a
+//! clause, the arena is walkable front to back — `collect` needs no
+//! side list of offsets.
+
+use crate::lit::Lit;
+
+/// Word offset of a clause header inside the arena.
+pub(crate) type ClauseRef = u32;
+
+/// Words occupied by the packed header (meta, LBD, activity).
+const HEADER_WORDS: u32 = 3;
+
+const LEARNT_BIT: u32 = 0b10;
+const DELETED_BIT: u32 = 0b01;
+
+/// The flat clause store. See the module docs for the layout.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ClauseArena {
+    data: Vec<u32>,
+    /// Words occupied by deleted clauses (headers included), i.e. how
+    /// much a [`ClauseArena::collect`] would reclaim.
+    wasted: u32,
+}
+
+impl ClauseArena {
+    /// Allocates a clause and returns its reference. `lits.len() >= 2`:
+    /// units and the empty clause never enter the database.
+    pub fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "arena clauses have >= 2 literals");
+        let r = u32::try_from(self.data.len()).expect("arena exceeds u32 words");
+        let size = u32::try_from(lits.len()).expect("clause exceeds u32 literals");
+        self.data
+            .push(size << 2 | if learnt { LEARNT_BIT } else { 0 });
+        self.data.push(0); // LBD
+        self.data.push(0f32.to_bits()); // activity
+        self.data.extend(lits.iter().map(|l| l.index() as u32));
+        r
+    }
+
+    /// Number of literals in the clause.
+    #[inline]
+    pub fn len(&self, r: ClauseRef) -> usize {
+        (self.data[r as usize] >> 2) as usize
+    }
+
+    /// `true` if the clause was learnt (vs. part of the input formula).
+    #[inline]
+    pub fn is_learnt(&self, r: ClauseRef) -> bool {
+        self.data[r as usize] & LEARNT_BIT != 0
+    }
+
+    /// `true` if the clause has been marked deleted (awaiting collection).
+    #[inline]
+    pub fn is_deleted(&self, r: ClauseRef) -> bool {
+        self.data[r as usize] & DELETED_BIT != 0
+    }
+
+    /// Marks the clause deleted; space is reclaimed by the next
+    /// [`ClauseArena::collect`].
+    pub fn delete(&mut self, r: ClauseRef) {
+        debug_assert!(!self.is_deleted(r));
+        self.wasted += HEADER_WORDS + self.len(r) as u32;
+        self.data[r as usize] |= DELETED_BIT;
+    }
+
+    /// The clause's literal block distance (meaningful for learnts).
+    #[inline]
+    pub fn lbd(&self, r: ClauseRef) -> u32 {
+        self.data[r as usize + 1]
+    }
+
+    /// Sets the clause's literal block distance.
+    #[inline]
+    pub fn set_lbd(&mut self, r: ClauseRef, lbd: u32) {
+        self.data[r as usize + 1] = lbd;
+    }
+
+    /// The clause's bump activity (meaningful for learnts).
+    #[inline]
+    pub fn activity(&self, r: ClauseRef) -> f32 {
+        f32::from_bits(self.data[r as usize + 2])
+    }
+
+    /// Sets the clause's bump activity.
+    #[inline]
+    pub fn set_activity(&mut self, r: ClauseRef, a: f32) {
+        self.data[r as usize + 2] = a.to_bits();
+    }
+
+    /// The `i`-th literal of the clause.
+    #[inline]
+    pub fn lit(&self, r: ClauseRef, i: usize) -> Lit {
+        Lit::from_index(self.data[r as usize + HEADER_WORDS as usize + i] as usize)
+    }
+
+    /// The clause's literals as raw `Lit::index` codes (hot-loop view:
+    /// one bounds check for the whole clause).
+    #[inline]
+    pub fn lits_raw(&self, r: ClauseRef) -> &[u32] {
+        let start = r as usize + HEADER_WORDS as usize;
+        &self.data[start..start + self.len(r)]
+    }
+
+    /// The clause's literals, copied out (cold paths: proof logging,
+    /// final conflict analysis).
+    pub fn lits_vec(&self, r: ClauseRef) -> Vec<Lit> {
+        self.lits_raw(r)
+            .iter()
+            .map(|&c| Lit::from_index(c as usize))
+            .collect()
+    }
+
+    /// Swaps two literal positions in place (watch repairs).
+    #[inline]
+    pub fn swap_lits(&mut self, r: ClauseRef, i: usize, j: usize) {
+        let base = r as usize + HEADER_WORDS as usize;
+        self.data.swap(base + i, base + j);
+    }
+
+    /// Words occupied by deleted clauses.
+    pub fn wasted(&self) -> u32 {
+        self.wasted
+    }
+
+    /// Compacts the arena: drops deleted clauses, slides the survivors
+    /// down, and returns the relocation table `old offset → new offset`
+    /// (dense over clause-header offsets; non-header entries are
+    /// `u32::MAX`). The caller must re-point every watcher and reason.
+    pub fn collect(&mut self) -> Vec<u32> {
+        let mut remap = vec![u32::MAX; self.data.len()];
+        let mut new_data = Vec::with_capacity(self.data.len() - self.wasted as usize);
+        let mut off = 0usize;
+        while off < self.data.len() {
+            let words = HEADER_WORDS as usize + (self.data[off] >> 2) as usize;
+            if self.data[off] & DELETED_BIT == 0 {
+                remap[off] = new_data.len() as u32;
+                new_data.extend_from_slice(&self.data[off..off + words]);
+            }
+            off += words;
+        }
+        self.data = new_data;
+        self.wasted = 0;
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(ids: &[(usize, bool)]) -> Vec<Lit> {
+        ids.iter()
+            .map(|&(v, s)| Var::from_index(v).lit(s))
+            .collect()
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut a = ClauseArena::default();
+        let c1 = lits(&[(0, true), (1, false), (2, true)]);
+        let c2 = lits(&[(3, false), (4, true)]);
+        let r1 = a.alloc(&c1, false);
+        let r2 = a.alloc(&c2, true);
+        assert_eq!(a.len(r1), 3);
+        assert_eq!(a.len(r2), 2);
+        assert!(!a.is_learnt(r1));
+        assert!(a.is_learnt(r2));
+        assert_eq!(a.lits_vec(r1), c1);
+        assert_eq!(a.lits_vec(r2), c2);
+        assert_eq!(a.lit(r1, 1), c1[1]);
+    }
+
+    #[test]
+    fn header_fields_round_trip() {
+        let mut a = ClauseArena::default();
+        let r = a.alloc(&lits(&[(0, true), (1, true)]), true);
+        a.set_lbd(r, 7);
+        a.set_activity(r, 2.5);
+        assert_eq!(a.lbd(r), 7);
+        assert_eq!(a.activity(r), 2.5);
+        a.swap_lits(r, 0, 1);
+        assert_eq!(a.lit(r, 0), Var::from_index(1).positive());
+    }
+
+    #[test]
+    fn collect_compacts_and_remaps() {
+        let mut a = ClauseArena::default();
+        let c1 = lits(&[(0, true), (1, true), (2, true)]);
+        let c2 = lits(&[(3, true), (4, true)]);
+        let c3 = lits(&[(5, false), (6, false), (7, false), (8, false)]);
+        let r1 = a.alloc(&c1, false);
+        let r2 = a.alloc(&c2, true);
+        let r3 = a.alloc(&c3, true);
+        a.set_lbd(r3, 3);
+        a.delete(r2);
+        assert!(a.wasted() > 0);
+        let remap = a.collect();
+        assert_eq!(a.wasted(), 0);
+        let n1 = remap[r1 as usize];
+        let n3 = remap[r3 as usize];
+        assert_eq!(remap[r2 as usize], u32::MAX);
+        assert_eq!(a.lits_vec(n1), c1);
+        assert_eq!(a.lits_vec(n3), c3);
+        assert_eq!(a.lbd(n3), 3);
+        assert!(a.is_learnt(n3) && !a.is_learnt(n1));
+    }
+}

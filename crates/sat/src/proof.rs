@@ -16,6 +16,18 @@
 //! [`crate::Solver::solve_with`], the clause consisting of the negated
 //! [`crate::Solver::unsat_core`] literals is itself a RUP consequence of
 //! the stream, and implies the verdict.
+//!
+//! # Minimized learnt clauses
+//!
+//! The solver's conflict-clause minimizer (DESIGN §15) removes literals
+//! from the 1-UIP clause before it is logged. Only the *minimized*
+//! clause enters the stream: each removed literal is implied, through
+//! reason clauses already live in the database, by the negations of the
+//! kept literals, so unit propagation against the minimized clause's
+//! negation first re-derives the removed literals and then replays the
+//! original 1-UIP conflict — the minimized clause is RUP whenever the
+//! unminimized one is. Because the unminimized intermediate never enters
+//! the stream, no deletion step is owed for it either.
 
 use crate::lit::Lit;
 

@@ -13,6 +13,78 @@ fn formula(nvars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
     )
 }
 
+/// A wider random clause set (more clauses, clauses up to length 4) for
+/// the reference-DPLL cross-check.
+fn formula_wide(nvars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..nvars, any::<bool>()), 1..5),
+        1..60,
+    )
+}
+
+/// A naive reference DPLL (unit propagation + chronological branching),
+/// implemented independently of the CDCL kernel: no watch lists, no
+/// learning, no arena. Slow but obviously correct on small inputs; used
+/// to cross-check the production solver beyond brute-force range.
+fn dpll_sat(nvars: usize, clauses: &[Vec<Lit>]) -> bool {
+    fn go(assign: &mut Vec<Option<bool>>, clauses: &[Vec<Lit>]) -> bool {
+        // Unit propagation to fixpoint; a falsified clause fails the branch.
+        loop {
+            let mut unit = None;
+            for c in clauses {
+                let mut unassigned = None;
+                let mut n_unassigned = 0usize;
+                let mut satisfied = false;
+                for &l in c {
+                    match assign[l.var().index()] {
+                        Some(v) => {
+                            if v == l.is_positive() {
+                                satisfied = true;
+                                break;
+                            }
+                        }
+                        None => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return false,
+                    1 => {
+                        unit = unassigned;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            match unit {
+                Some(l) => assign[l.var().index()] = Some(l.is_positive()),
+                None => break,
+            }
+        }
+        match assign.iter().position(|a| a.is_none()) {
+            None => true, // fully assigned with no falsified clause
+            Some(v) => {
+                for val in [true, false] {
+                    let saved = assign.clone();
+                    assign[v] = Some(val);
+                    if go(assign, clauses) {
+                        return true;
+                    }
+                    *assign = saved;
+                }
+                false
+            }
+        }
+    }
+    let mut assign = vec![None; nvars];
+    go(&mut assign, clauses)
+}
+
 fn brute_force(nvars: usize, clauses: &[Vec<(usize, bool)>]) -> Option<u64> {
     'outer: for m in 0..(1u64 << nvars) {
         for c in clauses {
@@ -94,6 +166,47 @@ proptest! {
         if ok {
             let plain = brute_force(nvars, &clauses).is_some();
             prop_assert_eq!(s.solve() == SatResult::Sat, plain);
+        }
+    }
+
+    /// The arena solver agrees with the independent reference DPLL on
+    /// formulas past comfortable brute-force range (12 variables, wider
+    /// clause mix), exercising learning, minimization, and reduction.
+    #[test]
+    fn solver_matches_reference_dpll(clauses in formula_wide(12)) {
+        let nvars = 12;
+        let lits: Vec<Vec<Lit>> = clauses
+            .iter()
+            .map(|c| c.iter().map(|&(v, pos)| Var::from_index(v).lit(pos)).collect())
+            .collect();
+        let expect = dpll_sat(nvars, &lits);
+        let (mut s, ok) = load(nvars, &clauses);
+        let got = ok && s.solve() == SatResult::Sat;
+        prop_assert_eq!(got, expect);
+    }
+
+    /// After an UNSAT answer under assumptions, the reported core is a
+    /// subset of the assumptions and is itself unsatisfiable with the
+    /// formula — on the rewritten kernel, with minimization active.
+    #[test]
+    fn assumption_cores_are_sound(
+        clauses in formula(7),
+        picks in proptest::collection::vec((0usize..7, any::<bool>()), 1..5),
+    ) {
+        let assumptions: Vec<Lit> = picks
+            .iter()
+            .map(|&(v, pos)| Var::from_index(v).lit(pos))
+            .collect();
+        let (mut s, ok) = load(7, &clauses);
+        if ok && s.solve_with(&assumptions) == SatResult::Unsat {
+            let core = s.unsat_core().to_vec();
+            for l in &core {
+                prop_assert!(
+                    assumptions.contains(l),
+                    "core literal {l:?} is not an assumption"
+                );
+            }
+            prop_assert_eq!(s.solve_with(&core), SatResult::Unsat);
         }
     }
 

@@ -200,13 +200,22 @@ fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
         ] {
             eprintln!(
                 "solver[{phase}]: conflicts {}, decisions {}, propagations {}, \
-                 restarts {}, learned {}, deleted {}",
+                 restarts {}, learned {}, deleted {}, minimized lits {}, \
+                 mean lbd {:.2}, arena gc {}, blocker hits {}",
                 s.conflicts,
                 s.decisions,
                 s.propagations,
                 s.restarts,
                 s.learned_total,
-                s.deleted_total
+                s.deleted_total,
+                s.minimized_lits,
+                if s.learned_total > 0 {
+                    s.lbd_sum as f64 / s.learned_total as f64
+                } else {
+                    0.0
+                },
+                s.arena_gc,
+                s.blocker_hits
             );
         }
     }
