@@ -236,6 +236,40 @@ impl<'n> StaticAnalysis<'n> {
         }
         // Rule 3: assemble the necessary detection conditions and try to
         // refute them.
+        let assumptions = self.detection_conditions(fault, stuck)?;
+        match self.implications.propagate(net, &assumptions) {
+            Err(conflict) => Some(Witness::ImplicationConflict {
+                assumptions,
+                steps: conflict.steps,
+            }),
+            Ok(_) => None,
+        }
+    }
+
+    /// The *necessary* detection conditions of a stuck-at fault: every
+    /// vector that detects the fault must satisfy all returned
+    /// `(node, value)` literals. The set comprises excitation of the
+    /// faulted line, noncontrolling values on the side pins of the
+    /// faulted connection's gate, and noncontrolling values on every
+    /// fault-cone-external pin of every dominator of the fault site
+    /// (unique sensitization). Refuting the conjunction — by any sound
+    /// engine, e.g. [`Implications::propagate`] or the recursive-learning
+    /// pass in `kms-dataflow` — proves the fault untestable.
+    ///
+    /// Returns `None` when the fault site is dead.
+    pub fn detection_conditions(
+        &self,
+        fault: FaultRef,
+        stuck: bool,
+    ) -> Option<Vec<(GateId, bool)>> {
+        let net = self.net;
+        let (line_src, obs) = match fault {
+            FaultRef::Output(g) => (g, g),
+            FaultRef::Conn(c) => (net.pin(c).src, c.gate),
+        };
+        if net.gate(line_src).is_dead() || net.gate(obs).is_dead() {
+            return None;
+        }
         let tfo = self.tfo_mask(obs);
         let mut assumptions: Vec<(GateId, bool)> = vec![(line_src, !stuck)];
         let assume = |asm: &mut Vec<(GateId, bool)>, g: GateId, v: bool| {
@@ -286,13 +320,7 @@ impl<'n> StaticAnalysis<'n> {
                 }
             }
         }
-        match self.implications.propagate(net, &assumptions) {
-            Err(conflict) => Some(Witness::ImplicationConflict {
-                assumptions,
-                steps: conflict.steps,
-            }),
-            Ok(_) => None,
-        }
+        Some(assumptions)
     }
 
     /// Builds the [`StaticRedundancyReport`] over a caller-supplied fault

@@ -1,14 +1,16 @@
 //! Static-prescreen benchmark: how much of the redundancy identification
-//! work the `kms-analysis` pass settles without any PODEM/SAT query, and
-//! what that does to end-to-end classification wall-clock. Emits
+//! work the static passes settle without any PODEM/SAT query, and what
+//! that does to end-to-end classification wall-clock. Emits
 //! `BENCH_sweep.json`.
 //!
-//! Three tiers per circuit: no prescreen (the oracle), the default
-//! prescreen (structural hash + implication learning, no SAT sweep), and
-//! the full-sweep prescreen (`prescreen_sweep: true`). The measurement
-//! that set the default: the SAT sweep's solver time exceeded its
-//! downstream savings on 6 of 9 circuits (rd73 bottomed at 0.30×), while
-//! the implication-only tier is the fixed cost worth paying.
+//! Four tiers per circuit: no prescreen (the oracle), the implication
+//! prescreen alone (`prescreen_dataflow: false`), the default implic +
+//! dataflow prescreen (ternary/cofactor constants, CODCs, recursive
+//! learning — `kms-dataflow`), and the full-sweep prescreen
+//! (`prescreen_sweep: true`). The per-tier `engine_calls` column counts
+//! the faults that still reached a per-fault decision procedure (PODEM
+//! or SAT) at each tier — the direct measure of prescreen coverage
+//! (EXPERIMENTS E13).
 //!
 //! Usage: `bench_sweep [--smoke] [--jobs N] [--out FILE]`
 //!
@@ -16,16 +18,21 @@
 //! * `--jobs N` — worker count for the classification runs (default 4).
 //! * `--out FILE` — output path (default `BENCH_sweep.json`).
 //!
-//! Every row is also a correctness gate: the statically proved faults must
-//! be a subset of the SAT/PODEM oracle's redundant set (soundness), and
-//! the classification reports at every tier must be bit-identical.
+//! Every row is also a correctness gate: the statically proved faults
+//! (both tiers) must be a subset of the SAT/PODEM oracle's redundant set
+//! (soundness), the implic+dataflow tier must prove at least the implic
+//! tier's faults on the carry-skip rows, and the classification reports
+//! at every tier must be bit-identical.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 use kms_analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
-use kms_atpg::{analyze, collapsed_faults, Engine, Fault, FaultSite, ParallelOptions};
+use kms_atpg::{
+    classify_faults_report, collapsed_faults, ClassifyReport, Fault, FaultSite, ParallelOptions,
+};
 use kms_bench::table1_csa;
+use kms_dataflow::{DataflowAnalysis, DataflowOptions};
 use kms_netlist::Network;
 use kms_opt::flow::{prepare_benchmark, FlowOptions};
 use kms_timing::InputArrivals;
@@ -115,11 +122,19 @@ struct Row {
     faults: usize,
     redundant: usize,
     static_proved: usize,
+    dataflow_proved: usize,
     hit_rate: f64,
+    dataflow_hit_rate: f64,
     analysis_s: f64,
+    dataflow_s: f64,
     with_s: f64,
+    with_dataflow_s: f64,
     with_sweep_s: f64,
     without_s: f64,
+    oracle_engine_calls: u64,
+    implic_engine_calls: u64,
+    dataflow_engine_calls: u64,
+    sweep_engine_calls: u64,
 }
 
 fn json_escape(s: &str) -> String {
@@ -145,28 +160,40 @@ fn main() {
         v
     };
 
-    // The default tier (implication-only since prescreen_sweep defaults
-    // to false), the full-sweep tier, and the bare oracle.
-    let with_prescreen = Engine::SharedSat(ParallelOptions {
+    // Tier engines: the bare oracle, the implication prescreen alone,
+    // the default implic + dataflow prescreen, and the full-sweep tier
+    // (sweep isolated from the dataflow tier so its column measures the
+    // SAT sweep itself, as in the original three-tier benchmark).
+    let without_prescreen = ParallelOptions {
+        jobs: cfg.jobs,
+        static_prescreen: false,
+        prescreen_dataflow: false,
+        ..Default::default()
+    };
+    let with_implic = ParallelOptions {
         jobs: cfg.jobs,
         static_prescreen: true,
+        prescreen_dataflow: false,
         ..Default::default()
-    });
-    let with_sweep = Engine::SharedSat(ParallelOptions {
+    };
+    let with_dataflow = ParallelOptions {
+        jobs: cfg.jobs,
+        static_prescreen: true,
+        prescreen_dataflow: true,
+        ..Default::default()
+    };
+    let with_sweep = ParallelOptions {
         jobs: cfg.jobs,
         static_prescreen: true,
         prescreen_sweep: true,
+        prescreen_dataflow: false,
         ..Default::default()
-    });
-    let without_prescreen = Engine::SharedSat(ParallelOptions {
-        jobs: cfg.jobs,
-        static_prescreen: false,
-        ..Default::default()
-    });
+    };
 
     let mut rows = Vec::new();
     let mut total_redundant = 0usize;
     let mut total_proved = 0usize;
+    let mut total_dataflow_proved = 0usize;
     for (name, net) in &circuits {
         let faults = collapsed_faults(net);
         let fault_refs: Vec<(FaultRef, bool)> = faults.iter().map(|&f| fault_ref(f)).collect();
@@ -184,24 +211,58 @@ fn main() {
             );
             an.report(&fault_refs)
         });
-
-        // Oracle: the full classification without the prescreen.
-        let (without_s, oracle) = time_min(reps, || analyze(net, without_prescreen));
-        let (with_s, screened) = time_min(reps, || analyze(net, with_prescreen));
-        let (with_sweep_s, swept) = time_min(reps, || analyze(net, with_sweep));
+        let classify = |popts: ParallelOptions| -> ClassifyReport {
+            classify_faults_report(net, faults.clone(), popts)
+        };
+        let (without_s, oracle) = time_min(reps, || classify(without_prescreen));
+        let (with_s, screened) = time_min(reps, || classify(with_implic));
+        let (with_dataflow_s, dataflow) = time_min(reps, || classify(with_dataflow));
+        let (with_sweep_s, swept) = time_min(reps, || classify(with_sweep));
         assert_eq!(
-            oracle, screened,
-            "{name}: prescreen changed the testability report"
+            oracle.testability, screened.testability,
+            "{name}: implic prescreen changed the testability report"
         );
         assert_eq!(
-            oracle, swept,
+            oracle.testability, dataflow.testability,
+            "{name}: dataflow prescreen changed the testability report"
+        );
+        assert_eq!(
+            oracle.testability, swept.testability,
             "{name}: sweep-tier prescreen changed the testability report"
         );
 
-        let redundant: BTreeSet<(FaultRef, bool)> =
-            oracle.redundant().into_iter().map(fault_ref).collect();
+        let redundant: BTreeSet<(FaultRef, bool)> = oracle
+            .testability
+            .redundant()
+            .into_iter()
+            .map(fault_ref)
+            .collect();
         let proved: BTreeSet<(FaultRef, bool)> =
             report.proofs.iter().map(|p| (p.fault, p.stuck)).collect();
+        // Dataflow-tier coverage, measured on the redundant set (a sound
+        // pass can only ever prove those; attempting the testable faults
+        // here would just re-measure the refutation budget). The column
+        // is the *union* of implic and dataflow proofs — exactly what
+        // the combined prescreen settles without a decision procedure.
+        let (dataflow_s, dataflow_proofs) = time_min(reps, || {
+            let an = StaticAnalysis::build(
+                net,
+                &AnalysisOptions {
+                    sat_sweep: false,
+                    ..AnalysisOptions::default()
+                },
+            );
+            let df = DataflowAnalysis::build(net, &an, &DataflowOptions::default());
+            let proved: BTreeSet<(FaultRef, bool)> = redundant
+                .iter()
+                .filter(|&&(site, stuck)| {
+                    an.prove_untestable(site, stuck).is_some()
+                        || df.prove_untestable(&an, site, stuck).is_some()
+                })
+                .copied()
+                .collect();
+            proved
+        });
         for p in &proved {
             assert!(
                 redundant.contains(p),
@@ -210,21 +271,57 @@ fn main() {
                 if p.1 { 1 } else { 0 }
             );
         }
-        let hit_rate = if redundant.is_empty() {
-            1.0
-        } else {
-            proved.len() as f64 / redundant.len() as f64
+        for p in &dataflow_proofs {
+            assert!(
+                redundant.contains(p),
+                "{name}: dataflow proof for {}/{} not confirmed by the oracle",
+                p.0,
+                if p.1 { 1 } else { 0 }
+            );
+        }
+        // The combined tier can only add proofs on top of implic; on the
+        // paper's carry-skip rows the dataflow tier must also prove
+        // strictly more — the skip-gate redundancy cancels through
+        // reconvergence and only the conditional-equivalence rule
+        // catches it (E13's improvement gate).
+        if name.starts_with("csa") {
+            assert!(
+                dataflow_proofs.is_superset(&proved),
+                "{name}: dataflow tier lost an implic proof"
+            );
+            assert!(
+                dataflow_proofs.len() > proved.len(),
+                "{name}: dataflow tier adds no proof over implic \
+                 (carry-skip redundancy missed)"
+            );
+        }
+        let rate = |n: usize| {
+            if redundant.is_empty() {
+                1.0
+            } else {
+                n as f64 / redundant.len() as f64
+            }
         };
+        let hit_rate = rate(proved.len());
+        let dataflow_hit_rate = rate(dataflow_proofs.len());
         total_redundant += redundant.len();
         total_proved += proved.len();
+        total_dataflow_proved += dataflow_proofs.len();
         eprintln!(
-            "{name:<10} {:>5} faults  {:>3} redundant  {:>3} static ({:>5.1}%)  \
-             analysis {analysis_s:.4}s  with {with_s:.4}s  sweep {with_sweep_s:.4}s  \
-             without {without_s:.4}s",
+            "{name:<10} {:>5} faults  {:>3} redundant  {:>3} implic ({:>5.1}%)  \
+             {:>3} +dataflow ({:>5.1}%)  analysis {analysis_s:.4}s/{dataflow_s:.4}s  \
+             with {with_s:.4}s  df {with_dataflow_s:.4}s  sweep {with_sweep_s:.4}s  \
+             without {without_s:.4}s  engine calls {}/{}/{}/{}",
             faults.len(),
             redundant.len(),
             proved.len(),
             100.0 * hit_rate,
+            dataflow_proofs.len(),
+            100.0 * dataflow_hit_rate,
+            oracle.engine_calls,
+            screened.engine_calls,
+            dataflow.engine_calls,
+            swept.engine_calls,
         );
         rows.push(Row {
             name: name.clone(),
@@ -232,11 +329,19 @@ fn main() {
             faults: faults.len(),
             redundant: redundant.len(),
             static_proved: proved.len(),
+            dataflow_proved: dataflow_proofs.len(),
             hit_rate,
+            dataflow_hit_rate,
             analysis_s,
+            dataflow_s,
             with_s,
+            with_dataflow_s,
             with_sweep_s,
             without_s,
+            oracle_engine_calls: oracle.engine_calls,
+            implic_engine_calls: screened.engine_calls,
+            dataflow_engine_calls: dataflow.engine_calls,
+            sweep_engine_calls: swept.engine_calls,
         });
     }
 
@@ -245,41 +350,64 @@ fn main() {
     } else {
         total_proved as f64 / total_redundant as f64
     };
+    let overall_dataflow = if total_redundant == 0 {
+        1.0
+    } else {
+        total_dataflow_proved as f64 / total_redundant as f64
+    };
     eprintln!(
-        "overall: {total_proved}/{total_redundant} redundant faults proved statically ({:.1}%)",
-        100.0 * overall
+        "overall: {total_proved}/{total_redundant} redundant faults proved by implic ({:.1}%), \
+         {total_dataflow_proved}/{total_redundant} by implic+dataflow ({:.1}%)",
+        100.0 * overall,
+        100.0 * overall_dataflow
     );
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
         "  \"bench\": \"static_sweep\",\n  \"mode\": \"{}\",\n  \"jobs\": {},\n  \"reps\": {},\n  \
-         \"total_redundant\": {},\n  \"total_static_proved\": {},\n  \"overall_hit_rate\": {:.4},\n  \"rows\": [\n",
+         \"total_redundant\": {},\n  \"total_static_proved\": {},\n  \
+         \"total_dataflow_proved\": {},\n  \"overall_hit_rate\": {:.4},\n  \
+         \"overall_dataflow_hit_rate\": {:.4},\n  \"rows\": [\n",
         if cfg.smoke { "smoke" } else { "full" },
         cfg.jobs,
         reps,
         total_redundant,
         total_proved,
-        overall
+        total_dataflow_proved,
+        overall,
+        overall_dataflow
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"circuit\": \"{}\", \"gates\": {}, \"faults\": {}, \"redundant\": {}, \
-             \"static_proved\": {}, \"hit_rate\": {:.4}, \"analysis_s\": {:.6}, \
-             \"with_prescreen_s\": {:.6}, \"with_sweep_s\": {:.6}, \
-             \"without_prescreen_s\": {:.6}, \"speedup\": {:.3}, \"sweep_speedup\": {:.3}}}{}\n",
+             \"static_proved\": {}, \"dataflow_proved\": {}, \"hit_rate\": {:.4}, \
+             \"dataflow_hit_rate\": {:.4}, \"analysis_s\": {:.6}, \"dataflow_analysis_s\": {:.6}, \
+             \"with_prescreen_s\": {:.6}, \"with_dataflow_s\": {:.6}, \"with_sweep_s\": {:.6}, \
+             \"without_prescreen_s\": {:.6}, \"speedup\": {:.3}, \"dataflow_speedup\": {:.3}, \
+             \"sweep_speedup\": {:.3}, \"engine_calls\": {{\"oracle\": {}, \"implic\": {}, \
+             \"dataflow\": {}, \"sweep\": {}}}}}{}\n",
             json_escape(&r.name),
             r.gates,
             r.faults,
             r.redundant,
             r.static_proved,
+            r.dataflow_proved,
             r.hit_rate,
+            r.dataflow_hit_rate,
             r.analysis_s,
+            r.dataflow_s,
             r.with_s,
+            r.with_dataflow_s,
             r.with_sweep_s,
             r.without_s,
             r.without_s / r.with_s,
+            r.without_s / r.with_dataflow_s,
             r.without_s / r.with_sweep_s,
+            r.oracle_engine_calls,
+            r.implic_engine_calls,
+            r.dataflow_engine_calls,
+            r.sweep_engine_calls,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -3,7 +3,8 @@
 
 use kms_analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
 use kms_atpg::{analyze, Engine, Fault, FaultSite};
-use kms_netlist::{GateId, NetlistError, Network};
+use kms_dataflow::{CodcBlock, DataflowAnalysis, DataflowOptions, DfWitness};
+use kms_netlist::{ConnRef, GateId, GateKind, NetlistError, Network};
 use kms_proof::{core_conclusion, Certificate, CertificationReport};
 use kms_sat::{check_equivalence, encode_miter, Equivalence, Lit, NetworkCnf, SatResult, Solver};
 use kms_timing::{computed_delay, InputArrivals, PathCondition, Time};
@@ -234,6 +235,18 @@ pub struct StaticCrossCheck {
     pub constants_checked: usize,
     /// Constant claims the miter refuted (soundness bugs).
     pub unsound_constants: Vec<GateId>,
+    /// Faults the dataflow tier (`kms-dataflow`) proved untestable.
+    pub dataflow_proved: usize,
+    /// Dataflow witnesses replayed against the fresh CNF (every proof
+    /// carries one; this equals [`StaticCrossCheck::dataflow_proved`]).
+    pub dataflow_witnesses_checked: usize,
+    /// Dataflow-proved faults the ATPG oracle nevertheless found
+    /// testable (soundness bugs in the dataflow engine).
+    pub unsound_dataflow_faults: Vec<Fault>,
+    /// Faults whose dataflow witness failed to replay: a constant claim
+    /// the solver refuted, a blocker that does not mask its sink, or a
+    /// CODC cut that does not separate the fault from the outputs.
+    pub unsound_dataflow_witnesses: Vec<Fault>,
     /// The merged proof-checking ledger, present when the cross-check ran
     /// with [`AnalysisOptions::certify`]: the sweep's own certificates,
     /// the ATPG oracle's redundancy certificates (SharedSat engine only),
@@ -248,6 +261,8 @@ impl StaticCrossCheck {
         self.unsound_faults.is_empty()
             && self.unsound_merges.is_empty()
             && self.unsound_constants.is_empty()
+            && self.unsound_dataflow_faults.is_empty()
+            && self.unsound_dataflow_witnesses.is_empty()
             && self.certification.as_ref().is_none_or(|c| c.all_verified())
     }
 }
@@ -258,8 +273,17 @@ impl StaticCrossCheck {
 /// constant claim must survive a freshly-encoded SAT miter (one that does
 /// not share any state with the sweep's own incremental solver).
 ///
+/// The dataflow tier (`kms-dataflow`) is cross-checked the same way, and
+/// deeper: every fault it proves untestable must be redundant per the
+/// oracle, *and* the [`DfWitness`] attached to the proof is replayed
+/// against the fresh CNF — constants become UNSAT queries on the node
+/// pinned to the opposite value, cofactor constants one such query per
+/// cofactor, recursive-learning conflicts a joint UNSAT query over the
+/// refuted assumptions, and CODC cuts a per-blocker constant check plus
+/// a graph check that the cut separates the fault from every output.
+///
 /// When `engine` is [`Engine::SharedSat`], its static prescreen is forced
-/// off so the oracle never consults the very pass under test.
+/// off (both tiers) so the oracle never consults the passes under test.
 ///
 /// With [`AnalysisOptions::certify`] set, the check is upgraded from
 /// "re-derive the answer" to "check an independent proof": the sweep logs
@@ -277,6 +301,7 @@ pub fn cross_check_static_analysis(
     let engine = match engine {
         Engine::SharedSat(mut popts) => {
             popts.static_prescreen = false;
+            popts.prescreen_dataflow = false;
             popts.certify = opts.certify;
             Engine::SharedSat(popts)
         }
@@ -298,9 +323,13 @@ pub fn cross_check_static_analysis(
         engine => analyze(net, engine),
     };
 
+    let dataflow = DataflowAnalysis::build(net, &analysis, &DataflowOptions::default());
+
     let mut static_proved = 0;
     let mut oracle_redundant = 0;
     let mut unsound_faults = Vec::new();
+    let mut unsound_dataflow_faults = Vec::new();
+    let mut witnesses: Vec<(Fault, FaultRef, DfWitness)> = Vec::new();
     for (f, v) in oracle.faults.iter().zip(&oracle.verdicts) {
         let site = match f.site {
             FaultSite::GateOutput(g) => FaultRef::Output(g),
@@ -314,6 +343,12 @@ pub fn cross_check_static_analysis(
             if !v.is_redundant() {
                 unsound_faults.push(*f);
             }
+        }
+        if let Some(w) = dataflow.prove_untestable(&analysis, site, f.stuck) {
+            if !v.is_redundant() {
+                unsound_dataflow_faults.push(*f);
+            }
+            witnesses.push((*f, site, w));
         }
     }
 
@@ -388,6 +423,23 @@ pub fn cross_check_static_analysis(
         }
     }
 
+    let mut dataflow_witnesses_checked = 0;
+    let mut unsound_dataflow_witnesses = Vec::new();
+    for (f, site, w) in &witnesses {
+        dataflow_witnesses_checked += 1;
+        if !replay_dataflow_witness(
+            net,
+            &mut solver,
+            &cnf,
+            &mut certification,
+            *site,
+            f.stuck,
+            w,
+        ) {
+            unsound_dataflow_witnesses.push(*f);
+        }
+    }
+
     StaticCrossCheck {
         faults_checked: oracle.faults.len(),
         static_proved,
@@ -397,8 +449,282 @@ pub fn cross_check_static_analysis(
         unsound_merges,
         constants_checked,
         unsound_constants,
+        dataflow_proved: witnesses.len(),
+        dataflow_witnesses_checked,
+        unsound_dataflow_faults,
+        unsound_dataflow_witnesses,
         certification,
     }
+}
+
+/// Replays one [`DfWitness`] against the independent CNF. `true` means
+/// every claim behind the witness re-derived; each UNSAT answer is
+/// certified into the ledger when one is being kept.
+fn replay_dataflow_witness(
+    net: &Network,
+    solver: &mut Solver,
+    cnf: &NetworkCnf,
+    certification: &mut Option<CertificationReport>,
+    fault: FaultRef,
+    stuck: bool,
+    witness: &DfWitness,
+) -> bool {
+    match witness {
+        DfWitness::TernaryConstant { node, value } => df_unsat(
+            solver,
+            certification,
+            &[cnf.lit(*node, !value)],
+            format!("xdf const {node}"),
+        ),
+        DfWitness::CofactorConstant { node, value, input } => {
+            let bad = cnf.lit(*node, !value);
+            df_unsat(
+                solver,
+                certification,
+                &[cnf.lit(*input, false), bad],
+                format!("xdf cof0 {input} {node}"),
+            ) && df_unsat(
+                solver,
+                certification,
+                &[cnf.lit(*input, true), bad],
+                format!("xdf cof1 {input} {node}"),
+            )
+        }
+        DfWitness::RecursiveConflict { assumptions, .. } => {
+            let asm: Vec<Lit> = assumptions.iter().map(|&(g, v)| cnf.lit(g, v)).collect();
+            let label = match asm.first() {
+                Some(_) => format!("xdf learn {}", assumptions[0].0),
+                None => return false,
+            };
+            df_unsat(solver, certification, &asm, label)
+        }
+        DfWitness::CodcUnobservable { cut, .. } => {
+            let cone = fault_cone(net, fault);
+            cut.iter().all(|b| {
+                block_cone_safe(net, &cone, b)
+                    && block_holds(net, solver, cnf, certification, &[], b)
+            }) && cut_separates(net, fault, cut)
+        }
+        DfWitness::ConditionalCodc {
+            excitation, cut, ..
+        } => {
+            // The excitation literal must be the faulted line at its
+            // good value — anything else proves nothing about `fault`.
+            let line_src = match fault {
+                FaultRef::Output(g) => g,
+                FaultRef::Conn(c) => net.pin(c).src,
+            };
+            if *excitation != (line_src, !stuck) {
+                return false;
+            }
+            let exc = [cnf.lit(excitation.0, excitation.1)];
+            let cone = fault_cone(net, fault);
+            cut.iter().all(|b| {
+                block_cone_safe(net, &cone, b)
+                    && block_holds(net, solver, cnf, certification, &exc, b)
+            }) && cut_separates(net, fault, cut)
+        }
+        DfWitness::ConditionalEquiv {
+            excitation,
+            implied,
+        } => {
+            let line_src = match fault {
+                FaultRef::Output(g) => g,
+                FaultRef::Conn(c) => net.pin(c).src,
+            };
+            if *excitation != (line_src, !stuck) {
+                return false;
+            }
+            let exc = cnf.lit(excitation.0, excitation.1);
+            let cone = fault_cone(net, fault);
+            // Every implied literal must lie outside the fault cone and
+            // follow from the excitation (certified UNSAT); the
+            // structural alias propagation then re-derives the
+            // per-output good/faulty equivalence from those facts.
+            implied.iter().all(|&(g, v)| {
+                !cone[g.index()]
+                    && df_unsat(
+                        solver,
+                        certification,
+                        &[exc, cnf.lit(g, !v)],
+                        format!("xdf imply {g}"),
+                    )
+            }) && kms_dataflow::conditional_equiv(
+                net,
+                &net.topo_order(),
+                fault,
+                stuck,
+                &cone,
+                implied,
+            )
+        }
+    }
+}
+
+/// The structural fanout cone of the fault's entry gate (the gate whose
+/// output the effect first reaches): every gate the effect could touch.
+/// Witness blockers must lie outside it — an in-cone blocker can flip
+/// together with the fault and does not mask it.
+fn fault_cone(net: &Network, fault: FaultRef) -> Vec<bool> {
+    let entry = match fault {
+        FaultRef::Output(g) => g,
+        FaultRef::Conn(c) => c.gate,
+    };
+    let fanouts = net.fanouts();
+    let mut cone = vec![false; net.num_gate_slots()];
+    cone[entry.index()] = true;
+    let mut stack = vec![entry];
+    while let Some(g) = stack.pop() {
+        for &c in &fanouts[g.index()] {
+            if !cone[c.gate.index()] {
+                cone[c.gate.index()] = true;
+                stack.push(c.gate);
+            }
+        }
+    }
+    cone
+}
+
+/// Whether every gate the block relies on lies outside `cone` (both
+/// data pins for a Mux select block, the reported side otherwise).
+fn block_cone_safe(net: &Network, cone: &[bool], b: &CodcBlock) -> bool {
+    let gate = net.gate(b.conn.gate);
+    if b.conn.pin >= gate.pins.len() {
+        return false;
+    }
+    if gate.kind == GateKind::Mux && b.conn.pin == 0 {
+        return !cone[gate.pins[1].src.index()] && !cone[gate.pins[2].src.index()];
+    }
+    !cone[b.side.index()]
+}
+
+/// Solves under `asm`, expecting UNSAT; certifies the refutation.
+fn df_unsat(
+    solver: &mut Solver,
+    certification: &mut Option<CertificationReport>,
+    asm: &[Lit],
+    label: String,
+) -> bool {
+    match solver.solve_with(asm) {
+        SatResult::Sat => false,
+        SatResult::Unsat => {
+            certify_cross_unsat(certification, solver, asm, label);
+            true
+        }
+    }
+}
+
+/// Verifies one blocked-connection claim of a CODC cut: the blocker is
+/// constant at the claimed value (certified UNSAT query, jointly with
+/// any `extra` assumption literals — the excitation condition for a
+/// conditional cut), and that value genuinely masks the connection at
+/// its sink — a controlling value on a sibling pin, or the Mux
+/// select/dead-branch cases (where the second branch's constant gets
+/// its own SAT query, since the witness records only one of the two
+/// equal blockers).
+fn block_holds(
+    net: &Network,
+    solver: &mut Solver,
+    cnf: &NetworkCnf,
+    certification: &mut Option<CertificationReport>,
+    extra: &[Lit],
+    b: &CodcBlock,
+) -> bool {
+    let gate = net.gate(b.conn.gate);
+    if b.conn.pin >= gate.pins.len() {
+        return false;
+    }
+    let mut asm = extra.to_vec();
+    asm.push(cnf.lit(b.side, !b.value));
+    if !df_unsat(
+        solver,
+        certification,
+        &asm,
+        format!("xdf block {} {}", b.conn, b.side),
+    ) {
+        return false;
+    }
+    let is_sibling = gate
+        .pins
+        .iter()
+        .enumerate()
+        .any(|(i, p)| i != b.conn.pin && p.src == b.side);
+    if gate.kind.controlling_value() == Some(b.value) && is_sibling {
+        return true;
+    }
+    if gate.kind == GateKind::Mux {
+        let sel = gate.pins[0].src;
+        match b.conn.pin {
+            1 => return b.side == sel && b.value,
+            2 => return b.side == sel && !b.value,
+            0 => {
+                let (d0, d1) = (gate.pins[1].src, gate.pins[2].src);
+                let other = match b.side {
+                    s if s == d0 => d1,
+                    s if s == d1 => d0,
+                    _ => return false,
+                };
+                let mut asm = extra.to_vec();
+                asm.push(cnf.lit(other, !b.value));
+                return df_unsat(
+                    solver,
+                    certification,
+                    &asm,
+                    format!("xdf block {} {}", b.conn, other),
+                );
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// `true` when removing the cut connections leaves no path from the
+/// fault to any primary output: an output fault's effect starts at the
+/// faulted gate, a connection fault's effect enters its sink through
+/// that single connection (so a cut containing the connection itself
+/// separates trivially).
+fn cut_separates(net: &Network, fault: FaultRef, cut: &[CodcBlock]) -> bool {
+    let in_cut = |c: ConnRef| cut.iter().any(|b| b.conn == c);
+    let mut is_po = vec![false; net.num_gate_slots()];
+    for o in net.outputs() {
+        is_po[o.src.index()] = true;
+    }
+    let mut reached = vec![false; net.num_gate_slots()];
+    let mut stack = Vec::new();
+    match fault {
+        FaultRef::Output(g) => {
+            if is_po[g.index()] {
+                return false;
+            }
+            reached[g.index()] = true;
+            stack.push(g);
+        }
+        FaultRef::Conn(c) => {
+            if in_cut(c) {
+                return true;
+            }
+            if is_po[c.gate.index()] {
+                return false;
+            }
+            reached[c.gate.index()] = true;
+            stack.push(c.gate);
+        }
+    }
+    let fanouts = net.fanouts();
+    while let Some(g) = stack.pop() {
+        for &c in &fanouts[g.index()] {
+            if in_cut(c) || reached[c.gate.index()] {
+                continue;
+            }
+            if is_po[c.gate.index()] {
+                return false;
+            }
+            reached[c.gate.index()] = true;
+            stack.push(c.gate);
+        }
+    }
+    true
 }
 
 /// Certifies the solver's last UNSAT answer under `asm` into the ledger,
@@ -447,7 +773,118 @@ mod tests {
         let check = cross_check_static_analysis(&net, &AnalysisOptions::default(), Engine::Sat);
         assert!(check.sound(), "{check:?}");
         assert!(check.static_proved <= check.oracle_redundant, "{check:?}");
+        assert!(check.dataflow_proved <= check.oracle_redundant, "{check:?}");
+        assert_eq!(check.dataflow_witnesses_checked, check.dataflow_proved);
         assert!(check.merges_checked >= check.unsound_merges.len());
+    }
+
+    #[test]
+    fn dataflow_witnesses_replay_beyond_implic() {
+        // g fans out into two ANDs whose siblings are proved constant 0:
+        // no single dominator chain covers both paths, so the implic
+        // tier cannot refute g's output faults, but the CODC backward
+        // pass proves g unobservable — and the cut witness must replay
+        // (per-blocker UNSAT queries plus the graph separation check).
+        let mut net = Network::new("beyond");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let na = net.add_gate(kms_netlist::GateKind::Not, &[a], kms_netlist::Delay::UNIT);
+        let k1 = net.add_gate(
+            kms_netlist::GateKind::And,
+            &[a, na],
+            kms_netlist::Delay::UNIT,
+        );
+        let nb = net.add_gate(kms_netlist::GateKind::Not, &[b], kms_netlist::Delay::UNIT);
+        let k2 = net.add_gate(
+            kms_netlist::GateKind::And,
+            &[b, nb],
+            kms_netlist::Delay::UNIT,
+        );
+        let g = net.add_gate(kms_netlist::GateKind::Not, &[c], kms_netlist::Delay::UNIT);
+        let m1 = net.add_gate(
+            kms_netlist::GateKind::And,
+            &[g, k1],
+            kms_netlist::Delay::UNIT,
+        );
+        let m2 = net.add_gate(
+            kms_netlist::GateKind::And,
+            &[g, k2],
+            kms_netlist::Delay::UNIT,
+        );
+        let o = net.add_gate(
+            kms_netlist::GateKind::Or,
+            &[m1, m2, d],
+            kms_netlist::Delay::UNIT,
+        );
+        net.add_output("y", o);
+
+        let opts = AnalysisOptions {
+            certify: true,
+            ..Default::default()
+        };
+        let engine = Engine::SharedSat(kms_atpg::ParallelOptions::default());
+        let check = cross_check_static_analysis(&net, &opts, engine);
+        assert!(check.sound(), "{check:?}");
+        assert!(
+            check.dataflow_proved > check.static_proved,
+            "dataflow must prove g's faults the implic tier cannot: {check:?}"
+        );
+        assert_eq!(check.dataflow_witnesses_checked, check.dataflow_proved);
+        let ledger = check.certification.as_ref().expect("certify ledger");
+        assert!(ledger.all_verified(), "failures: {:?}", ledger.failures);
+    }
+
+    #[test]
+    fn conditional_witnesses_replay_on_carry_skip() {
+        // The miniature carry-skip: skip sa0 is untestable because both
+        // cout branches equal cin exactly under the excitation — a
+        // conditional-equivalence witness (the implic tier and the
+        // unconditional CODC cut both miss it). Its replay SAT-checks
+        // every implied literal jointly with the excitation and re-runs
+        // the alias propagation.
+        let mut net = Network::new("skip");
+        let p = net.add_input("p");
+        let cin = net.add_input("cin");
+        let skip = net.add_gate(kms_netlist::GateKind::Buf, &[p], kms_netlist::Delay::UNIT);
+        let nskip = net.add_gate(
+            kms_netlist::GateKind::Not,
+            &[skip],
+            kms_netlist::Delay::UNIT,
+        );
+        let ripple = net.add_gate(
+            kms_netlist::GateKind::And,
+            &[p, cin],
+            kms_netlist::Delay::UNIT,
+        );
+        let a = net.add_gate(
+            kms_netlist::GateKind::And,
+            &[nskip, ripple],
+            kms_netlist::Delay::UNIT,
+        );
+        let b = net.add_gate(
+            kms_netlist::GateKind::And,
+            &[skip, cin],
+            kms_netlist::Delay::UNIT,
+        );
+        let cout = net.add_gate(kms_netlist::GateKind::Or, &[a, b], kms_netlist::Delay::UNIT);
+        net.add_output("cout", cout);
+
+        let opts = AnalysisOptions {
+            certify: true,
+            ..Default::default()
+        };
+        let engine = Engine::SharedSat(kms_atpg::ParallelOptions::default());
+        let check = cross_check_static_analysis(&net, &opts, engine);
+        assert!(check.sound(), "{check:?}");
+        assert!(
+            check.dataflow_proved > check.static_proved,
+            "the conditional rules must reach past the implic tier: {check:?}"
+        );
+        assert_eq!(check.dataflow_witnesses_checked, check.dataflow_proved);
+        let ledger = check.certification.as_ref().expect("certify ledger");
+        assert!(ledger.all_verified(), "failures: {:?}", ledger.failures);
     }
 
     #[test]
@@ -483,6 +920,7 @@ mod tests {
         assert_eq!(plain.constants_checked, check.constants_checked);
         assert_eq!(plain.static_proved, check.static_proved);
         assert_eq!(plain.oracle_redundant, check.oracle_redundant);
+        assert_eq!(plain.dataflow_proved, check.dataflow_proved);
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Compatible observability don't-cares (CODCs).
+//!
+//! A connection is *blocked* when a sibling pin of its sink holds a
+//! proved-constant controlling value: the sink's output is then fixed
+//! regardless of the connection, so no value change on it is ever
+//! observed through that sink. A node none of whose fanout connections
+//! lead (transitively, through unblocked connections) to a primary
+//! output is unobservable — every stuck-at fault on it is untestable.
+//!
+//! **Compatibility.** Classical CODCs must be intersected carefully
+//! because one node's don't-care set may assume another node keeps its
+//! care value. Here every blocker is a *global* constant — it holds under
+//! all input vectors — so all derived don't-cares hold simultaneously and
+//! the set is compatible by construction (see DESIGN §16).
+//!
+//! **Cone safety.** A constant blocker masks a *fault* only if it keeps
+//! its value in the faulty circuit. A blocker inside the fault's fanout
+//! cone may itself flip exactly when the fault is excited (reconvergent
+//! fanout through the fault site), so fault-level claims must restrict
+//! the cut to blockers outside the cone — [`cone_safe_cut`] enforces
+//! this; the raw [`codc`] fixpoint does not.
+
+use kms_netlist::{ConnRef, GateId, GateKind, Network};
+
+use crate::framework::{fixpoint, Direction, Frame};
+use crate::lattice::Obs;
+
+/// One blocked connection of a witness cut: the connection, the sibling
+/// source gate that blocks it, and the controlling value that gate is
+/// proved to hold.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CodcBlock {
+    /// The blocked connection.
+    pub conn: ConnRef,
+    /// The sibling pin's source gate (the blocker).
+    pub side: GateId,
+    /// The blocker's proved constant value, controlling for the sink.
+    pub value: bool,
+}
+
+/// The backward observability analysis result.
+pub struct Codc {
+    /// Per gate slot: `false` when the node is proved unobservable.
+    pub observable: Vec<bool>,
+    /// Connections proved blocked, with their blockers.
+    pub blocked: Vec<CodcBlock>,
+}
+
+/// The blocker of `conn`, if any: a sibling pin of the sink holding a
+/// proved-constant controlling value (or the Mux-specific cases).
+pub fn blocker(net: &Network, consts: &[Option<bool>], conn: ConnRef) -> Option<CodcBlock> {
+    let gate = net.gate(conn.gate);
+    if let Some(cv) = gate.kind.controlling_value() {
+        for (i, p) in gate.pins.iter().enumerate() {
+            if i != conn.pin && consts[p.src.index()] == Some(cv) {
+                return Some(CodcBlock {
+                    conn,
+                    side: p.src,
+                    value: cv,
+                });
+            }
+        }
+        return None;
+    }
+    if gate.kind == GateKind::Mux {
+        let sel = gate.pins[0].src;
+        match conn.pin {
+            // A data pin is dead when the select constantly picks the
+            // other branch.
+            1 if consts[sel.index()] == Some(true) => {
+                return Some(CodcBlock {
+                    conn,
+                    side: sel,
+                    value: true,
+                });
+            }
+            2 if consts[sel.index()] == Some(false) => {
+                return Some(CodcBlock {
+                    conn,
+                    side: sel,
+                    value: false,
+                });
+            }
+            // The select is dead when both data pins are the same
+            // constant. Report one of the two equal data blockers; the
+            // witness replay checks both implicitly via the graph cut.
+            0 => {
+                let d0 = consts[gate.pins[1].src.index()];
+                let d1 = consts[gate.pins[2].src.index()];
+                if let (Some(a), Some(b)) = (d0, d1) {
+                    if a == b {
+                        return Some(CodcBlock {
+                            conn,
+                            side: gate.pins[1].src,
+                            value: a,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Buf/Not/Xor/Xnor connections are never blocked: a constant sibling
+    // of an XOR merely inverts, it does not mask.
+    None
+}
+
+/// Runs the backward CODC pass over `net` given proved constants.
+/// Nodes whose fanout count exceeds `fanout_bound` are conservatively
+/// treated as observable (their cones are skipped).
+pub fn codc(net: &Network, consts: &[Option<bool>], fanout_bound: usize) -> Codc {
+    let n = net.num_gate_slots();
+    let fanouts = net.fanouts();
+    let mut is_po = vec![false; n];
+    for o in net.outputs() {
+        is_po[o.src.index()] = true;
+    }
+    let vals = fixpoint(
+        net,
+        Direction::Backward,
+        |g| Obs(is_po[g.index()] || fanouts[g.index()].len() > fanout_bound),
+        |g, frame: &Frame<'_, Obs>| {
+            if is_po[g.index()] || fanouts[g.index()].len() > fanout_bound {
+                return Obs(true);
+            }
+            let seen = fanouts[g.index()]
+                .iter()
+                .any(|&c| frame.get(c.gate).0 && blocker(net, consts, c).is_none());
+            Obs(seen)
+        },
+    );
+    let mut blocked = Vec::new();
+    for g in net.gate_ids() {
+        for &c in &fanouts[g.index()] {
+            if let Some(b) = blocker(net, consts, c) {
+                blocked.push(b);
+            }
+        }
+    }
+    Codc {
+        observable: vals.into_iter().map(|o| o.0).collect(),
+        blocked,
+    }
+}
+
+/// The structural fanout cone of `entry` (the entry gate included):
+/// every gate a fault effect entering at `entry` could possibly reach.
+/// The walk crosses blocked connections too — a block only suppresses
+/// the effect while its side input actually holds the masking value,
+/// which in-cone sides may fail to do in the faulty circuit.
+pub fn fanout_cone(net: &Network, fanouts: &[Vec<ConnRef>], entry: GateId) -> Vec<bool> {
+    let mut cone = vec![false; net.num_gate_slots()];
+    cone[entry.index()] = true;
+    let mut stack = vec![entry];
+    while let Some(g) = stack.pop() {
+        for &c in &fanouts[g.index()] {
+            if !cone[c.gate.index()] {
+                cone[c.gate.index()] = true;
+                stack.push(c.gate);
+            }
+        }
+    }
+    cone
+}
+
+/// Whether `b` masks faults entering at the cone's root: every gate the
+/// block relies on must lie outside `cone`. For a Mux select block the
+/// mask needs *both* data pins at their constants, so both must be
+/// checked, not just the reported side.
+pub fn block_cone_safe(net: &Network, cone: &[bool], b: &CodcBlock) -> bool {
+    let gate = net.gate(b.conn.gate);
+    if gate.kind == GateKind::Mux && b.conn.pin == 0 {
+        return !cone[gate.pins[1].src.index()] && !cone[gate.pins[2].src.index()];
+    }
+    !cone[b.side.index()]
+}
+
+/// Walks the fanout region of `entry`, accepting a connection as
+/// blocked only when its blocker passes [`block_cone_safe`]. Returns
+/// the blocked cut when the region reaches no primary output, `None`
+/// when it does or when the region exceeds `region_cap`. Every
+/// connection leaving the region is in the cut, so the cut separates
+/// `entry` from all primary outputs.
+pub fn cone_safe_cut(
+    net: &Network,
+    fanouts: &[Vec<ConnRef>],
+    consts: &[Option<bool>],
+    cone: &[bool],
+    is_po: &[bool],
+    entry: GateId,
+    region_cap: usize,
+) -> Option<Vec<CodcBlock>> {
+    let mut in_region = vec![false; net.num_gate_slots()];
+    in_region[entry.index()] = true;
+    let mut region = 1usize;
+    let mut stack = vec![entry];
+    let mut cut = Vec::new();
+    while let Some(g) = stack.pop() {
+        if is_po[g.index()] {
+            return None;
+        }
+        for &c in &fanouts[g.index()] {
+            match blocker(net, consts, c) {
+                Some(b) if block_cone_safe(net, cone, &b) => cut.push(b),
+                _ => {
+                    if !in_region[c.gate.index()] {
+                        in_region[c.gate.index()] = true;
+                        region += 1;
+                        if region > region_cap {
+                            return None;
+                        }
+                        stack.push(c.gate);
+                    }
+                }
+            }
+        }
+    }
+    cut.sort_by_key(|b| (b.conn.gate, b.conn.pin));
+    cut.dedup();
+    Some(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::Delay;
+
+    /// b is masked at the AND by a constant-0 sibling; its only path to
+    /// the output runs through that AND.
+    fn masked_net() -> (Network, GateId, GateId) {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let z = net.add_const(false);
+        let nb = net.add_gate(GateKind::Not, &[b], Delay::UNIT);
+        let m = net.add_gate(GateKind::And, &[nb, z], Delay::UNIT); // == 0
+        let o = net.add_gate(GateKind::Or, &[m, a], Delay::UNIT);
+        net.add_output("y", o);
+        (net, nb, m)
+    }
+
+    #[test]
+    fn constant_blocker_hides_cone() {
+        let (net, nb, m) = masked_net();
+        let mut consts = vec![None; net.num_gate_slots()];
+        for g in net.gate_ids() {
+            if let GateKind::Const(v) = net.gate(g).kind {
+                consts[g.index()] = Some(v);
+            }
+        }
+        let c = codc(&net, &consts, 64);
+        assert!(!c.observable[nb.index()], "nb is masked by the const-0");
+        assert!(c.observable[m.index()], "m itself feeds the OR unblocked");
+        let fanouts = net.fanouts();
+        let mut is_po = vec![false; net.num_gate_slots()];
+        for o in net.outputs() {
+            is_po[o.src.index()] = true;
+        }
+        let cone = fanout_cone(&net, &fanouts, nb);
+        let cut = cone_safe_cut(&net, &fanouts, &consts, &cone, &is_po, nb, 4096)
+            .expect("nb's region reaches no output");
+        assert_eq!(cut.len(), 1);
+        assert_eq!(cut[0].conn.gate, m);
+        assert!(!cut[0].value);
+    }
+
+    /// The trap shape: both blockers of the exit cut lie inside the
+    /// fault cone, so the cone-safe walk must refuse the cut.
+    #[test]
+    fn in_cone_blockers_rejected() {
+        let mut net = Network::new("trap");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let na = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let nb = net.add_gate(GateKind::Not, &[b], Delay::UNIT);
+        let n = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let p1 = net.add_gate(GateKind::And, &[n, na], Delay::UNIT);
+        let p2 = net.add_gate(GateKind::And, &[n, nb], Delay::UNIT);
+        let t = net.add_gate(GateKind::And, &[p1, p2], Delay::UNIT);
+        net.add_output("y", t);
+        let mut consts = vec![None; net.num_gate_slots()];
+        consts[p1.index()] = Some(false);
+        consts[p2.index()] = Some(false);
+        let fanouts = net.fanouts();
+        let mut is_po = vec![false; net.num_gate_slots()];
+        for o in net.outputs() {
+            is_po[o.src.index()] = true;
+        }
+        let cone = fanout_cone(&net, &fanouts, n);
+        assert!(
+            cone_safe_cut(&net, &fanouts, &consts, &cone, &is_po, n, 4096).is_none(),
+            "p1/p2 sit inside n's cone and may flip with the fault"
+        );
+    }
+
+    #[test]
+    fn fanout_bound_is_conservative() {
+        let (net, nb, _) = masked_net();
+        let mut consts = vec![None; net.num_gate_slots()];
+        for g in net.gate_ids() {
+            if let GateKind::Const(v) = net.gate(g).kind {
+                consts[g.index()] = Some(v);
+            }
+        }
+        let c = codc(&net, &consts, 0);
+        assert!(c.observable[nb.index()], "bound 0 disables the analysis");
+    }
+
+    #[test]
+    fn mux_select_blocks_dead_branch() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let one = net.add_const(true);
+        let m = net.add_gate(GateKind::Mux, &[one, a, b], Delay::UNIT); // == b
+        net.add_output("y", m);
+        let mut consts = vec![None; net.num_gate_slots()];
+        consts[one.index()] = Some(true);
+        let c = codc(&net, &consts, 64);
+        assert!(!c.observable[a.index()], "select=1 kills the d0 branch");
+        assert!(c.observable[b.index()]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Conditional good/faulty equivalence by alias propagation.
+//!
+//! The CODC cut rules prove a fault untestable by *blocking* its effect.
+//! The classic carry-skip redundancy (the paper's Table I) defeats them:
+//! under the fault's excitation condition the effect reaches a primary
+//! output along two reconvergent paths and *cancels* — the skip path and
+//! the ripple path compute the same value exactly when the skip
+//! condition holds. This module proves such faults untestable by pure
+//! structural propagation: evaluate the fault-free and faulty circuits
+//! symbolically under the excitation's consequences, reducing every node
+//! to a *representative* — a constant, or a (possibly negated) alias of
+//! a fault-free node outside the fault cone — and check that both copies
+//! reduce every primary output to the same representative.
+//!
+//! Soundness: on any input vector satisfying the excitation (and hence
+//! its consequences, the `knowns`), each representative denotes the
+//! node's actual value in its copy, because every reduction rule is a
+//! gate-function identity and out-of-cone nodes hold equal values in
+//! both copies. Equal representatives at every output therefore mean no
+//! vector detects the fault; vectors violating the excitation cannot
+//! excite it in the first place.
+
+use kms_analysis::FaultRef;
+use kms_netlist::{GateId, GateKind, Network};
+
+/// A node's value under the conditional assignment, reduced to a shared
+/// representative where possible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Repr {
+    /// A proved constant.
+    Const(bool),
+    /// The fault-free value of a gate, negated when the flag is set.
+    Alias(GateId, bool),
+    /// The faulty-circuit value of an in-cone gate (negated when the
+    /// flag is set): never equal to any fault-free representative.
+    Faulty(GateId, bool),
+    /// Not yet reduced (internal; normalized away before comparison).
+    Opaque,
+}
+
+fn negate(r: Repr) -> Repr {
+    match r {
+        Repr::Const(v) => Repr::Const(!v),
+        Repr::Alias(g, n) => Repr::Alias(g, !n),
+        Repr::Faulty(g, n) => Repr::Faulty(g, !n),
+        Repr::Opaque => Repr::Opaque,
+    }
+}
+
+/// AND/OR folding: `cv` is the controlling value (false for AND). Drops
+/// non-controlling constants, short-circuits on a controlling one, and
+/// reduces identical survivors (idempotence).
+fn fold_and_like(pins: &[Repr], cv: bool) -> Repr {
+    let mut survivor: Option<Repr> = None;
+    for &r in pins {
+        match r {
+            Repr::Const(v) if v == cv => return Repr::Const(cv),
+            Repr::Const(_) => {}
+            r => match survivor {
+                None => survivor = Some(r),
+                Some(s) if s == r => {}
+                Some(_) => return Repr::Opaque,
+            },
+        }
+    }
+    survivor.unwrap_or(Repr::Const(!cv))
+}
+
+/// XOR folding: constants accumulate into the parity, identical aliases
+/// cancel pairwise, complementary aliases cancel into the parity.
+fn fold_xor(pins: &[Repr]) -> Repr {
+    let mut parity = false;
+    let mut terms: Vec<Repr> = Vec::new();
+    for &r in pins {
+        match r {
+            Repr::Const(v) => parity ^= v,
+            Repr::Opaque => return Repr::Opaque,
+            r => {
+                if let Some(i) = terms.iter().position(|&t| t == r || t == negate(r)) {
+                    parity ^= terms[i] == negate(r);
+                    terms.swap_remove(i);
+                } else {
+                    terms.push(r);
+                }
+            }
+        }
+    }
+    match terms.len() {
+        0 => Repr::Const(parity),
+        1 => {
+            if parity {
+                negate(terms[0])
+            } else {
+                terms[0]
+            }
+        }
+        _ => Repr::Opaque,
+    }
+}
+
+/// Evaluates one gate over its pins' representatives. `Opaque` means
+/// the reduction rules do not apply; callers normalize.
+fn eval_kind(kind: GateKind, pins: &[Repr]) -> Repr {
+    match kind {
+        GateKind::Input => Repr::Opaque,
+        GateKind::Const(v) => Repr::Const(v),
+        GateKind::Buf => pins[0],
+        GateKind::Not => negate(pins[0]),
+        GateKind::And => fold_and_like(pins, false),
+        GateKind::Or => fold_and_like(pins, true),
+        GateKind::Nand => negate(fold_and_like(pins, false)),
+        GateKind::Nor => negate(fold_and_like(pins, true)),
+        GateKind::Xor => fold_xor(pins),
+        GateKind::Xnor => negate(fold_xor(pins)),
+        GateKind::Mux => {
+            let (sel, d0, d1) = (pins[0], pins[1], pins[2]);
+            match sel {
+                Repr::Const(false) => d0,
+                Repr::Const(true) => d1,
+                _ if d0 == d1 && d0 != Repr::Opaque => d0,
+                _ if d0 == Repr::Const(false) && d1 == Repr::Const(true) => sel,
+                _ if d0 == Repr::Const(true) && d1 == Repr::Const(false) => negate(sel),
+                _ => Repr::Opaque,
+            }
+        }
+    }
+}
+
+/// Checks by structural alias propagation that the fault-free and
+/// faulty circuits agree on every primary output under the fault's
+/// excitation condition. `cone` is the fault's structural fanout cone
+/// (from [`crate::codc::fanout_cone`] on the effect's entry gate),
+/// `knowns` are good-circuit literals implied by the excitation whose
+/// gates lie *outside* the cone — they hold in the faulty copy too. Any
+/// in-cone known is rejected (`false`): its faulty value may differ.
+///
+/// Purely structural and deterministic: the independent witness replay
+/// re-runs it after SAT-certifying the excitation's consequences.
+pub fn conditional_equiv(
+    net: &Network,
+    topo: &[GateId],
+    fault: FaultRef,
+    stuck: bool,
+    cone: &[bool],
+    knowns: &[(GateId, bool)],
+) -> bool {
+    let line_src = match fault {
+        FaultRef::Output(g) => g,
+        FaultRef::Conn(c) => net.pin(c).src,
+    };
+    let n = net.num_gate_slots();
+    let mut known_val: Vec<Option<bool>> = vec![None; n];
+    for &(g, v) in knowns {
+        if cone[g.index()] {
+            return false;
+        }
+        known_val[g.index()] = Some(v);
+    }
+    let mut good: Vec<Repr> = vec![Repr::Opaque; n];
+    let mut faulty: Vec<Repr> = vec![Repr::Opaque; n];
+    // A pin's representative is at worst the node itself.
+    let good_pin = |good: &[Repr], src: GateId| match good[src.index()] {
+        Repr::Opaque => Repr::Alias(src, false),
+        r => r,
+    };
+    for &g in topo {
+        let gate = net.gate(g);
+        // Fault-free copy, under the excitation and its consequences.
+        let gg = if let Some(v) = known_val[g.index()] {
+            Repr::Const(v)
+        } else if g == line_src {
+            Repr::Const(!stuck)
+        } else {
+            let pins: Vec<Repr> = gate.pins.iter().map(|p| good_pin(&good, p.src)).collect();
+            match eval_kind(gate.kind, &pins) {
+                Repr::Opaque => Repr::Alias(g, false),
+                r => r,
+            }
+        };
+        good[g.index()] = gg;
+        if !cone[g.index()] {
+            // Outside the cone the copies coincide.
+            faulty[g.index()] = gg;
+            continue;
+        }
+        // Faulty copy: the fault site takes the stuck value; a faulted
+        // connection injects it at the sink pin only.
+        if matches!(fault, FaultRef::Output(f) if f == g) {
+            faulty[g.index()] = Repr::Const(stuck);
+            continue;
+        }
+        let pins_f: Vec<Repr> = gate
+            .pins
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if matches!(fault, FaultRef::Conn(c) if c.gate == g && c.pin == i) {
+                    Repr::Const(stuck)
+                } else if cone[p.src.index()] {
+                    match faulty[p.src.index()] {
+                        Repr::Opaque => Repr::Faulty(p.src, false),
+                        r => r,
+                    }
+                } else {
+                    good_pin(&good, p.src)
+                }
+            })
+            .collect();
+        faulty[g.index()] = match eval_kind(gate.kind, &pins_f) {
+            Repr::Opaque => {
+                // Same function of the same values: the faulty node
+                // equals the fault-free one. (No pin is ever `Opaque`
+                // here — both accessors normalize — so elementwise
+                // equality is meaningful.)
+                let pins_g: Vec<Repr> = gate.pins.iter().map(|p| good_pin(&good, p.src)).collect();
+                if pins_f == pins_g {
+                    Repr::Alias(g, false)
+                } else {
+                    Repr::Faulty(g, false)
+                }
+            }
+            r => r,
+        };
+    }
+    net.outputs().iter().all(|o| {
+        let s = o.src;
+        !cone[s.index()]
+            || (faulty[s.index()] == good[s.index()]
+                && !matches!(faulty[s.index()], Repr::Faulty(..) | Repr::Opaque))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codc::fanout_cone;
+    use kms_netlist::Delay;
+
+    #[test]
+    fn reconvergent_cancellation_proved() {
+        // Miniature carry-skip: under excitation skip=1 (p=1), both the
+        // skip branch and the ripple branch of cout equal cin.
+        let mut net = Network::new("skip");
+        let p = net.add_input("p");
+        let cin = net.add_input("cin");
+        let skip = net.add_gate(GateKind::Buf, &[p], Delay::UNIT);
+        let nskip = net.add_gate(GateKind::Not, &[skip], Delay::UNIT);
+        let ripple = net.add_gate(GateKind::And, &[p, cin], Delay::UNIT);
+        let a = net.add_gate(GateKind::And, &[nskip, ripple], Delay::UNIT);
+        let b = net.add_gate(GateKind::And, &[skip, cin], Delay::UNIT);
+        let cout = net.add_gate(GateKind::Or, &[a, b], Delay::UNIT);
+        net.add_output("cout", cout);
+        let fanouts = net.fanouts();
+        let topo = net.topo_order();
+        let cone = fanout_cone(&net, &fanouts, skip);
+        // skip stuck-at-0, excitation skip=1 implies p=1 (out of cone).
+        assert!(conditional_equiv(
+            &net,
+            &topo,
+            FaultRef::Output(skip),
+            false,
+            &cone,
+            &[(p, true)],
+        ));
+        // Without the implied literal the ripple branch stays opaque.
+        assert!(!conditional_equiv(
+            &net,
+            &topo,
+            FaultRef::Output(skip),
+            false,
+            &cone,
+            &[],
+        ));
+    }
+
+    #[test]
+    fn trap_circuit_rejected() {
+        // The in-cone-blocker trap: the effect genuinely escapes.
+        let mut net = Network::new("trap");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let na = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let nb = net.add_gate(GateKind::Not, &[b], Delay::UNIT);
+        let x = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let p1 = net.add_gate(GateKind::And, &[x, na], Delay::UNIT);
+        let p2 = net.add_gate(GateKind::And, &[x, nb], Delay::UNIT);
+        let t = net.add_gate(GateKind::And, &[p1, p2], Delay::UNIT);
+        net.add_output("y", t);
+        let fanouts = net.fanouts();
+        let topo = net.topo_order();
+        let cone = fanout_cone(&net, &fanouts, x);
+        assert!(!conditional_equiv(
+            &net,
+            &topo,
+            FaultRef::Output(x),
+            true,
+            &cone,
+            &[],
+        ));
+    }
+
+    #[test]
+    fn in_cone_known_rejected() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let x = net.add_gate(GateKind::Buf, &[a], Delay::UNIT);
+        let y = net.add_gate(GateKind::Buf, &[x], Delay::UNIT);
+        net.add_output("o", y);
+        let fanouts = net.fanouts();
+        let topo = net.topo_order();
+        let cone = fanout_cone(&net, &fanouts, x);
+        assert!(!conditional_equiv(
+            &net,
+            &topo,
+            FaultRef::Output(x),
+            false,
+            &cone,
+            &[(y, true)],
+        ));
+    }
+}

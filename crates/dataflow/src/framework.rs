@@ -1,0 +1,156 @@
+//! The generic worklist fixpoint engine.
+//!
+//! A dataflow problem is a direction, an initial abstract value per gate,
+//! and a monotone transfer function. The engine seeds the worklist in
+//! dependency order (topological for forward problems, reverse for
+//! backward ones) so that on a DAG the first sweep already reaches the
+//! fixpoint; re-queued nodes only arise from the caller iterating the
+//! analysis under refined assumptions.
+
+use std::collections::VecDeque;
+
+use kms_netlist::{GateId, Network};
+
+use crate::lattice::Lattice;
+
+/// Which way information flows through the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// From inputs toward outputs: a gate's value is recomputed when a
+    /// fanin changes.
+    Forward,
+    /// From outputs toward inputs: a gate's value is recomputed when a
+    /// fanout changes.
+    Backward,
+}
+
+/// Read-only view of the current value assignment, handed to transfer
+/// functions.
+pub struct Frame<'a, L> {
+    vals: &'a [L],
+}
+
+impl<L: Lattice> Frame<'_, L> {
+    /// The current abstract value of gate `g`.
+    pub fn get(&self, g: GateId) -> L {
+        self.vals[g.index()]
+    }
+}
+
+/// Runs the worklist algorithm to a fixpoint and returns the final value
+/// per gate slot (dead slots keep their initial value).
+///
+/// `init` supplies the starting value of every live gate; `transfer`
+/// recomputes one gate's value from the current [`Frame`] and must be
+/// monotone (never move down the lattice as its inputs move up) — with a
+/// finite-height lattice that guarantees termination.
+pub fn fixpoint<L, I, T>(net: &Network, direction: Direction, init: I, mut transfer: T) -> Vec<L>
+where
+    L: Lattice,
+    I: Fn(GateId) -> L,
+    T: FnMut(GateId, &Frame<'_, L>) -> L,
+{
+    let n = net.num_gate_slots();
+    let topo = net.topo_order();
+    let fanouts = net.fanouts();
+
+    let mut vals: Vec<L> = vec![L::TOP; n];
+    for &g in &topo {
+        vals[g.index()] = init(g);
+    }
+
+    let mut queue: VecDeque<GateId> = match direction {
+        Direction::Forward => topo.iter().copied().collect(),
+        Direction::Backward => topo.iter().rev().copied().collect(),
+    };
+    let mut inq = vec![false; n];
+    for &g in &queue {
+        inq[g.index()] = true;
+    }
+
+    while let Some(g) = queue.pop_front() {
+        inq[g.index()] = false;
+        let new = transfer(g, &Frame { vals: &vals });
+        if new == vals[g.index()] {
+            continue;
+        }
+        vals[g.index()] = new;
+        // Requeue the dependents whose transfer reads `g`.
+        match direction {
+            Direction::Forward => {
+                for c in &fanouts[g.index()] {
+                    if !inq[c.gate.index()] {
+                        inq[c.gate.index()] = true;
+                        queue.push_back(c.gate);
+                    }
+                }
+            }
+            Direction::Backward => {
+                for p in &net.gate(g).pins {
+                    if !inq[p.src.index()] {
+                        inq[p.src.index()] = true;
+                        queue.push_back(p.src);
+                    }
+                }
+            }
+        }
+    }
+    vals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{Obs, Ternary};
+    use kms_netlist::{Delay, GateKind};
+
+    #[test]
+    fn forward_reaches_fixpoint_in_one_sweep() {
+        // const0 -> NOT -> AND(a, not) : the NOT output is definite 1.
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let z = net.add_const(false);
+        let nz = net.add_gate(GateKind::Not, &[z], Delay::UNIT);
+        let g = net.add_gate(GateKind::And, &[a, nz], Delay::UNIT);
+        net.add_output("y", g);
+        let vals = fixpoint(
+            &net,
+            Direction::Forward,
+            |id| match net.gate(id).kind {
+                GateKind::Const(b) => Ternary::known(b),
+                _ => Ternary::X,
+            },
+            |id, frame| match net.gate(id).kind {
+                GateKind::Not => frame.get(net.gate(id).pins[0].src).not(),
+                GateKind::Const(b) => Ternary::known(b),
+                _ => frame.get(id),
+            },
+        );
+        assert_eq!(vals[nz.index()], Ternary::One);
+    }
+
+    #[test]
+    fn backward_observability_marks_dangling_cone() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let g = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let dead_end = net.add_gate(GateKind::Not, &[g], Delay::UNIT);
+        net.add_output("y", g);
+        let fanouts = net.fanouts();
+        let mut is_po = vec![false; net.num_gate_slots()];
+        for o in net.outputs() {
+            is_po[o.src.index()] = true;
+        }
+        let vals = fixpoint(
+            &net,
+            Direction::Backward,
+            |id| Obs(is_po[id.index()]),
+            |id, frame| {
+                Obs(is_po[id.index()] || fanouts[id.index()].iter().any(|c| frame.get(c.gate).0))
+            },
+        );
+        assert!(vals[a.index()].0);
+        assert!(vals[g.index()].0);
+        assert!(!vals[dead_end.index()].0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Pluggable value lattices for the abstract-interpretation framework.
+//!
+//! An analysis instantiates [`Lattice`] with its abstract value domain and
+//! hands a monotone transfer function to [`crate::framework::fixpoint`].
+//! The two domains used by this crate are [`Ternary`] (forward constant
+//! propagation) and [`Obs`] (backward observability), but the framework is
+//! generic: any finite-height join-semilattice works.
+
+use std::fmt;
+
+/// A finite-height join-semilattice. `TOP` is the no-information element;
+/// [`Lattice::join`] computes the least upper bound. Transfer functions
+/// must be monotone with respect to the induced order for the worklist
+/// fixpoint to terminate.
+pub trait Lattice: Copy + Eq + fmt::Debug {
+    /// The no-information element.
+    const TOP: Self;
+
+    /// Least upper bound of two abstract values.
+    fn join(self, other: Self) -> Self;
+}
+
+/// The three-valued logic domain: definite 0, definite 1, or unknown.
+///
+/// Ordered as a flat lattice with [`Ternary::X`] on top: joining two
+/// disagreeing definite values loses the information.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ternary {
+    /// Definitely 0 under every concrete valuation considered.
+    Zero,
+    /// Definitely 1 under every concrete valuation considered.
+    One,
+    /// Unknown / both values possible.
+    X,
+}
+
+impl Ternary {
+    /// Lifts a concrete boolean into the domain.
+    pub fn known(v: bool) -> Ternary {
+        if v {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+
+    /// The definite value, if any.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Ternary::Zero => Some(false),
+            Ternary::One => Some(true),
+            Ternary::X => None,
+        }
+    }
+
+    /// Three-valued negation. An inherent method rather than
+    /// `std::ops::Not` so call sites work without a trait import.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Ternary {
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+}
+
+impl Lattice for Ternary {
+    const TOP: Self = Ternary::X;
+
+    fn join(self, other: Self) -> Self {
+        if self == other {
+            self
+        } else {
+            Ternary::X
+        }
+    }
+}
+
+impl fmt::Display for Ternary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Ternary::Zero => "0",
+            Ternary::One => "1",
+            Ternary::X => "X",
+        })
+    }
+}
+
+/// The backward observability domain: a node is either possibly
+/// observable at some primary output or proved unobservable.
+///
+/// `Obs(true)` ("may be observed") is the top element; the backward pass
+/// starts every non-output node at the bottom and joins in observability
+/// from its fanout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Obs(pub bool);
+
+impl Lattice for Obs {
+    const TOP: Self = Obs(true);
+
+    fn join(self, other: Self) -> Self {
+        Obs(self.0 || other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_join_is_flat() {
+        use Ternary::*;
+        assert_eq!(Zero.join(Zero), Zero);
+        assert_eq!(One.join(One), One);
+        assert_eq!(Zero.join(One), X);
+        assert_eq!(X.join(Zero), X);
+        assert_eq!(Ternary::TOP, X);
+    }
+
+    #[test]
+    fn ternary_not_and_lift() {
+        assert_eq!(Ternary::known(true), Ternary::One);
+        assert_eq!(Ternary::known(false).not(), Ternary::One);
+        assert_eq!(Ternary::X.not(), Ternary::X);
+        assert_eq!(Ternary::One.to_bool(), Some(true));
+        assert_eq!(Ternary::X.to_bool(), None);
+    }
+
+    #[test]
+    fn obs_join_is_or() {
+        assert_eq!(Obs(false).join(Obs(true)), Obs(true));
+        assert_eq!(Obs(false).join(Obs(false)), Obs(false));
+    }
+}

@@ -1,0 +1,231 @@
+//! Observability-equivalent node merging.
+//!
+//! SAT sweeping merges nodes that compute the *same function*. CODCs
+//! license a strictly larger merge class: node `m` may be replaced by
+//! `r` whenever they agree on every vector where `m` is observable —
+//! disagreements inside `m`'s don't-care set are free. Candidates are
+//! found with word-parallel simulation signatures filtered by backward
+//! observability-care words, and every candidate is confirmed by a full
+//! SAT miter of the rewritten network against the original, so the
+//! approximate care computation (which ignores reconvergent masking)
+//! never compromises soundness.
+
+use kms_netlist::transform::substitute_gate;
+use kms_netlist::{GateId, GateKind, Network};
+use kms_sat::check_equivalence;
+
+/// One confirmed observability merge: every consumer of `node` was
+/// rewired to `rep` and the network stayed equivalent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ObsMerge {
+    /// The merged (now dead) node.
+    pub node: GateId,
+    /// The surviving representative.
+    pub rep: GateId,
+    /// `true` when the sampled signatures differ somewhere — the merge
+    /// is justified by observability, not plain functional equivalence.
+    pub beyond_functional: bool,
+}
+
+/// The result of the merging pass.
+#[derive(Default)]
+pub struct ObsMergeResult {
+    /// Confirmed merges, in the order they were applied.
+    pub merges: Vec<ObsMerge>,
+    /// SAT miter confirmations attempted.
+    pub miter_checks: usize,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-slot sensitization word of connection `pin` of gate `sink` under
+/// node values `vals`: bit set where a value change on that pin is not
+/// masked by the sibling pins.
+fn sens_word(net: &Network, vals: &[u64], sink: GateId, pin: usize) -> u64 {
+    let gate = net.gate(sink);
+    match gate.kind {
+        GateKind::And | GateKind::Nand => gate
+            .pins
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pin)
+            .fold(!0u64, |acc, (_, p)| acc & vals[p.src.index()]),
+        GateKind::Or | GateKind::Nor => gate
+            .pins
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pin)
+            .fold(!0u64, |acc, (_, p)| acc & !vals[p.src.index()]),
+        GateKind::Mux => {
+            let sel = vals[gate.pins[0].src.index()];
+            match pin {
+                0 => vals[gate.pins[1].src.index()] ^ vals[gate.pins[2].src.index()],
+                1 => !sel,
+                2 => sel,
+                _ => 0,
+            }
+        }
+        // Buf/Not/Xor/Xnor propagate every change.
+        _ => !0u64,
+    }
+}
+
+/// Finds and applies observability merges on a working copy of `net`,
+/// returning the confirmed merges. `sim_words` controls the signature
+/// sample size, `max_miters` bounds the SAT confirmations; networks
+/// with more than `gate_cap` live gates are skipped entirely.
+pub fn observability_merges(
+    net: &Network,
+    seed: u64,
+    sim_words: usize,
+    max_miters: usize,
+    gate_cap: usize,
+) -> ObsMergeResult {
+    let mut out = ObsMergeResult::default();
+    let live: Vec<GateId> = net
+        .topo_order()
+        .into_iter()
+        .filter(|&g| !net.gate(g).is_dead())
+        .collect();
+    if live.len() > gate_cap {
+        return out;
+    }
+    let n = net.num_gate_slots();
+    let n_in = net.inputs().len();
+    let fanouts = net.fanouts();
+    let mut is_po = vec![false; n];
+    for o in net.outputs() {
+        is_po[o.src.index()] = true;
+    }
+    let mut topo_pos = vec![usize::MAX; n];
+    for (i, &g) in live.iter().enumerate() {
+        topo_pos[g.index()] = i;
+    }
+
+    // Signatures and observability-care words, one pair of vectors per
+    // simulated word.
+    let mut rng = seed ^ 0x6B6D_7364_6621_0001;
+    let mut sigs: Vec<Vec<u64>> = Vec::with_capacity(sim_words);
+    let mut cares: Vec<Vec<u64>> = Vec::with_capacity(sim_words);
+    for _ in 0..sim_words.max(1) {
+        let inputs: Vec<u64> = (0..n_in).map(|_| splitmix64(&mut rng)).collect();
+        let vals = net.node_words(&inputs);
+        let mut care = vec![0u64; n];
+        for &g in live.iter().rev() {
+            if is_po[g.index()] {
+                care[g.index()] = !0;
+            }
+            let mut w = care[g.index()];
+            for c in &fanouts[g.index()] {
+                w |= care[c.gate.index()] & sens_word(net, &vals, c.gate, c.pin);
+            }
+            care[g.index()] = w;
+        }
+        sigs.push(vals);
+        cares.push(care);
+    }
+
+    let mut working = net.clone();
+    const TRIES_PER_NODE: usize = 4;
+    for &m in &live {
+        if out.miter_checks >= max_miters {
+            break;
+        }
+        if !net.gate(m).kind.is_logic() || working.gate(m).is_dead() {
+            continue;
+        }
+        let mut tries = 0;
+        for &r in &live {
+            if topo_pos[r.index()] >= topo_pos[m.index()] || working.gate(r).is_dead() {
+                continue;
+            }
+            let compatible = (0..sigs.len())
+                .all(|w| (sigs[w][m.index()] ^ sigs[w][r.index()]) & cares[w][m.index()] == 0);
+            if !compatible {
+                continue;
+            }
+            let beyond_functional =
+                (0..sigs.len()).any(|w| sigs[w][m.index()] != sigs[w][r.index()]);
+            tries += 1;
+            out.miter_checks += 1;
+            let mut trial = working.clone();
+            substitute_gate(&mut trial, m, r);
+            if check_equivalence(net, &trial).is_equivalent() {
+                working = trial;
+                out.merges.push(ObsMerge {
+                    node: m,
+                    rep: r,
+                    beyond_functional,
+                });
+                break;
+            }
+            if tries >= TRIES_PER_NODE || out.miter_checks >= max_miters {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::Delay;
+
+    #[test]
+    fn functional_duplicates_merge() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let g2 = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let o = net.add_gate(GateKind::Or, &[g1, g2], Delay::UNIT);
+        net.add_output("y", o);
+        let r = observability_merges(&net, 7, 4, 32, 4096);
+        assert!(
+            r.merges
+                .iter()
+                .any(|m| (m.node == g2 && m.rep == g1) || (m.node == g1 && m.rep == g2)),
+            "expected the duplicate ANDs to merge, got {:?}",
+            r.merges
+        );
+    }
+
+    /// y = (a & b) | b: inside the OR, `a & b` is only observable when
+    /// b = 0, where it equals... 0 = b. So the AND can be replaced by b
+    /// (absorption) even though they differ as functions.
+    #[test]
+    fn observability_merge_beyond_function() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::And, &[a, b], Delay::UNIT);
+        let o = net.add_gate(GateKind::Or, &[g, b], Delay::UNIT);
+        net.add_output("y", o);
+        let r = observability_merges(&net, 7, 4, 32, 4096);
+        let hit = r.merges.iter().find(|m| m.node == g);
+        assert!(
+            hit.is_some(),
+            "expected the AND to merge, got {:?}",
+            r.merges
+        );
+        assert!(hit.unwrap().beyond_functional);
+    }
+
+    #[test]
+    fn gate_cap_skips_large_networks() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let g = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        net.add_output("y", g);
+        let r = observability_merges(&net, 7, 4, 32, 0);
+        assert!(r.merges.is_empty());
+        assert_eq!(r.miter_checks, 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Forward ternary constant propagation under input cofactoring.
+//!
+//! The base pass evaluates the network over the [`Ternary`] lattice with
+//! every input at `X`; a node that comes out definite is constant. The
+//! cofactor refinement then pins one input `i` to 0 and to 1 in turn: a
+//! node that evaluates to the *same definite value* in both cofactors is
+//! constant too (the two cofactors cover every input vector), even though
+//! the base pass sees `X`. Newly proved constants are pinned and the
+//! whole procedure iterates to an outer fixpoint.
+
+use kms_netlist::{GateId, GateKind, Network};
+
+use crate::framework::{fixpoint, Direction, Frame};
+use crate::lattice::Ternary;
+
+/// How a proved constant was derived; selects the witness kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConstOrigin {
+    /// Seeded from the base [`kms_analysis::StaticAnalysis`] (explicit
+    /// constant gate, SAT-sweep constant, or one-level learned fact).
+    Seed,
+    /// Derived by the all-`X` forward pass.
+    Ternary,
+    /// Derived by agreement of the two cofactors of the recorded input.
+    Cofactor(GateId),
+    /// Derived by refuting the opposite value with recursive learning.
+    Learned,
+}
+
+/// The result of the constant-propagation fixpoint: per-slot proved
+/// constants with their derivation origins.
+pub struct TernaryConsts {
+    /// Proved constant value per gate slot, `None` when undecided.
+    pub value: Vec<Option<bool>>,
+    /// Derivation origin, parallel to `value`.
+    pub origin: Vec<Option<ConstOrigin>>,
+    /// Outer refinement passes executed.
+    pub passes: usize,
+    /// Inputs actually cofactored (0 when the limit suppressed the pass).
+    pub cofactored_inputs: usize,
+}
+
+impl TernaryConsts {
+    /// Records an externally proved constant (used to fold in
+    /// recursive-learning results).
+    pub fn add(&mut self, g: GateId, value: bool, origin: ConstOrigin) {
+        if self.value[g.index()].is_none() {
+            self.value[g.index()] = Some(value);
+            self.origin[g.index()] = Some(origin);
+        }
+    }
+}
+
+/// Three-valued evaluation of one gate from its pin values.
+pub(crate) fn eval_gate3(kind: GateKind, pins: &[Ternary]) -> Ternary {
+    use Ternary::*;
+    let and_like = |invert: bool| {
+        let mut out = One;
+        for &p in pins {
+            match p {
+                Zero => {
+                    out = Zero;
+                    break;
+                }
+                X => out = X,
+                One => {}
+            }
+        }
+        if invert {
+            out.not()
+        } else {
+            out
+        }
+    };
+    let or_like = |invert: bool| {
+        let mut out = Zero;
+        for &p in pins {
+            match p {
+                One => {
+                    out = One;
+                    break;
+                }
+                X => out = X,
+                Zero => {}
+            }
+        }
+        if invert {
+            out.not()
+        } else {
+            out
+        }
+    };
+    match kind {
+        GateKind::Input => X,
+        GateKind::Const(b) => Ternary::known(b),
+        GateKind::Buf => pins[0],
+        GateKind::Not => pins[0].not(),
+        GateKind::And => and_like(false),
+        GateKind::Nand => and_like(true),
+        GateKind::Or => or_like(false),
+        GateKind::Nor => or_like(true),
+        GateKind::Xor | GateKind::Xnor => {
+            let mut parity = false;
+            for &p in pins {
+                match p.to_bool() {
+                    Some(v) => parity ^= v,
+                    None => return X,
+                }
+            }
+            Ternary::known(parity ^ (kind == GateKind::Xnor))
+        }
+        GateKind::Mux => match pins[0] {
+            Zero => pins[1],
+            One => pins[2],
+            X => {
+                if pins[1] == pins[2] {
+                    pins[1]
+                } else {
+                    X
+                }
+            }
+        },
+    }
+}
+
+/// One forward evaluation of the whole network with `known` constants
+/// pinned and, optionally, input `pin.0` cofactored to `pin.1`.
+fn forward_eval(
+    net: &Network,
+    known: &[Option<bool>],
+    pin: Option<(GateId, bool)>,
+) -> Vec<Ternary> {
+    let init = |g: GateId| {
+        if let Some(v) = known[g.index()] {
+            return Ternary::known(v);
+        }
+        if let Some((p, v)) = pin {
+            if p == g {
+                return Ternary::known(v);
+            }
+        }
+        match net.gate(g).kind {
+            GateKind::Const(b) => Ternary::known(b),
+            _ => Ternary::X,
+        }
+    };
+    fixpoint(
+        net,
+        Direction::Forward,
+        init,
+        |g, frame: &Frame<'_, Ternary>| {
+            // Pinned constants and sources keep their initial value; the
+            // pin set is sound, so evaluation can only agree or refine.
+            if known[g.index()].is_some() {
+                return frame.get(g);
+            }
+            let gate = net.gate(g);
+            if gate.kind.is_source() {
+                return frame.get(g);
+            }
+            if let Some((p, _)) = pin {
+                if p == g {
+                    return frame.get(g);
+                }
+            }
+            let pins: Vec<Ternary> = gate.pins.iter().map(|p| frame.get(p.src)).collect();
+            eval_gate3(gate.kind, &pins)
+        },
+    )
+}
+
+/// Runs the constant-propagation fixpoint. `seed` supplies already-proved
+/// constants per slot; `cofactor_input_limit` suppresses the cofactor
+/// refinement on networks with more inputs than the bound (the base pass
+/// always runs).
+pub fn ternary_constants(
+    net: &Network,
+    seed: &[Option<bool>],
+    cofactor_input_limit: usize,
+) -> TernaryConsts {
+    let mut out = TernaryConsts {
+        value: seed.to_vec(),
+        origin: seed.iter().map(|v| v.map(|_| ConstOrigin::Seed)).collect(),
+        passes: 0,
+        cofactored_inputs: 0,
+    };
+    let cofactor = net.inputs().len() <= cofactor_input_limit;
+    if cofactor {
+        out.cofactored_inputs = net.inputs().len();
+    }
+    // The outer loop terminates because each pass either proves a new
+    // constant (at most one per slot) or stops; the cap is belt and
+    // braces against a pathological network.
+    const MAX_PASSES: usize = 8;
+    loop {
+        out.passes += 1;
+        let mut changed = false;
+        let vals = forward_eval(net, &out.value, None);
+        for g in net.gate_ids() {
+            if out.value[g.index()].is_none() {
+                if let Some(v) = vals[g.index()].to_bool() {
+                    out.value[g.index()] = Some(v);
+                    out.origin[g.index()] = Some(ConstOrigin::Ternary);
+                    changed = true;
+                }
+            }
+        }
+        if cofactor {
+            for &input in net.inputs() {
+                let lo = forward_eval(net, &out.value, Some((input, false)));
+                let hi = forward_eval(net, &out.value, Some((input, true)));
+                for g in net.gate_ids() {
+                    if g == input || out.value[g.index()].is_some() {
+                        continue;
+                    }
+                    if let (Some(a), Some(b)) = (lo[g.index()].to_bool(), hi[g.index()].to_bool()) {
+                        if a == b {
+                            out.value[g.index()] = Some(a);
+                            out.origin[g.index()] = Some(ConstOrigin::Cofactor(input));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed || out.passes >= MAX_PASSES {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kms_netlist::Delay;
+
+    #[test]
+    fn base_pass_finds_propagated_constants() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let z = net.add_const(false);
+        let g = net.add_gate(GateKind::And, &[a, z], Delay::UNIT); // == 0
+        let o = net.add_gate(GateKind::Or, &[g, a], Delay::UNIT); // == a
+        net.add_output("y", o);
+        let seed = vec![None; net.num_gate_slots()];
+        let c = ternary_constants(&net, &seed, 64);
+        assert_eq!(c.value[g.index()], Some(false));
+        assert_eq!(c.origin[g.index()], Some(ConstOrigin::Ternary));
+        assert_eq!(c.value[o.index()], None);
+    }
+
+    #[test]
+    fn cofactor_agreement_proves_tautology() {
+        // a OR !a is 1 in both cofactors of a, invisible to the base pass.
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let na = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let taut = net.add_gate(GateKind::Or, &[a, na], Delay::UNIT);
+        net.add_output("y", taut);
+        let seed = vec![None; net.num_gate_slots()];
+        let c = ternary_constants(&net, &seed, 64);
+        assert_eq!(c.value[taut.index()], Some(true));
+        assert_eq!(c.origin[taut.index()], Some(ConstOrigin::Cofactor(a)));
+    }
+
+    #[test]
+    fn cofactor_constants_feed_the_next_pass() {
+        // taut = a | !a == 1; masked = AND(b, taut) == b; dead = NOR(taut, c)
+        // == 0 needs taut's constant pinned first.
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c_in = net.add_input("c");
+        let na = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let taut = net.add_gate(GateKind::Or, &[a, na], Delay::UNIT);
+        let dead = net.add_gate(GateKind::Nor, &[taut, c_in], Delay::UNIT);
+        let o = net.add_gate(GateKind::Or, &[dead, b], Delay::UNIT);
+        net.add_output("y", o);
+        let seed = vec![None; net.num_gate_slots()];
+        let c = ternary_constants(&net, &seed, 64);
+        assert_eq!(c.value[taut.index()], Some(true));
+        assert_eq!(c.value[dead.index()], Some(false));
+        assert!(c.passes >= 2);
+    }
+
+    #[test]
+    fn input_limit_suppresses_cofactoring() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let na = net.add_gate(GateKind::Not, &[a], Delay::UNIT);
+        let taut = net.add_gate(GateKind::Or, &[a, na], Delay::UNIT);
+        net.add_output("y", taut);
+        let seed = vec![None; net.num_gate_slots()];
+        let c = ternary_constants(&net, &seed, 0);
+        assert_eq!(c.value[taut.index()], None);
+        assert_eq!(c.cofactored_inputs, 0);
+    }
+
+    #[test]
+    fn eval_gate3_covers_complex_kinds() {
+        use Ternary::*;
+        assert_eq!(eval_gate3(GateKind::Xor, &[One, One]), Zero);
+        assert_eq!(eval_gate3(GateKind::Xor, &[One, X]), X);
+        assert_eq!(eval_gate3(GateKind::Xnor, &[One, Zero]), Zero);
+        assert_eq!(eval_gate3(GateKind::Mux, &[X, One, One]), One);
+        assert_eq!(eval_gate3(GateKind::Mux, &[Zero, One, Zero]), One);
+        assert_eq!(eval_gate3(GateKind::Nand, &[Zero, X]), One);
+        assert_eq!(eval_gate3(GateKind::Nor, &[X, Zero]), X);
+    }
+}

@@ -54,6 +54,14 @@ pub enum CheckId {
     /// Live logic gate proved to compute a constant function (semantic
     /// tier, `kms-analysis`).
     ConstantNode,
+    /// Gate carrying a stuck-at fault the dataflow pass proves untestable
+    /// where the implication tier cannot (dataflow tier, `kms-dataflow`:
+    /// ternary/cofactor constants, CODC cuts, recursive learning).
+    DataflowUntestable,
+    /// Live logic gate with no unblocked path to any primary output:
+    /// every route is cut by a proved-constant controlling side input
+    /// (dataflow tier, `kms-dataflow`).
+    CodcUnobservable,
 }
 
 /// Which analysis family a check belongs to.
@@ -68,6 +76,10 @@ pub enum Tier {
     Structural,
     /// Function-level facts proved by `kms-analysis`.
     Semantic,
+    /// Don't-care facts proved by `kms-dataflow` (ternary abstract
+    /// interpretation, CODCs, recursive learning) on top of the semantic
+    /// pass.
+    Dataflow,
 }
 
 impl fmt::Display for Tier {
@@ -75,14 +87,15 @@ impl fmt::Display for Tier {
         f.write_str(match self {
             Tier::Structural => "structural",
             Tier::Semantic => "semantic",
+            Tier::Dataflow => "dataflow",
         })
     }
 }
 
 impl CheckId {
     /// Every check, in execution order (structural errors first, then the
-    /// semantic tier).
-    pub const ALL: [CheckId; 12] = [
+    /// semantic tier, then the dataflow tier).
+    pub const ALL: [CheckId; 14] = [
         CheckId::Cycle,
         CheckId::Undriven,
         CheckId::Arity,
@@ -95,6 +108,8 @@ impl CheckId {
         CheckId::RedundantNode,
         CheckId::EquivalentNodePair,
         CheckId::ConstantNode,
+        CheckId::DataflowUntestable,
+        CheckId::CodcUnobservable,
     ];
 
     /// The stable string id, e.g. `"duplicate-name"`.
@@ -112,6 +127,8 @@ impl CheckId {
             CheckId::RedundantNode => "redundant-node",
             CheckId::EquivalentNodePair => "equivalent-node-pair",
             CheckId::ConstantNode => "constant-node",
+            CheckId::DataflowUntestable => "dataflow-untestable",
+            CheckId::CodcUnobservable => "codc-unobservable",
         }
     }
 
@@ -126,6 +143,7 @@ impl CheckId {
             CheckId::RedundantNode | CheckId::EquivalentNodePair | CheckId::ConstantNode => {
                 Tier::Semantic
             }
+            CheckId::DataflowUntestable | CheckId::CodcUnobservable => Tier::Dataflow,
             _ => Tier::Structural,
         }
     }
@@ -145,6 +163,12 @@ impl CheckId {
             CheckId::RedundantNode => "gate with a statically-proved-untestable stuck-at fault",
             CheckId::EquivalentNodePair => "two gates proved functionally equivalent or antivalent",
             CheckId::ConstantNode => "live logic gate proved to compute a constant",
+            CheckId::DataflowUntestable => {
+                "stuck-at fault proved untestable by the dataflow pass alone"
+            }
+            CheckId::CodcUnobservable => {
+                "gate whose every output path is blocked by a proved constant"
+            }
         }
     }
 }

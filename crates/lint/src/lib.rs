@@ -24,11 +24,16 @@
 //! | `redundant-node` | semantic | allow | gate with a statically-proved-untestable stuck-at fault |
 //! | `equivalent-node-pair` | semantic | allow | two gates proved equivalent/antivalent (`kms-analysis`) |
 //! | `constant-node` | semantic | allow | live logic gate proved constant over all inputs |
+//! | `dataflow-untestable` | dataflow | allow | stuck-at fault only the `kms-dataflow` pass proves untestable |
+//! | `codc-unobservable` | dataflow | allow | gate whose every output path is blocked by a proved constant |
 //!
 //! The *structural* tier reads the graph only; the *semantic* tier runs
 //! the `kms-analysis` pass (structural hashing, SAT sweeping, implication
 //! learning) and can therefore invoke a SAT solver — it is allow-by-default
-//! and opt-in per check (`--warn redundant-node` on the CLI).
+//! and opt-in per check (`--warn redundant-node` on the CLI). The
+//! *dataflow* tier additionally runs the `kms-dataflow` pass (ternary
+//! abstract interpretation, CODCs, recursive learning) on top of the
+//! semantic analysis and reports only facts the semantic tier misses.
 //!
 //! # Example
 //!
@@ -133,15 +138,34 @@ pub fn lint_network(net: &Network, config: &LintConfig) -> LintReport {
             Level::Deny => Severity::Error,
             _ => Severity::Warning,
         };
-        if check.tier() == Tier::Semantic {
-            // Deferred: the semantic checks share one analysis pass.
+        if check.tier() != Tier::Structural {
+            // Deferred: the semantic and dataflow checks share one
+            // analysis pass.
             semantic.push((check, severity));
         } else {
             checks::run_check(net, check, severity, &mut diagnostics);
         }
     }
     checks::run_semantic_checks(net, &semantic, &mut diagnostics);
-    diagnostics.sort_by_key(|d| (d.severity != Severity::Error, d.check as u8, d.site));
+    // Total order: checks can emit several diagnostics at the same site
+    // (e.g. both stuck-at values of one gate), so the message text is the
+    // final tie-break — without it the order within a site would be
+    // whatever emission order the check used, and JSON output would not
+    // be reproducible across refactors of the check internals.
+    diagnostics.sort_by(|a, b| {
+        (
+            a.severity != Severity::Error,
+            a.check as u8,
+            a.site,
+            &a.message,
+        )
+            .cmp(&(
+                b.severity != Severity::Error,
+                b.check as u8,
+                b.site,
+                &b.message,
+            ))
+    });
     LintReport { diagnostics }
 }
 

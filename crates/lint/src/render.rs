@@ -3,11 +3,14 @@
 //! The JSON writer is hand-rolled (the workspace has no serde); the schema
 //! is intentionally small and stable, and versioned since the semantic
 //! check tier landed (`schema_version` 1 was the same shape without the
-//! version and `tier` fields):
+//! version and `tier` fields; 2 added them; 3 added the dataflow check
+//! tier — `"tier": "dataflow"` and the `dataflow-untestable` /
+//! `codc-unobservable` check ids — and made the diagnostic order a total
+//! order by breaking site ties on the message text):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "network": "<model name>",
 //!   "errors": 1,
 //!   "warnings": 2,
@@ -48,7 +51,7 @@ pub(crate) fn render_text(report: &LintReport) -> String {
 pub fn render_json(report: &LintReport, network_name: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema_version\": 2,\n");
+    s.push_str("  \"schema_version\": 3,\n");
     let _ = writeln!(s, "  \"network\": {},", json_string(network_name));
     let _ = writeln!(s, "  \"errors\": {},", report.error_count());
     let _ = writeln!(s, "  \"warnings\": {},", report.warning_count());
@@ -131,7 +134,7 @@ mod tests {
     #[test]
     fn json_escapes_and_structures() {
         let json = render_json(&sample_report(), "c17");
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"network\": \"c17\""));
         assert!(json.contains("\"check\": \"undriven\""));
         assert!(json.contains("\"tier\": \"structural\""));
@@ -154,6 +157,22 @@ mod tests {
         let json = render_json(&report, "n");
         assert!(json.contains("\"check\": \"constant-node\""));
         assert!(json.contains("\"tier\": \"semantic\""));
+    }
+
+    #[test]
+    fn json_dataflow_tier_field() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                severity: Severity::Warning,
+                check: CheckId::CodcUnobservable,
+                site: Site::Network,
+                message: "m".into(),
+                suggestion: None,
+            }],
+        };
+        let json = render_json(&report, "n");
+        assert!(json.contains("\"check\": \"codc-unobservable\""));
+        assert!(json.contains("\"tier\": \"dataflow\""));
     }
 
     #[test]

@@ -63,6 +63,8 @@ struct Watcher {
 /// Solver statistics, useful for benchmarking.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct Stats {
+    /// Number of `solve`/`solve_with` calls answered.
+    pub sat_calls: u64,
     /// Number of conflicts encountered.
     pub conflicts: u64,
     /// Number of branching decisions made.
@@ -97,6 +99,7 @@ impl Stats {
     /// Accumulates another solver's counters into this one (used to
     /// aggregate per-worker solvers into a per-phase total).
     pub fn merge(&mut self, other: &Stats) {
+        self.sat_calls += other.sat_calls;
         self.conflicts += other.conflicts;
         self.decisions += other.decisions;
         self.propagations += other.propagations;
@@ -113,10 +116,12 @@ impl Stats {
     /// JSON object rendering (no trailing newline) for report surfaces.
     pub fn render_json(&self) -> String {
         format!(
-            "{{\"conflicts\": {}, \"decisions\": {}, \"propagations\": {}, \
+            "{{\"sat_calls\": {}, \"conflicts\": {}, \"decisions\": {}, \
+             \"propagations\": {}, \
              \"restarts\": {}, \"learnts\": {}, \"learned_total\": {}, \
              \"deleted_total\": {}, \"minimized_lits\": {}, \"lbd_sum\": {}, \
              \"arena_gc\": {}, \"blocker_hits\": {}}}",
+            self.sat_calls,
             self.conflicts,
             self.decisions,
             self.propagations,
@@ -310,6 +315,16 @@ impl Solver {
                 true
             }
         }
+    }
+
+    /// Adds the binary clause encoding the implication `a -> b`
+    /// (i.e. `!a \/ b`). Convenience for axiom seeding: statically
+    /// learned implications over circuit nodes are valid in every model,
+    /// so adding them to a query formula never changes its verdict, only
+    /// prunes the search. Same level-0 contract as
+    /// [`Solver::add_clause`].
+    pub fn add_implication(&mut self, a: Lit, b: Lit) -> bool {
+        self.add_clause(&[!a, b])
     }
 
     /// Allocates `lits` in the arena and installs its two watchers. The
@@ -731,6 +746,7 @@ impl Solver {
     ///
     /// Panics if any assumption references an unallocated variable.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.stats.sat_calls += 1;
         self.conflict_core.clear();
         if !self.ok {
             return SatResult::Unsat;
@@ -926,6 +942,18 @@ mod tests {
         assert_eq!(s.model_value(a.positive()), Some(true));
         assert!(!s.add_clause(&[a.negative()]));
         assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn add_implication_is_binary_clause() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_implication(a.positive(), b.positive()));
+        assert!(s.add_clause(&[a.positive()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.model_value(b.positive()), Some(true));
+        assert_eq!(s.solve_with(&[b.negative()]), SatResult::Unsat);
     }
 
     #[test]

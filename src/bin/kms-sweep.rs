@@ -16,12 +16,17 @@
 //!       --certify             re-derive every sweep claim as an UNSAT query,
 //!                             log a DRAT proof, and re-check it with the
 //!                             independent checker; print the merged ledger
+//!       --dataflow            additionally run the kms-dataflow pass
+//!                             (ternary/cofactor constants, CODCs, recursive
+//!                             learning), print its report, and apply
+//!                             SAT-confirmed observability-equivalent merges
 //!   -q, --quiet               suppress output; just set the exit code
 //! ```
 //!
 //! Exit status: 0 when no file has findings, 1 when any file has statically
 //! proved redundancies or a `--certify` proof fails to check, 2 on usage
-//! errors or when any file fails to read or parse.
+//! errors or when any file fails to read or parse. Under `--dataflow` the
+//! dataflow tier's extra proofs count as findings too.
 //!
 //! [`StaticRedundancyReport`]: kms::analysis::StaticRedundancyReport
 
@@ -30,6 +35,7 @@ use std::io::Read as _;
 use kms::analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
 use kms::atpg::{collapsed_faults, FaultSite};
 use kms::blif::{parse_blif, parse_iscas};
+use kms::dataflow::{observability_merges, DataflowAnalysis, DataflowOptions};
 use kms::proof::CertificationReport;
 
 struct Args {
@@ -37,6 +43,7 @@ struct Args {
     json: bool,
     iscas: bool,
     opts: AnalysisOptions,
+    dataflow: bool,
     quiet: bool,
 }
 
@@ -46,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         iscas: false,
         opts: AnalysisOptions::default(),
+        dataflow: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -62,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-sat-sweep" => args.opts.sat_sweep = false,
             "--no-learning" => args.opts.static_learning = false,
             "--certify" => args.opts.certify = true,
+            "--dataflow" => args.dataflow = true,
             "--seed" => {
                 args.opts.seed = it
                     .next()
@@ -72,7 +81,8 @@ fn parse_args() -> Result<Args, String> {
             "-h" | "--help" => {
                 eprintln!(
                     "usage: kms-sweep [-f text|json] [--iscas] [--no-sat-sweep] \
-                     [--no-learning] [--seed N] [--certify] [-q] <file.blif | ->..."
+                     [--no-learning] [--seed N] [--certify] [--dataflow] [-q] \
+                     <file.blif | ->..."
                 );
                 std::process::exit(0);
             }
@@ -124,16 +134,39 @@ fn sweep_file(
         .collect();
     let analysis = StaticAnalysis::build(&net, &args.opts);
     let report = analysis.report(&faults);
-    let rendered = if args.json {
+    let mut rendered = if args.json {
         report.render_json()
     } else {
         report.render_text()
     };
-    Ok((
-        rendered,
-        report.proved_count(),
-        analysis.certification().cloned(),
-    ))
+    let mut proved = report.proved_count();
+    if args.dataflow {
+        let df = DataflowAnalysis::build(&net, &analysis, &DataflowOptions::default());
+        let df_report = df.report(&analysis, &faults);
+        proved += df_report.beyond_implic;
+        let merges = observability_merges(&net, args.opts.seed, 8, 64, 4096);
+        let beyond = merges.merges.iter().filter(|m| m.beyond_functional).count();
+        if args.json {
+            rendered.push_str(&df_report.render_json());
+            rendered.push_str(&format!(
+                "{{\"dataflow_merges\": {}, \"beyond_functional\": {}, \
+                 \"miter_checks\": {}}}\n",
+                merges.merges.len(),
+                beyond,
+                merges.miter_checks
+            ));
+        } else {
+            rendered.push_str(&df_report.render_text());
+            rendered.push_str(&format!(
+                "observability merges: {} node(s) merged ({} beyond functional \
+                 equivalence, {} miter checks)\n",
+                merges.merges.len(),
+                beyond,
+                merges.miter_checks
+            ));
+        }
+    }
+    Ok((rendered, proved, analysis.certification().cloned()))
 }
 
 fn main() {

@@ -13,6 +13,9 @@
 //!   -j, --jobs <N>          use the shared-CNF classification engine with
 //!                           N worker threads (0 = all cores) for the
 //!                           removal phase
+//!       --no-dataflow       with --jobs: drop the dataflow tier from the
+//!                           static prescreen (implication tier only); the
+//!                           result is bit-identical, only slower or faster
 //!       --certify           log a DRAT proof for every UNSAT verdict the
 //!                           run depends on and re-check each with the
 //!                           independent proof checker
@@ -41,6 +44,7 @@ struct Args {
     condition: Condition,
     arrivals: Vec<(String, i64)>,
     jobs: Option<usize>,
+    no_dataflow: bool,
     certify: bool,
     json: bool,
     quiet: bool,
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         condition: Condition::StaticSensitization,
         arrivals: Vec::new(),
         jobs: None,
+        no_dataflow: false,
         certify: false,
         json: false,
         quiet: false,
@@ -88,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
                 let n = it.next().ok_or("missing value for --jobs")?;
                 args.jobs = Some(n.parse().map_err(|_| format!("bad job count {n:?}"))?);
             }
+            "--no-dataflow" => args.no_dataflow = true,
             "--certify" => args.certify = true,
             "-f" | "--format" => {
                 args.json = match it.next().as_deref() {
@@ -98,7 +104,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => {
-                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-j N] [--certify] [-f text|json] <input.blif | ->");
+                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-j N] [--no-dataflow] [--certify] [-f text|json] <input.blif | ->");
                 std::process::exit(0);
             }
             other if args.input.is_empty() => args.input = other.to_string(),
@@ -152,6 +158,7 @@ fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
     let engine = match args.jobs {
         Some(jobs) => kms::atpg::Engine::SharedSat(kms::atpg::ParallelOptions {
             jobs,
+            prescreen_dataflow: !args.no_dataflow,
             ..Default::default()
         }),
         None => kms::atpg::Engine::Sat,
