@@ -11,9 +11,7 @@
 //! first mapped through the representative table, so one topological pass
 //! reaches the same fixpoint the mutating transform needs a loop for.
 
-use std::collections::HashMap;
-
-use kms_netlist::{Delay, GateId, GateKind, Network, Pin};
+use kms_netlist::{Delay, FxHashMap, GateId, GateKind, Network, Pin};
 
 /// The result of structurally hashing a network.
 #[derive(Clone, Debug)]
@@ -33,7 +31,9 @@ impl StrashTable {
         let n = net.num_gate_slots();
         let mut rep: Vec<GateId> = (0..n).map(GateId::from_index).collect();
         let mut duplicates = Vec::new();
-        let mut table: HashMap<(GateKind, Delay, Vec<Pin>), GateId> = HashMap::new();
+        // FxHash: one lookup per live gate per build, with no adversarial
+        // keys to guard against — hashing speed is all that matters here.
+        let mut table: FxHashMap<(GateKind, Delay, Vec<Pin>), GateId> = FxHashMap::default();
         for id in net.topo_order() {
             let g = net.gate(id);
             if g.kind.is_source() {

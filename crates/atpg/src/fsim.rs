@@ -5,7 +5,7 @@
 //! reports which faults each test set detects. Used to validate ATPG test
 //! sets and to grade fault coverage in the benchmark harness.
 
-use kms_netlist::Network;
+use kms_netlist::{Network, Topology};
 
 use crate::fault::Fault;
 #[cfg(test)]
@@ -113,6 +113,19 @@ fn fault_simulate_reference(
 /// trade. The report is identical to [`fault_simulate`]'s: same
 /// first-detecting-test indices, batch by batch, output by output.
 pub fn fault_simulate_cone(net: &Network, faults: &[Fault], tests: &[Vec<bool>]) -> CoverageReport {
+    fault_simulate_cone_with(net, &Topology::build(net), faults, tests)
+}
+
+/// As [`fault_simulate_cone`], against a caller-held [`Topology`] cache so
+/// repeated calls on an unchanged network stop paying for a fresh fanout
+/// table and Kahn pass each time (the drop cascade of the classification
+/// engine calls this once per committed batch).
+pub fn fault_simulate_cone_with(
+    net: &Network,
+    topo: &Topology,
+    faults: &[Fault],
+    tests: &[Vec<bool>],
+) -> CoverageReport {
     use crate::fault::FaultSite;
     use kms_netlist::GateKind;
 
@@ -137,13 +150,6 @@ pub fn fault_simulate_cone(net: &Network, faults: &[Fault], tests: &[Vec<bool>])
         .iter()
         .map(|(_, words)| net.node_words(words))
         .collect();
-    let fanouts = net.fanouts();
-    let topo = net.topo_order();
-    let mut topo_pos = vec![usize::MAX; net.num_gate_slots()];
-    for (i, &g) in topo.iter().enumerate() {
-        topo_pos[g.index()] = i;
-    }
-
     let slots = net.num_gate_slots();
     let mut in_tfo = vec![false; slots];
     let mut faulty = vec![0u64; slots];
@@ -161,11 +167,11 @@ pub fn fault_simulate_cone(net: &Network, faults: &[Fault], tests: &[Vec<bool>])
             }
             in_tfo[g.index()] = true;
             cone.push(g);
-            for c in &fanouts[g.index()] {
+            for c in topo.fanouts(g) {
                 stack.push(c.gate);
             }
         }
-        cone.sort_by_key(|g| topo_pos[g.index()]);
+        cone.sort_by_key(|&g| topo.pos(g));
         let observed: Vec<usize> = net
             .outputs()
             .iter()
@@ -229,6 +235,218 @@ pub fn fault_simulate_cone(net: &Network, faults: &[Fault], tests: &[Vec<bool>])
     CoverageReport { detected_by }
 }
 
+/// One 64-pattern batch of a [`ConeSim`]: packed input words plus the
+/// cached good-circuit node words for those patterns. `good` is refreshed
+/// lazily — `dirty` marks a batch whose words changed since the last
+/// simulation, so a burst of pushes costs one re-simulation at the next
+/// query instead of one per vector.
+struct ConeSimBatch {
+    start: usize,
+    words: Vec<u64>,
+    good: Vec<u64>,
+    dirty: bool,
+}
+
+/// Incremental single-fault drop checker over a growing test set.
+///
+/// [`fault_simulate_cone_with`] re-packs the tests and re-simulates the
+/// good circuit on **every call**, which is the right amortization for one
+/// batched call over thousands of faults but a poor one for the drop
+/// cascade's access pattern: one fault at a time against a vector set that
+/// only ever grows by appending. `ConeSim` keeps the packed words and the
+/// good-circuit node values cached, so [`ConeSim::push`] costs one
+/// single-word batch re-simulation and [`ConeSim::first_detecting`] is a
+/// pure faulty-cone walk with no allocation.
+///
+/// `first_detecting` reports exactly what [`fault_simulate_cone_with`]
+/// would report for the pushed vectors in push order — same batch
+/// boundaries, same output scan order — so swapping a call site over never
+/// changes which vector a drop is credited to.
+pub struct ConeSim<'n> {
+    net: &'n Network,
+    topo: &'n Topology,
+    tests: Vec<Vec<bool>>,
+    batches: Vec<ConeSimBatch>,
+    in_tfo: Vec<bool>,
+    faulty: Vec<u64>,
+    cone: Vec<kms_netlist::GateId>,
+    stack: Vec<kms_netlist::GateId>,
+    pin_buf: Vec<u64>,
+}
+
+impl<'n> ConeSim<'n> {
+    /// An empty checker for `net` against a caller-held topology cache.
+    pub fn new(net: &'n Network, topo: &'n Topology) -> ConeSim<'n> {
+        let slots = net.num_gate_slots();
+        ConeSim {
+            net,
+            topo,
+            tests: Vec::new(),
+            batches: Vec::new(),
+            in_tfo: vec![false; slots],
+            faulty: vec![0u64; slots],
+            cone: Vec::new(),
+            stack: Vec::new(),
+            pin_buf: Vec::new(),
+        }
+    }
+
+    /// Number of vectors pushed so far.
+    pub fn len(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Whether any vector has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// The `i`-th pushed vector.
+    pub fn test(&self, i: usize) -> &[bool] {
+        &self.tests[i]
+    }
+
+    /// Appends one test vector, extending the current 64-pattern batch (or
+    /// opening a new one). The batch's good values are refreshed lazily at
+    /// the next [`ConeSim::first_detecting`] call, so a push is just the
+    /// bit-packing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's width differs from the input count.
+    pub fn push(&mut self, test: &[bool]) {
+        let n = self.net.inputs().len();
+        assert_eq!(test.len(), n, "test width mismatch");
+        let lane = self.tests.len() % 64;
+        if lane == 0 {
+            self.batches.push(ConeSimBatch {
+                start: self.tests.len(),
+                words: vec![0u64; n],
+                good: Vec::new(),
+                dirty: true,
+            });
+        }
+        let batch = self.batches.last_mut().expect("batch just ensured");
+        for (i, &b) in test.iter().enumerate() {
+            if b {
+                batch.words[i] |= 1 << lane;
+            }
+        }
+        batch.dirty = true;
+        self.tests.push(test.to_vec());
+    }
+
+    /// Re-simulates the good circuit for every dirty batch, walking the
+    /// cached topo order (no per-call `topo_order()` recompute, which is
+    /// what makes replaying a peer's commit log cheap). Unused lanes stay
+    /// zero, exactly as the one-shot packer leaves them, so the good
+    /// values agree lane for lane with [`fault_simulate_cone_with`].
+    fn refresh_good(&mut self) {
+        let inputs = self.net.inputs();
+        for batch in &mut self.batches {
+            if !batch.dirty {
+                continue;
+            }
+            batch.good.clear();
+            batch.good.resize(self.net.num_gate_slots(), 0);
+            for (i, &id) in inputs.iter().enumerate() {
+                batch.good[id.index()] = batch.words[i];
+            }
+            for &id in self.topo.order() {
+                let g = self.net.gate(id);
+                if g.kind == kms_netlist::GateKind::Input {
+                    continue;
+                }
+                self.pin_buf.clear();
+                self.pin_buf
+                    .extend(g.pins.iter().map(|p| batch.good[p.src.index()]));
+                batch.good[id.index()] = kms_netlist::eval_gate_words(g.kind, &self.pin_buf);
+            }
+            batch.dirty = false;
+        }
+    }
+
+    /// Index of the first pushed vector that detects `fault`, or `None` —
+    /// bit-identical to `fault_simulate_cone_with(net, topo, &[fault],
+    /// &pushed).detected_by[0]`.
+    pub fn first_detecting(&mut self, fault: Fault) -> Option<usize> {
+        use crate::fault::FaultSite;
+        use kms_netlist::GateKind;
+
+        self.refresh_good();
+        self.cone.clear();
+        self.stack.push(fault.observing_gate());
+        while let Some(g) = self.stack.pop() {
+            if self.in_tfo[g.index()] {
+                continue;
+            }
+            self.in_tfo[g.index()] = true;
+            self.cone.push(g);
+            for c in self.topo.fanouts(g) {
+                self.stack.push(c.gate);
+            }
+        }
+        self.cone.sort_by_key(|&g| self.topo.pos(g));
+        let mut hit = None;
+        let observed = self
+            .net
+            .outputs()
+            .iter()
+            .any(|o| self.in_tfo[o.src.index()]);
+        if observed {
+            let stuck_word = if fault.stuck { !0u64 } else { 0u64 };
+            'batches: for batch in &self.batches {
+                let gv = &batch.good;
+                for &g in &self.cone {
+                    let gi = g.index();
+                    if fault.site == FaultSite::GateOutput(g) {
+                        self.faulty[gi] = stuck_word;
+                        continue;
+                    }
+                    let gate = self.net.gate(g);
+                    if gate.kind == GateKind::Input {
+                        self.faulty[gi] = gv[gi];
+                        continue;
+                    }
+                    self.pin_buf.clear();
+                    for (pi, p) in gate.pins.iter().enumerate() {
+                        let v = if fault.site == FaultSite::Conn(kms_netlist::ConnRef::new(g, pi)) {
+                            stuck_word
+                        } else if self.in_tfo[p.src.index()] {
+                            self.faulty[p.src.index()]
+                        } else {
+                            gv[p.src.index()]
+                        };
+                        self.pin_buf.push(v);
+                    }
+                    self.faulty[gi] = kms_netlist::eval_gate_words(gate.kind, &self.pin_buf);
+                }
+                let lanes = (self.tests.len() - batch.start).min(64) as u32;
+                let mask = if lanes == 64 {
+                    !0u64
+                } else {
+                    (1u64 << lanes) - 1
+                };
+                for o in self.net.outputs() {
+                    let src = o.src.index();
+                    if !self.in_tfo[src] {
+                        continue;
+                    }
+                    let diff = (gv[src] ^ self.faulty[src]) & mask;
+                    if diff != 0 {
+                        hit = Some(batch.start + diff.trailing_zeros() as usize);
+                        break 'batches;
+                    }
+                }
+            }
+        }
+        for &g in &self.cone {
+            self.in_tfo[g.index()] = false;
+        }
+        hit
+    }
+}
+
 /// As [`fault_simulate_cone`], split across `jobs` scoped threads with
 /// deterministic chunk-order reassembly (see [`fault_simulate_jobs`]).
 pub fn fault_simulate_cone_jobs(
@@ -237,15 +455,29 @@ pub fn fault_simulate_cone_jobs(
     tests: &[Vec<bool>],
     jobs: usize,
 ) -> CoverageReport {
+    fault_simulate_cone_jobs_with(net, &Topology::build(net), faults, tests, jobs)
+}
+
+/// As [`fault_simulate_cone_jobs`], against a caller-held [`Topology`]
+/// cache shared (by reference) across all worker threads.
+pub fn fault_simulate_cone_jobs_with(
+    net: &Network,
+    topo: &Topology,
+    faults: &[Fault],
+    tests: &[Vec<bool>],
+    jobs: usize,
+) -> CoverageReport {
     if jobs <= 1 || faults.len() < 2 * jobs {
-        return fault_simulate_cone(net, faults, tests);
+        return fault_simulate_cone_with(net, topo, faults, tests);
     }
     let chunk = faults.len().div_ceil(jobs);
     let mut detected_by = Vec::with_capacity(faults.len());
     std::thread::scope(|s| {
         let handles: Vec<_> = faults
             .chunks(chunk)
-            .map(|part| s.spawn(move || fault_simulate_cone(net, part, tests).detected_by))
+            .map(|part| {
+                s.spawn(move || fault_simulate_cone_with(net, topo, part, tests).detected_by)
+            })
             .collect();
         for h in handles {
             detected_by.extend(h.join().expect("fault-simulation worker panicked"));
@@ -372,6 +604,34 @@ mod tests {
             let par = fault_simulate_jobs(&net, &faults, &tests, jobs);
             assert_eq!(par.detected_by, seq.detected_by, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn cone_sim_matches_one_shot_calls() {
+        let net = and_or();
+        let topo = Topology::build(&net);
+        let faults = all_faults(&net);
+        // 70 vectors forces a second batch; the first few are useless so
+        // some faults are detected only deep into the set.
+        let mut tests = vec![vec![false, false, false]; 3];
+        tests.extend((0..67u32).map(|m| (0..3).map(|i| (m >> i) & 1 == 1).collect::<Vec<bool>>()));
+        let mut sim = ConeSim::new(&net, &topo);
+        assert!(sim.is_empty());
+        for (upto, t) in tests.iter().enumerate() {
+            sim.push(t);
+            assert_eq!(sim.len(), upto + 1);
+            let so_far = &tests[..=upto];
+            let oneshot = fault_simulate_cone_with(&net, &topo, &faults, so_far);
+            for (fi, &fault) in faults.iter().enumerate() {
+                assert_eq!(
+                    sim.first_detecting(fault),
+                    oneshot.detected_by[fi],
+                    "fault {fi} after {} vectors",
+                    upto + 1
+                );
+            }
+        }
+        assert_eq!(sim.test(0), &tests[0][..]);
     }
 
     #[test]

@@ -3,15 +3,20 @@
 //! emitting `BENCH_atpg.json` — the repository's perf trajectory for the
 //! fault-classification hot path.
 //!
-//! Usage: `bench_atpg [--smoke] [--jobs N] [--out FILE]`
+//! Usage: `bench_atpg [--smoke] [--jobs N] [--scaling] [--gate] [--out FILE]`
 //!
 //! * `--smoke` — two small circuits, one rep: CI schema/determinism check.
 //! * `--jobs N` — worker count for the parallel configuration (default 4).
+//! * `--scaling` — additionally time the shared engine at 1, 2 and 4
+//!   workers per row and emit the curve in each JSON row.
+//! * `--gate` — exit 1 if the worker pool loses to the in-line shared
+//!   engine (beyond a noise tolerance) on any row with ≥ 400 gates: the
+//!   CI tripwire for scheduler/commit-path overhead regressions.
 //! * `--out FILE` — output path (default `BENCH_atpg.json`).
 //!
 //! Every timed run is also cross-checked: the three configurations must
-//! report the same redundant-fault set, and the two shared-CNF
-//! configurations must produce bit-identical `TestabilityReport`s.
+//! report the same redundant-fault set, and every shared-CNF
+//! configuration must produce bit-identical `TestabilityReport`s.
 
 use std::time::Instant;
 
@@ -24,6 +29,8 @@ use kms_timing::InputArrivals;
 struct Config {
     smoke: bool,
     jobs: usize,
+    scaling: bool,
+    gate: bool,
     out: String,
 }
 
@@ -31,6 +38,8 @@ fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
         jobs: 4,
+        scaling: false,
+        gate: false,
         out: "BENCH_atpg.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -43,11 +52,15 @@ fn parse_args() -> Config {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--jobs needs a number"));
             }
+            "--scaling" => cfg.scaling = true,
+            "--gate" => cfg.gate = true,
             "--out" | "-o" => {
                 cfg.out = it.next().unwrap_or_else(|| die("--out needs a path"));
             }
             "-h" | "--help" => {
-                eprintln!("usage: bench_atpg [--smoke] [--jobs N] [--out FILE]");
+                eprintln!(
+                    "usage: bench_atpg [--smoke] [--jobs N] [--scaling] [--gate] [--out FILE]"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unexpected argument {other:?}")),
@@ -101,6 +114,8 @@ struct Row {
     seq_s: f64,
     shared1_s: f64,
     sharedn_s: f64,
+    /// `(jobs, seconds)` curve when `--scaling` is on.
+    scaling: Vec<(usize, f64)>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -109,7 +124,10 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let cfg = parse_args();
-    let reps = if cfg.smoke { 1 } else { 3 };
+    // Smoke mode is a schema/determinism check and times each config once —
+    // unless the overhead gate is on, which compares timings and so needs
+    // the min-of-3 noise floor even on the small smoke rows.
+    let reps = if cfg.smoke && !cfg.gate { 1 } else { 3 };
     let circuits: Vec<(String, Network)> = if cfg.smoke {
         vec![
             ("csa 2.2".into(), table1_csa(2, 2)),
@@ -151,12 +169,33 @@ fn main() {
             shared1_r, sharedn_r,
             "{name}: shared-CNF report depends on the job count"
         );
+        let mut scaling = Vec::new();
+        if cfg.scaling {
+            for jobs in [1usize, 2, 4] {
+                let engine = Engine::SharedSat(ParallelOptions {
+                    jobs,
+                    ..Default::default()
+                });
+                let (s, r) = time_min(reps, || analyze(net, engine));
+                assert_eq!(
+                    shared1_r, r,
+                    "{name}: shared-CNF report depends on the job count (scaling, jobs={jobs})"
+                );
+                scaling.push((jobs, s));
+            }
+        }
         eprintln!(
             "{name:<10} {:>5} faults  seq {seq_s:.4}s  shared1 {shared1_s:.4}s  shared{} {sharedn_s:.4}s  ({:.2}x)",
             seq_r.faults.len(),
             cfg.jobs,
             seq_s / sharedn_s
         );
+        for (jobs, s) in &scaling {
+            eprintln!(
+                "           scaling jobs={jobs}: {s:.4}s  ({:.2}x vs seq)",
+                seq_s / s
+            );
+        }
         rows.push(Row {
             name: name.clone(),
             gates: net.simple_gate_count(),
@@ -164,7 +203,40 @@ fn main() {
             seq_s,
             shared1_s,
             sharedn_s,
+            scaling,
         });
+    }
+
+    // Scheduler-overhead tripwire: on every non-trivial row the worker
+    // pool must keep pace with the in-line shared engine. On a single
+    // hardware thread the pool's whole cost IS its overhead, so this
+    // bounds it directly; the 25% budget absorbs timer noise and OS
+    // multiplexing jitter on starved CI machines (run-to-run spread on a
+    // 1-CPU box is ±10% by itself) while still catching the failure mode
+    // the gate exists for — unbounded speculation, which showed up as a
+    // >3x loss before the pacing window and commit-log pre-checks.
+    if cfg.gate {
+        const TOLERANCE: f64 = 1.25;
+        let mut failed = false;
+        for r in rows.iter().filter(|r| r.gates >= 400) {
+            if r.sharedn_s > r.shared1_s * TOLERANCE {
+                failed = true;
+                eprintln!(
+                    "gate: {} — sharedN {:.4}s vs shared1 {:.4}s exceeds the {:.0}% budget \
+                     (speedup_sharedN {:.3} < speedup_shared1 {:.3})",
+                    r.name,
+                    r.sharedn_s,
+                    r.shared1_s,
+                    (TOLERANCE - 1.0) * 100.0,
+                    r.seq_s / r.sharedn_s,
+                    r.seq_s / r.shared1_s,
+                );
+            }
+        }
+        if failed {
+            eprintln!("error: parallel classification lost to in-line on a non-trivial row");
+            std::process::exit(1);
+        }
     }
 
     let mut json = String::new();
@@ -176,10 +248,20 @@ fn main() {
         reps
     ));
     for (i, r) in rows.iter().enumerate() {
+        let scaling_json = if r.scaling.is_empty() {
+            String::new()
+        } else {
+            let pts: Vec<String> = r
+                .scaling
+                .iter()
+                .map(|(jobs, s)| format!("\"{jobs}\": {s:.6}"))
+                .collect();
+            format!(", \"scaling_s\": {{{}}}", pts.join(", "))
+        };
         json.push_str(&format!(
             "    {{\"circuit\": \"{}\", \"gates\": {}, \"faults\": {}, \
              \"sequential_s\": {:.6}, \"shared1_s\": {:.6}, \"sharedN_s\": {:.6}, \
-             \"speedup_shared1\": {:.3}, \"speedup_sharedN\": {:.3}}}{}\n",
+             \"speedup_shared1\": {:.3}, \"speedup_sharedN\": {:.3}{}}}{}\n",
             json_escape(&r.name),
             r.gates,
             r.faults,
@@ -188,6 +270,7 @@ fn main() {
             r.sharedn_s,
             r.seq_s / r.shared1_s,
             r.seq_s / r.sharedn_s,
+            scaling_json,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -209,9 +209,9 @@ fn dimacs_row(name: &str, cnf: &Cnf, expect: SatResult, reps: usize) -> Row {
     }
 }
 
-/// `kind = "atpg"` uses the production defaults (random pre-screen +
-/// static prescreen), where most faults never reach the solver.
-/// `kind = "atpg-raw"` strips both pre-screens, forcing every fault
+/// `kind = "atpg"` uses the production defaults (random pre-screen,
+/// no static tiers), where most faults never reach the solver.
+/// `kind = "atpg-raw"` strips the random pre-screen too, forcing every fault
 /// through the shared-CNF engine — the solver-dominated configuration
 /// whose propagations-per-second is the acceptance gate's fallback
 /// criterion when wall-clock is machine-noisy.

@@ -160,8 +160,9 @@ fn main() {
         v
     };
 
-    // Tier engines: the bare oracle, the implication prescreen alone,
-    // the default implic + dataflow prescreen, and the full-sweep tier
+    // Tier engines: the bare oracle (the classification default since
+    // the E14 re-measurement), the implication prescreen alone, the
+    // implic + dataflow prescreen, and the full-sweep tier
     // (sweep isolated from the dataflow tier so its column measures the
     // SAT sweep itself, as in the original three-tier benchmark).
     let without_prescreen = ParallelOptions {

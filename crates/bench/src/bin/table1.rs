@@ -1,9 +1,11 @@
 //! Regenerates Table I of the paper (experiments E1 and E2).
 //!
-//! Usage: `table1 [--csa] [--mcnc] [--no-verify] [--jobs N] [--certify]
-//! [--budget SECONDS]` (no selection flags = both suites). `--jobs N`
-//! switches the ATPG to the shared-CNF classification engine with `N`
-//! workers (0 = all cores). `--certify` re-checks every UNSAT verdict
+//! Usage: `table1 [--csa] [--mcnc] [--no-verify] [--engine shared|sat]
+//! [--jobs N] [--certify] [--budget SECONDS]` (no selection flags = both
+//! suites). The ATPG defaults to the shared-CNF classification engine
+//! with `--jobs 0` (available parallelism, capped); `--jobs 1` forces
+//! fully in-line execution and `--engine sat` selects the per-fault
+//! re-encoding engine. `--certify` re-checks every UNSAT verdict
 //! behind each row with the independent proof checker, prints the merged
 //! ledger, and exits 1 if any certificate fails to check. `--budget`
 //! enforces a wall-clock ceiling on the whole run and exits 1 when
@@ -20,19 +22,30 @@
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut engine = kms_atpg::Engine::Sat;
+    let mut jobs = 0usize; // auto: available parallelism, capped
     if let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") {
-        let n: usize = args
+        jobs = args
             .get(i + 1)
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| {
                 eprintln!("error: --jobs needs a number");
                 std::process::exit(2);
             });
-        engine = kms_atpg::Engine::SharedSat(kms_atpg::ParallelOptions {
-            jobs: n,
-            ..Default::default()
-        });
+        args.drain(i..i + 2);
+    }
+    let mut engine = kms_atpg::Engine::SharedSat(kms_atpg::ParallelOptions {
+        jobs,
+        ..Default::default()
+    });
+    if let Some(i) = args.iter().position(|a| a == "--engine" || a == "-e") {
+        match args.get(i + 1).map(String::as_str) {
+            Some("shared") => {}
+            Some("sat") => engine = kms_atpg::Engine::Sat,
+            other => {
+                eprintln!("error: unknown engine {other:?}");
+                std::process::exit(2);
+            }
+        }
         args.drain(i..i + 2);
     }
     let budget: Option<f64> = if let Some(i) = args.iter().position(|a| a == "--budget") {

@@ -14,17 +14,20 @@
 //! hits the cache instead of rebuilding a BDD or re-running SAT.
 //!
 //! Cache misses go to a lazily built per-iteration oracle; with
-//! `jobs > 1` the misses fan out over a scoped thread pool with
-//! in-order commit (the PR 2 classification pattern), so the observable
-//! outcome — which path breaks the loop, which becomes the target — is
+//! `jobs > 1` the misses fan out over a scoped thread pool — workers
+//! claim contiguous *chunks* of the miss list off an atomic counter and
+//! send one message per chunk, and the main thread reassembles chunks by
+//! index and commits verdicts in miss order (the same scheduler shape as
+//! the classification pool in `kms-atpg`). The observable outcome —
+//! which path breaks the loop, which becomes the target — is
 //! bit-identical to the sequential walk.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
 use kms_analysis::{SignatureInterner, Signatures};
-use kms_netlist::{GateKind, NetlistError, Network, Path};
+use kms_netlist::{FxHashMap, GateKind, NetlistError, Network, Path};
 use kms_proof::CertificationReport;
 use kms_sat::Stats;
 use kms_timing::{
@@ -136,7 +139,10 @@ impl<'a> ConditionOracle<'a> {
 /// construction.
 #[derive(Default)]
 pub(crate) struct VerdictCache {
-    map: HashMap<Vec<(u32, bool)>, CachedVerdict>,
+    // FxHash: the keys are long `(signature, bool)` vectors hashed on
+    // every lookup of every iteration; SipHash showed up in profiles and
+    // the cache needs no DoS hardening (keys are derived, not adversarial).
+    map: FxHashMap<Vec<(u32, bool)>, CachedVerdict>,
     pub(crate) hits: u64,
     pub(crate) misses: u64,
 }
@@ -293,11 +299,17 @@ pub(crate) fn oracle_phase(
     })
 }
 
-/// Resolves `misses` over a scoped worker pool with in-order commit.
-/// Each worker builds its own oracle lazily; the main thread commits
-/// results in miss order, stops the pool once the outcome is decided
-/// (or an error commits), and passes every committed verdict to `seen`.
-/// With `certify` set, each worker keeps its own proof ledger (merged at
+/// Resolves `misses` over a scoped worker pool with chunked claiming and
+/// in-order commit. Workers claim contiguous chunks of the miss list off
+/// an atomic counter (one channel message per chunk, so channel and
+/// counter traffic is amortized), build their oracle lazily, and keep
+/// going until the list is exhausted or the pool is stopped. The main
+/// thread reassembles chunks by index, commits verdicts in miss order,
+/// stops the pool once the outcome is decided (or an error commits), and
+/// passes every committed verdict to `seen`. A batch can be partial only
+/// after the stop flag is up — i.e. after the outcome is decided — so
+/// the in-order prefix the decision reads is never gapped. With
+/// `certify` set, each worker keeps its own proof ledger (merged at
 /// worker exit — speculative certificates past the stop point are
 /// counted too; any check failure is an alarm regardless of where it
 /// happened), and per-worker solver counters land in `oracle_stats`.
@@ -314,36 +326,57 @@ fn resolve_parallel(
     oracle_stats: &mut Stats,
     mut seen: impl FnMut(usize, bool, Option<u64>),
 ) -> Result<(), NetlistError> {
+    // Chunks target ~4 claims per worker: path checks are coarse (each
+    // may run a SAT query), so modest chunks keep the tail balanced.
+    let chunk = (misses.len() / (jobs * 4)).clamp(1, 8);
+    let num_chunks = misses.len().div_ceil(chunk);
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let do_certify = certify.is_some();
     let agg: Mutex<(Stats, CertificationReport)> = Mutex::new(Default::default());
     let mut outcome: Result<(), NetlistError> = Ok(());
     std::thread::scope(|scope| {
-        type Slot = (usize, Result<(bool, Option<u64>), NetlistError>);
-        let (tx, rx) = mpsc::channel::<Slot>();
-        for _ in 0..jobs.min(misses.len()) {
+        type Item = (usize, Result<(bool, Option<u64>), NetlistError>);
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Item>)>();
+        for _ in 0..jobs.min(num_chunks) {
             let tx = tx.clone();
             let (next, stop, agg) = (&next, &stop, &agg);
             scope.spawn(move || {
                 let mut oracle: Option<ConditionOracle> = None;
                 let mut local = do_certify.then(CertificationReport::default);
-                loop {
-                    if stop.load(Ordering::Relaxed) {
+                'claims: loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    let lo = c * chunk;
+                    if lo >= misses.len() || stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= misses.len() {
-                        break;
+                    let hi = (lo + chunk).min(misses.len());
+                    let mut batch: Vec<Item> = Vec::with_capacity(hi - lo);
+                    for k in lo..hi {
+                        if stop.load(Ordering::Relaxed) {
+                            // Ship what we have: partial batches happen
+                            // only after the outcome is decided, so the
+                            // committed prefix stays gap-free.
+                            let _ = tx.send((c, batch));
+                            break 'claims;
+                        }
+                        let o = oracle.get_or_insert_with(|| {
+                            ConditionOracle::new(net, arrivals, condition, do_certify)
+                        });
+                        let r = match local.as_mut() {
+                            Some(report) => o.satisfies_certified(net, &longest[misses[k]], report),
+                            None => o.satisfies(net, &longest[misses[k]]).map(|v| (v, None)),
+                        };
+                        let failed = r.is_err();
+                        batch.push((k, r));
+                        if failed {
+                            // The error decides the phase as soon as it
+                            // commits; nothing after it matters.
+                            let _ = tx.send((c, batch));
+                            break 'claims;
+                        }
                     }
-                    let o = oracle.get_or_insert_with(|| {
-                        ConditionOracle::new(net, arrivals, condition, do_certify)
-                    });
-                    let r = match local.as_mut() {
-                        Some(report) => o.satisfies_certified(net, &longest[misses[k]], report),
-                        None => o.satisfies(net, &longest[misses[k]]).map(|v| (v, None)),
-                    };
-                    if tx.send((k, r)).is_err() {
+                    if tx.send((c, batch)).is_err() {
                         break;
                     }
                 }
@@ -357,42 +390,61 @@ fn resolve_parallel(
             });
         }
         drop(tx);
-        let mut pending: BTreeMap<usize, Result<(bool, Option<u64>), NetlistError>> =
-            BTreeMap::new();
-        let mut committed = 0usize;
+        let mut pending: BTreeMap<usize, Vec<Item>> = BTreeMap::new();
         let mut decided = false;
-        while committed < misses.len() {
-            let Ok((k, r)) = rx.recv() else { break };
-            pending.insert(k, r);
-            while let Some(r) = pending.remove(&committed) {
-                let i = misses[committed];
-                committed += 1;
-                if decided {
-                    // Speculative result past the stop point: cache it,
-                    // don't let it influence the outcome.
-                    if let Ok((v, digest)) = r {
-                        seen(i, v, digest);
-                    }
-                    continue;
+        let mut commit = |r: Result<(bool, Option<u64>), NetlistError>,
+                          i: usize,
+                          decided: &mut bool,
+                          outcome: &mut Result<(), NetlistError>| {
+            if *decided {
+                // Speculative result past the stop point: cache it,
+                // don't let it influence the outcome.
+                if let Ok((v, digest)) = r {
+                    seen(i, v, digest);
                 }
-                match r {
-                    Ok((v, digest)) => {
-                        verdicts[i] = Some(v);
-                        seen(i, v, digest);
-                        if decide(verdicts).is_some() {
-                            decided = true;
-                            stop.store(true, Ordering::Relaxed);
-                        }
-                    }
-                    Err(e) => {
-                        outcome = Err(e);
-                        decided = true;
+                return;
+            }
+            match r {
+                Ok((v, digest)) => {
+                    verdicts[i] = Some(v);
+                    seen(i, v, digest);
+                    if decide(verdicts).is_some() {
+                        *decided = true;
                         stop.store(true, Ordering::Relaxed);
                     }
                 }
+                Err(e) => {
+                    *outcome = Err(e);
+                    *decided = true;
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+        };
+        'chunks: for c in 0..num_chunks {
+            let batch = loop {
+                if let Some(b) = pending.remove(&c) {
+                    break b;
+                }
+                match rx.recv() {
+                    Ok((j, b)) => {
+                        pending.insert(j, b);
+                    }
+                    // Channel closed: the pool stopped and the remaining
+                    // chunks were abandoned (only possible once decided).
+                    Err(_) => break 'chunks,
+                }
+            };
+            for (k, r) in batch {
+                commit(r, misses[k], &mut decided, &mut outcome);
             }
         }
-        // Unblock any worker still waiting to send.
+        // Late speculative batches that arrived out of order: feed the
+        // cache, never the outcome.
+        for (_, batch) in pending {
+            for (k, r) in batch {
+                commit(r, misses[k], &mut decided, &mut outcome);
+            }
+        }
         stop.store(true, Ordering::Relaxed);
         drop(rx);
     });

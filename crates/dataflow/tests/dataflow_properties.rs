@@ -173,7 +173,14 @@ proptest! {
         });
         let with_prescreen = analyze(
             &net,
-            Engine::SharedSat(ParallelOptions { jobs: 1, ..Default::default() }),
+            // Prescreen tiers are opt-in since the E14 re-measurement;
+            // enable both explicitly so this still tests the claim.
+            Engine::SharedSat(ParallelOptions {
+                jobs: 1,
+                static_prescreen: true,
+                prescreen_dataflow: true,
+                ..Default::default()
+            }),
         );
         let without = analyze(&net, oracle_engine());
         prop_assert_eq!(with_prescreen, without);

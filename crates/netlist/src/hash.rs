@@ -1,0 +1,129 @@
+//! Deterministic hashing for hot-path hash maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash with a per-process random
+//! seed. That is the right default against untrusted input, but every key in
+//! this workspace is derived from the netlist itself, and the randomness has
+//! two costs we care about: SipHash is slow for the short integer-tuple keys
+//! the analysis layers hash millions of times, and the iteration order varies
+//! between runs, which makes "iterate over a map" an easy way to silently
+//! break bit-identical reports.
+//!
+//! [`FxHasher`] is the FNV-flavoured multiply-xor hash used by rustc
+//! (firefox's "Fx" hash): `state = (rotl5(state) ^ chunk) * K`. It is not
+//! collision-resistant against adversarial keys — do not use it for data
+//! that crosses a trust boundary — but it is deterministic across runs and
+//! platforms and several times faster than SipHash on small keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from FxHash (a.k.a. the rustc hasher); chosen so that the
+/// multiply mixes low bits into high bits reasonably well.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Deterministic multiply-xor hasher. See the module docs for the contract.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; stateless, so maps hash identically
+/// across runs.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with deterministic, fast hashing for netlist-derived keys.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with deterministic, fast hashing for netlist-derived keys.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        a.write(b"topology");
+        b.write_u64(0xdead_beef);
+        b.write(b"topology");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"123456789");
+        b.write(b"12345678A");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_usable() {
+        let mut m: FxHashMap<(u32, bool), u32> = FxHashMap::default();
+        m.insert((7, true), 42);
+        assert_eq!(m.get(&(7, true)), Some(&42));
+    }
+}

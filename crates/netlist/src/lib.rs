@@ -46,15 +46,19 @@ mod network;
 mod path;
 mod sim;
 mod stats;
+mod topo;
 
 pub mod cone;
+pub mod hash;
 pub mod transform;
 
 pub use delay::{Delay, DelayModel};
 pub use dirty::DirtySet;
 pub use error::NetlistError;
 pub use gate::{ConnRef, GateId, GateKind, Pin};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use network::{Gate, Network, Output};
 pub use path::Path;
 pub use sim::{eval_gate_words, Cube, ParseCubeError, Value};
 pub use stats::NetworkStats;
+pub use topo::Topology;

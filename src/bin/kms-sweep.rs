@@ -20,6 +20,11 @@
 //!                             (ternary/cofactor constants, CODCs, recursive
 //!                             learning), print its report, and apply
 //!                             SAT-confirmed observability-equivalent merges
+//!   -j, --jobs <N>            sweep N input files concurrently (default 0 =
+//!                             available parallelism, capped; 1 forces fully
+//!                             in-line execution); reports and the exit code
+//!                             are identical at any N — output stays in
+//!                             input order
 //!   -q, --quiet               suppress output; just set the exit code
 //! ```
 //!
@@ -44,6 +49,7 @@ struct Args {
     iscas: bool,
     opts: AnalysisOptions,
     dataflow: bool,
+    jobs: usize,
     quiet: bool,
 }
 
@@ -54,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         iscas: false,
         opts: AnalysisOptions::default(),
         dataflow: false,
+        jobs: 0,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -77,12 +84,16 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a number")?;
             }
+            "-j" | "--jobs" => {
+                let n = it.next().ok_or("missing value for --jobs")?;
+                args.jobs = n.parse().map_err(|_| format!("bad job count {n:?}"))?;
+            }
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => {
                 eprintln!(
                     "usage: kms-sweep [-f text|json] [--iscas] [--no-sat-sweep] \
-                     [--no-learning] [--seed N] [--certify] [--dataflow] [-q] \
-                     <file.blif | ->..."
+                     [--no-learning] [--seed N] [--certify] [--dataflow] [-j N] \
+                     [-q] <file.blif | ->..."
                 );
                 std::process::exit(0);
             }
@@ -177,11 +188,49 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let jobs = match args.jobs {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8),
+        n => n,
+    }
+    .min(args.inputs.len());
+    // Sweep files concurrently, but aggregate and print strictly in input
+    // order: results land in per-file slots, so the output and the exit
+    // code are identical at any job count.
+    type FileResult = Result<(String, usize, Option<CertificationReport>), String>;
+    let mut results: Vec<Option<FileResult>> = (0..args.inputs.len()).map(|_| None).collect();
+    if jobs <= 1 {
+        for (path, slot) in args.inputs.iter().zip(results.iter_mut()) {
+            *slot = Some(sweep_file(path, &args));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<FileResult>>> = results
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(path) = args.inputs.get(i) else {
+                        break;
+                    };
+                    *slots[i].lock().expect("sweep slot lock") = Some(sweep_file(path, &args));
+                });
+            }
+        });
+        for (slot, out) in slots.into_iter().zip(results.iter_mut()) {
+            *out = slot.into_inner().expect("sweep slot lock");
+        }
+    }
     let mut io_failed = false;
     let mut findings = 0usize;
     let mut ledger = args.opts.certify.then(CertificationReport::default);
-    for path in &args.inputs {
-        match sweep_file(path, &args) {
+    for result in results {
+        match result.expect("every input swept") {
             Ok((rendered, proved, certification)) => {
                 findings += proved;
                 if let (Some(total), Some(cert)) = (ledger.as_mut(), certification.as_ref()) {

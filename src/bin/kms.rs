@@ -10,12 +10,18 @@
 //!                           while-loop condition (default: static)
 //!   -a, --arrival <input>=<time>
 //!                           per-input arrival offset (repeatable)
-//!   -j, --jobs <N>          use the shared-CNF classification engine with
-//!                           N worker threads (0 = all cores) for the
-//!                           removal phase
-//!       --no-dataflow       with --jobs: drop the dataflow tier from the
-//!                           static prescreen (implication tier only); the
-//!                           result is bit-identical, only slower or faster
+//!   -e, --engine <shared|sat>
+//!                           classification engine for the removal phase
+//!                           (default: shared — per-worker incremental
+//!                           solvers; sat re-encodes per fault)
+//!   -j, --jobs <N>          worker threads for the shared engine
+//!                           (default 0 = available parallelism, capped;
+//!                           1 forces fully in-line execution)
+//!       --prescreen <static|dataflow>
+//!                           with the shared engine: run the named static
+//!                           prescreen tier before the per-fault queries
+//!                           (dataflow implies static); the report is
+//!                           bit-identical either way, only the cost moves
 //!       --certify           log a DRAT proof for every UNSAT verdict the
 //!                           run depends on and re-check each with the
 //!                           independent proof checker
@@ -43,8 +49,10 @@ struct Args {
     model: DelayModel,
     condition: Condition,
     arrivals: Vec<(String, i64)>,
-    jobs: Option<usize>,
-    no_dataflow: bool,
+    shared_engine: bool,
+    jobs: usize,
+    prescreen_static: bool,
+    prescreen_dataflow: bool,
     certify: bool,
     json: bool,
     quiet: bool,
@@ -57,8 +65,10 @@ fn parse_args() -> Result<Args, String> {
         model: DelayModel::Unit,
         condition: Condition::StaticSensitization,
         arrivals: Vec::new(),
-        jobs: None,
-        no_dataflow: false,
+        shared_engine: true,
+        jobs: 0,
+        prescreen_static: false,
+        prescreen_dataflow: false,
         certify: false,
         json: false,
         quiet: false,
@@ -89,11 +99,25 @@ fn parse_args() -> Result<Args, String> {
                 let t: i64 = t.parse().map_err(|_| format!("bad time in {spec:?}"))?;
                 args.arrivals.push((name.to_string(), t));
             }
+            "-e" | "--engine" => {
+                args.shared_engine = match it.next().as_deref() {
+                    Some("shared") => true,
+                    Some("sat") => false,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
             "-j" | "--jobs" => {
                 let n = it.next().ok_or("missing value for --jobs")?;
-                args.jobs = Some(n.parse().map_err(|_| format!("bad job count {n:?}"))?);
+                args.jobs = n.parse().map_err(|_| format!("bad job count {n:?}"))?;
             }
-            "--no-dataflow" => args.no_dataflow = true,
+            "--prescreen" => match it.next().as_deref() {
+                Some("static") => args.prescreen_static = true,
+                Some("dataflow") => {
+                    args.prescreen_static = true;
+                    args.prescreen_dataflow = true;
+                }
+                other => return Err(format!("unknown prescreen tier {other:?}")),
+            },
             "--certify" => args.certify = true,
             "-f" | "--format" => {
                 args.json = match it.next().as_deref() {
@@ -104,7 +128,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => {
-                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-j N] [--no-dataflow] [--certify] [-f text|json] <input.blif | ->");
+                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-e shared|sat] [-j N] [--prescreen static|dataflow] [--certify] [-f text|json] <input.blif | ->");
                 std::process::exit(0);
             }
             other if args.input.is_empty() => args.input = other.to_string(),
@@ -155,13 +179,15 @@ fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
         arrivals.set(id, *t);
     }
 
-    let engine = match args.jobs {
-        Some(jobs) => kms::atpg::Engine::SharedSat(kms::atpg::ParallelOptions {
-            jobs,
-            prescreen_dataflow: !args.no_dataflow,
+    let engine = if args.shared_engine {
+        kms::atpg::Engine::SharedSat(kms::atpg::ParallelOptions {
+            jobs: args.jobs,
+            static_prescreen: args.prescreen_static,
+            prescreen_dataflow: args.prescreen_dataflow,
             ..Default::default()
-        }),
-        None => kms::atpg::Engine::Sat,
+        })
+    } else {
+        kms::atpg::Engine::Sat
     };
     let report = run_kms(
         &mut net,

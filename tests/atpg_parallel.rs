@@ -9,6 +9,8 @@
 //!   redundant-fault set;
 //! * the naive removal trajectory under `SharedSat` matches `Sat`'s.
 
+use proptest::prelude::*;
+
 use kms::atpg::{analyze, fault_simulate, Engine, ParallelOptions, Testability};
 use kms::gen::paper::fig1_carry_skip_block;
 use kms::gen::random::{random_network, RandomNetworkSpec};
@@ -118,6 +120,39 @@ fn dropping_never_changes_the_redundant_set() {
             "drop_patterns changed the redundant set on {}",
             net.name()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The work-stealing pool (chunked claiming, batched commit, lemma
+    /// sharing) is bit-identical to the in-line walk on random netlists
+    /// at any job count — verdicts *and* canonical test vectors. A low
+    /// `drop_patterns` keeps plenty of survivors flowing through the
+    /// scheduler and the drop cascade rather than the random pre-screen.
+    #[test]
+    fn work_stealing_bit_identical_on_random_netlists(
+        seed in any::<u64>(),
+        inputs in 3usize..8,
+        gates in 8usize..40,
+        jobs in 2usize..9,
+    ) {
+        let net = random_network(seed, RandomNetworkSpec {
+            inputs,
+            gates,
+            outputs: 3,
+            max_fanin: 3,
+            max_delay: 2,
+        });
+        let opts = |jobs| ParallelOptions {
+            jobs,
+            drop_patterns: 8,
+            ..Default::default()
+        };
+        let seq = analyze(&net, Engine::SharedSat(opts(1)));
+        let par = analyze(&net, Engine::SharedSat(opts(jobs)));
+        prop_assert_eq!(seq, par);
     }
 }
 

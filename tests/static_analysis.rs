@@ -122,12 +122,15 @@ fn check_report_and_identity(net: &Network, context: &str) {
             proof.stuck,
         );
     }
-    let with = analyze(net, Engine::SharedSat(ParallelOptions::default()));
+    // Prescreen tiers default off since the E14 re-measurement; enable
+    // them explicitly so the bit-identity claim is still exercised.
     let opts = ParallelOptions {
-        static_prescreen: false,
+        static_prescreen: true,
+        prescreen_dataflow: true,
         ..ParallelOptions::default()
     };
-    let without = analyze(net, Engine::SharedSat(opts));
+    let with = analyze(net, Engine::SharedSat(opts));
+    let without = analyze(net, Engine::SharedSat(ParallelOptions::default()));
     assert_eq!(with, without, "{context}: prescreen changed the report");
 }
 
