@@ -88,6 +88,60 @@ impl SignatureInterner {
         *self.table.entry(key).or_insert(next)
     }
 
+    /// Serializes the intern table as one line per shape, in dense id
+    /// order, for checkpointing. [`SignatureInterner::import_lines`]
+    /// reconstructs a table that assigns the same signature to every
+    /// shape — including shapes interned in future iterations, because
+    /// the next free id is the line count.
+    pub fn export_lines(&self) -> Vec<String> {
+        let mut by_id: Vec<(&SigKey, u32)> = self.table.iter().map(|(k, &v)| (k, v)).collect();
+        by_id.sort_unstable_by_key(|&(_, id)| id);
+        by_id
+            .into_iter()
+            .map(|(key, _)| match key {
+                SigKey::Input(pos) => format!("i {pos}"),
+                SigKey::Const(b) => format!("c {}", u8::from(*b)),
+                SigKey::Gate(kind, children) => {
+                    let mut line = format!("g {}", kind.mnemonic());
+                    for c in children {
+                        line.push(' ');
+                        line.push_str(&c.to_string());
+                    }
+                    line
+                }
+            })
+            .collect()
+    }
+
+    /// Inverse of [`SignatureInterner::export_lines`]: re-interns each
+    /// shape in id order, reproducing the exact table. Returns `None` on
+    /// malformed input (including duplicate shapes, which would silently
+    /// shift every later id).
+    pub fn import_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> Option<Self> {
+        let mut interner = SignatureInterner::new();
+        for (expect, line) in lines.into_iter().enumerate() {
+            let mut f = line.split(' ');
+            let key = match f.next()? {
+                "i" => SigKey::Input(f.next()?.parse().ok()?),
+                "c" => SigKey::Const(match f.next()? {
+                    "0" => false,
+                    "1" => true,
+                    _ => return None,
+                }),
+                "g" => {
+                    let kind = GateKind::from_mnemonic(f.next()?)?;
+                    let children: Option<Vec<u32>> = f.map(|c| c.parse().ok()).collect();
+                    SigKey::Gate(kind, children?)
+                }
+                _ => return None,
+            };
+            if interner.intern(key) != expect as u32 {
+                return None; // duplicate shape: ids would shift
+            }
+        }
+        Some(interner)
+    }
+
     /// Signs every live gate of `net` in one topological pass.
     ///
     /// Repeated calls across mutations of the same design reuse the
@@ -172,6 +226,37 @@ mod tests {
         transform::set_conn_const(&mut net, kms_netlist::ConnRef::new(g1, 1), false);
         let after = interner.sign_network(&net);
         assert_eq!(after.of(g2), g2_sig);
+    }
+
+    #[test]
+    fn export_import_round_trips_and_extends() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(GateKind::And, &[a, b], Delay::new(1));
+        let o = net.add_gate(GateKind::Or, &[g1, a], Delay::new(1));
+        net.add_output("y", o);
+
+        let mut interner = SignatureInterner::new();
+        let before = interner.sign_network(&net);
+        let lines = interner.export_lines();
+        let owned: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let mut back = SignatureInterner::import_lines(owned.clone()).unwrap();
+        assert_eq!(back.len(), interner.len());
+        // Same signatures for existing shapes...
+        let again = back.sign_network(&net);
+        assert_eq!(before.of(g1), again.of(g1));
+        assert_eq!(before.of(o), again.of(o));
+        // ...and new shapes keep minting identical fresh ids on both.
+        let not = net.add_gate(GateKind::Not, &[o], Delay::new(1));
+        net.add_output("z", not);
+        let s1 = interner.sign_network(&net);
+        let s2 = back.sign_network(&net);
+        assert_eq!(s1.of(not), s2.of(not));
+
+        assert!(SignatureInterner::import_lines(["i 0", "i 0"]).is_none());
+        assert!(SignatureInterner::import_lines(["x 3"]).is_none());
+        assert!(SignatureInterner::import_lines(["g wat 1"]).is_none());
     }
 
     #[test]

@@ -149,6 +149,9 @@ impl EquivClasses {
                                 self.constants.push((m, inverted));
                             }
                             SatResult::Sat => cex.push(cnf.model_inputs(&solver, net)),
+                            SatResult::Aborted(r) => {
+                                unreachable!("unbudgeted solve aborted: {r}")
+                            }
                         }
                     }
                     continue;
@@ -183,6 +186,7 @@ impl EquivClasses {
                                 );
                             }
                         }
+                        SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
                     }
                     self.sat_checks += 1;
                     let asm = [cnf.lit(rep, false), cnf.lit(m, same)];
@@ -200,6 +204,7 @@ impl EquivClasses {
                             self.rep[m.index()] = Some((rep, same));
                             self.sat_pairs.push((m, rep, same));
                         }
+                        SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
                     }
                 }
             }

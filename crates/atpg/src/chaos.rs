@@ -1,0 +1,54 @@
+//! Deterministic worker-panic injection for the chaos suite
+//! (`fault-inject` builds only; this module does not exist otherwise).
+//!
+//! Mirrors `kms_sat::inject`: a global claim counter and an armed claim
+//! number. Chunk claims come off one atomic counter in the classification
+//! pool, so "the `j`-th claim" is a well-defined, schedule-independent
+//! event even though *which* worker makes it is not. When the armed claim
+//! happens, that worker panics mid-chunk; the pool's panic shield must
+//! convert the chunk to `Unknown` verdicts without stalling the commit
+//! frontier — exactly the recovery path `tests/chaos.rs` exercises.
+//!
+//! The hooks are process-global: tests that arm them must serialize
+//! (the chaos suite holds a mutex across each scenario).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Disarmed sentinel (claims are counted from 1).
+const OFF: u64 = 0;
+
+static CHUNK_CLAIMS: AtomicU64 = AtomicU64::new(0);
+static PANIC_AT: AtomicU64 = AtomicU64::new(OFF);
+
+/// Arms the hook: the `j`-th chunk claim (1-based) after this call
+/// panics the worker that made it.
+///
+/// # Panics
+///
+/// Panics if `j` is zero (zero is the disarmed sentinel).
+pub fn panic_on_chunk(j: u64) {
+    assert!(j > 0, "chunk claims are counted from 1");
+    CHUNK_CLAIMS.store(0, Ordering::SeqCst);
+    PANIC_AT.store(j, Ordering::SeqCst);
+}
+
+/// Disarms the hook and resets the claim counter.
+pub fn clear() {
+    PANIC_AT.store(OFF, Ordering::SeqCst);
+    CHUNK_CLAIMS.store(0, Ordering::SeqCst);
+}
+
+/// Chunk claims observed since the last [`panic_on_chunk`]/[`clear`].
+pub fn claims_observed() -> u64 {
+    CHUNK_CLAIMS.load(Ordering::SeqCst)
+}
+
+/// Called by the classification pool once per chunk claim; panics when
+/// this claim is the armed one.
+pub(crate) fn check_chunk_claim() {
+    let armed = PANIC_AT.load(Ordering::Relaxed);
+    let n = CHUNK_CLAIMS.fetch_add(1, Ordering::Relaxed) + 1;
+    if armed != OFF && n == armed {
+        panic!("chaos: injected worker panic on chunk claim #{n}");
+    }
+}

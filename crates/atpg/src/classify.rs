@@ -65,16 +65,19 @@
 //! circuits.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 use kms_analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
 use kms_dataflow::{DataflowAnalysis, DataflowOptions, LearnedImp};
 use kms_netlist::{ConnRef, GateId, GateKind, Network, Topology};
 use kms_proof::{core_conclusion, Certificate, CertificationReport};
-use kms_sat::{Lit, SatResult, Solver, Stats};
+use kms_sat::{lock_unpoisoned, Budget, Lit, SatResult, Solver, Stats};
 
-use crate::engine::{encode_gate_with_guard, random_tests, Testability, TestabilityReport};
+use crate::engine::{
+    encode_gate_with_guard, random_tests, Testability, TestabilityReport, UnknownReason,
+};
 use crate::fault::{Fault, FaultSite};
 use crate::fsim::{fault_simulate_cone_jobs_with, fault_simulate_cone_with, ConeSim};
 use crate::podem::{podem, PodemResult};
@@ -107,6 +110,83 @@ const LEMMA_POOL_CAP: usize = 1 << 14;
 /// on memory bandwidth well before this; past experiments show no row
 /// improving beyond 8 workers even on wide machines.
 const MAX_AUTO_JOBS: usize = 8;
+
+/// Resource ceilings applied to every solver query issued while
+/// classifying one fault: the shared-CNF decision query and each lex-min
+/// canonicalization step each get the full allowance. A query that
+/// exhausts its budget degrades that fault to [`Testability::Unknown`]
+/// instead of blocking the run. Conflict and propagation ceilings are
+/// schedule-independent per query; the wall-clock ceiling is inherently
+/// machine-dependent and suits interactive use only.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FaultBudget {
+    /// Abort a query after this many additional conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Abort a query after this many additional unit propagations.
+    pub max_propagations: Option<u64>,
+    /// Abort a query this many milliseconds after it starts (sampled at
+    /// the solver's conflict boundary, so overruns are bounded).
+    pub timeout_ms: Option<u64>,
+}
+
+impl FaultBudget {
+    /// A budget limiting conflicts only.
+    pub fn conflicts(n: u64) -> FaultBudget {
+        FaultBudget {
+            max_conflicts: Some(n),
+            max_propagations: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// Parses the CLI `--fault-budget` spec: a bare number caps
+    /// conflicts; otherwise comma-separated `conflicts=N`, `props=N`
+    /// (unit propagations), `ms=N` (wall-clock per query).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for a malformed spec.
+    pub fn parse(spec: &str) -> Result<FaultBudget, String> {
+        if let Ok(n) = spec.parse::<u64>() {
+            return Ok(FaultBudget::conflicts(n));
+        }
+        let mut budget = FaultBudget {
+            max_conflicts: None,
+            max_propagations: None,
+            timeout_ms: None,
+        };
+        for part in spec.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value in budget spec, got {part:?}"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("bad number in {part:?}"))?;
+            match key {
+                "conflicts" => budget.max_conflicts = Some(n),
+                "props" | "propagations" => budget.max_propagations = Some(n),
+                "ms" | "timeout_ms" => budget.timeout_ms = Some(n),
+                other => return Err(format!("unknown budget key {other:?}")),
+            }
+        }
+        Ok(budget)
+    }
+
+    /// The equivalent [`kms_sat::Budget`], armed afresh per solver call.
+    pub(crate) fn to_budget(self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(n) = self.max_conflicts {
+            b = b.with_conflicts(n);
+        }
+        if let Some(n) = self.max_propagations {
+            b = b.with_propagations(n);
+        }
+        if let Some(ms) = self.timeout_ms {
+            b = b.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        b
+    }
+}
 
 /// Knobs for the shared-CNF classification engine
 /// ([`crate::Engine::SharedSat`]).
@@ -175,6 +255,12 @@ pub struct ParallelOptions {
     /// importer's proof stream). Verdicts are semantic, so the
     /// [`TestabilityReport`] stays bit-identical; only the cost changes.
     pub certify: bool,
+    /// Per-fault solver budget. `None` (the default) runs unbudgeted and
+    /// every fault is decided. With a budget, an exhausted query yields
+    /// [`Testability::Unknown`] for that fault alone; when no fault
+    /// aborts at any job count, the report is bit-identical to an
+    /// unbudgeted run (the budget check never steers the search).
+    pub fault_budget: Option<FaultBudget>,
 }
 
 impl Default for ParallelOptions {
@@ -187,6 +273,7 @@ impl Default for ParallelOptions {
             prescreen_sweep: false,
             prescreen_dataflow: false,
             certify: false,
+            fault_budget: None,
         }
     }
 }
@@ -226,6 +313,11 @@ pub struct RedundancyScan {
     /// failed check anywhere is a soundness alarm regardless of whether
     /// that verdict was put to use.
     pub certification: Option<CertificationReport>,
+    /// Faults committed as [`Testability::Unknown`] before the scan
+    /// stopped (budget exhaustion or an isolated worker panic). A
+    /// non-zero count means "no redundancy found" is no longer a proof
+    /// of irredundancy — callers degrade their exit status accordingly.
+    pub unknown: usize,
 }
 
 /// [`classify_faults`] plus engine diagnostics: aggregated SAT-solver
@@ -262,7 +354,7 @@ impl ClassifyReport {
             .testability
             .verdicts
             .iter()
-            .filter(|v| matches!(v, Testability::Unknown))
+            .filter(|v| v.is_unknown())
             .count();
         let mut out = format!(
             "{{\"faults\": {}, \"testable\": {}, \"redundant\": {}, \"unknown\": {}, \
@@ -274,6 +366,17 @@ impl ClassifyReport {
             self.engine_calls,
             self.solver.render_json()
         );
+        let reasons = self.testability.unknown_reasons();
+        if !reasons.is_empty() {
+            out.push_str(", \"unknown_reasons\": {");
+            for (i, (reason, count)) in reasons.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {count}", reason.mnemonic()));
+            }
+            out.push('}');
+        }
         if let Some(cert) = &self.certification {
             out.push_str(", \"certification\": ");
             out.push_str(&cert.render_json());
@@ -344,13 +447,13 @@ impl CommitLog {
 
     /// Appends one committed detecting vector.
     fn publish(&self, v: &[bool]) {
-        self.vecs.lock().expect("commit log lock").push(v.to_vec());
+        lock_unpoisoned(&self.vecs).push(v.to_vec());
     }
 
     /// Returns every vector published since the caller's cursor, advancing
     /// the cursor past them.
     fn fetch_after(&self, cursor: &mut usize) -> Vec<Vec<bool>> {
-        let vecs = self.vecs.lock().expect("commit log lock");
+        let vecs = lock_unpoisoned(&self.vecs);
         let fresh = vecs[*cursor..].to_vec();
         *cursor = vecs.len();
         fresh
@@ -370,7 +473,7 @@ impl LemmaPool {
         if batch.is_empty() {
             return;
         }
-        let mut pool = self.lemmas.lock().expect("lemma pool lock");
+        let mut pool = lock_unpoisoned(&self.lemmas);
         let room = LEMMA_POOL_CAP.saturating_sub(pool.len());
         pool.extend(batch.into_iter().take(room));
     }
@@ -378,7 +481,7 @@ impl LemmaPool {
     /// Returns every lemma published since the caller's cursor, advancing
     /// the cursor past them.
     fn fetch_after(&self, cursor: &mut usize) -> Vec<SharedLemma> {
-        let pool = self.lemmas.lock().expect("lemma pool lock");
+        let pool = lock_unpoisoned(&self.lemmas);
         let fresh = pool[*cursor..].to_vec();
         *cursor = pool.len();
         fresh
@@ -438,6 +541,9 @@ pub(crate) struct SharedCnf<'n> {
     /// Faults this context actually ran a decision procedure on (PODEM
     /// and/or SAT) — the faults no prescreen or drop settled.
     engine_calls: u64,
+    /// Per-fault solver budget ([`ParallelOptions::fault_budget`]); an
+    /// exhausted query degrades its fault to [`Testability::Unknown`].
+    budget: Option<FaultBudget>,
 }
 
 impl<'n> SharedCnf<'n> {
@@ -483,6 +589,7 @@ impl<'n> SharedCnf<'n> {
             visit: vec![false; n],
             certification: certify.then(CertificationReport::default),
             engine_calls: 0,
+            budget: None,
         }
     }
 
@@ -720,9 +827,9 @@ impl<'n> SharedCnf<'n> {
         self.good[g.index()].expect("just encoded")
     }
 
-    /// Classifies one fault. Never returns [`Testability::Unknown`], and
-    /// the result is a pure function of `(network, fault)` — query order
-    /// cannot change it:
+    /// Classifies one fault. Without a [`FaultBudget`] the verdict is
+    /// never [`Testability::Unknown`] and is a pure function of
+    /// `(network, fault)` — query order cannot change it:
     ///
     /// * a budgeted PODEM run goes first (deterministic search, `X`s in
     ///   its cube filled as 0 — canonical by construction) and settles
@@ -844,12 +951,26 @@ impl<'n> SharedCnf<'n> {
             // structural shortcut above becomes a checkable proof.
             self.solver.add_clause(&diffs);
         }
-        let verdict = match self.solver.solve_with(&[act]) {
+        let budget = self
+            .budget
+            .map_or_else(Budget::unlimited, FaultBudget::to_budget);
+        let verdict = match self.solver.solve_budgeted(&[act], &budget) {
             SatResult::Unsat => {
                 self.certify_redundant(fault, act);
                 Testability::Redundant
             }
-            SatResult::Sat => Testability::Testable(self.lex_min_inputs(act)),
+            SatResult::Sat => match self.lex_min_inputs(act, &budget) {
+                Ok(bits) => Testability::Testable(bits),
+                // SAT proved a test exists, but canonicalization ran out
+                // of budget. Reporting the raw model would leak the
+                // worker's learnt-clause history into the report, so the
+                // fault degrades to Unknown instead.
+                Err(r) => Testability::Unknown(r.into()),
+            },
+            // Budget exhausted (or an injected abort): degrade, don't
+            // block. The activation literal is still retired below, so
+            // the context stays consistent for the next fault.
+            SatResult::Aborted(r) => Testability::Unknown(r.into()),
         };
         self.retire(act);
         verdict
@@ -875,8 +996,14 @@ impl<'n> SharedCnf<'n> {
     /// Inputs outside every cone encoded so far have no CNF variable and
     /// are canonically 0 — the same bit pinning them would yield, since an
     /// input outside the miter's support can never force UNSAT. Either way
-    /// the vector is a pure function of `(network, fault)`.
-    fn lex_min_inputs(&mut self, act: Lit) -> Vec<bool> {
+    /// the vector is a pure function of `(network, fault)`. Each pinning
+    /// query gets the full `budget` allowance; exhaustion surfaces as
+    /// `Err` and the caller degrades the fault to `Unknown`.
+    fn lex_min_inputs(
+        &mut self,
+        act: Lit,
+        budget: &Budget,
+    ) -> Result<Vec<bool>, kms_sat::AbortReason> {
         let mut assume: Vec<Lit> = Vec::with_capacity(self.net.inputs().len() + 1);
         assume.push(act);
         let mut bits = Vec::with_capacity(self.net.inputs().len());
@@ -886,15 +1013,17 @@ impl<'n> SharedCnf<'n> {
                 continue;
             };
             assume.push(!l);
-            if self.solver.solve_with(&assume) == SatResult::Unsat {
-                assume.pop();
-                assume.push(l);
-                bits.push(true);
-            } else {
-                bits.push(false);
+            match self.solver.solve_budgeted(&assume, budget) {
+                SatResult::Unsat => {
+                    assume.pop();
+                    assume.push(l);
+                    bits.push(true);
+                }
+                SatResult::Sat => bits.push(false),
+                SatResult::Aborted(r) => return Err(r),
             }
         }
-        bits
+        Ok(bits)
     }
 
     /// Permanently deactivates a fault's clauses after its query.
@@ -939,10 +1068,14 @@ pub fn classify_faults_report(
     opts: ParallelOptions,
 ) -> ClassifyReport {
     let outcome = run(net, &faults, opts, &[], true, false);
+    // A healthy run decides every slot. A slot still `None` means its
+    // worker died before the panic shield could park a verdict for it;
+    // the report degrades such slots to `Unknown` rather than panicking
+    // over an already-contained failure.
     let verdicts = outcome
         .verdicts
         .into_iter()
-        .map(|v| v.expect("a complete run decides every fault"))
+        .map(|v| v.unwrap_or(Testability::Unknown(UnknownReason::WorkerPanic)))
         .collect();
     ClassifyReport {
         testability: TestabilityReport { faults, verdicts },
@@ -965,12 +1098,18 @@ pub fn scan_for_redundancy(
     cached_tests: &[Vec<bool>],
 ) -> RedundancyScan {
     let outcome = run(net, faults, opts, cached_tests, false, true);
+    let unknown = outcome
+        .verdicts
+        .iter()
+        .filter(|v| matches!(v, Some(v) if v.is_unknown()))
+        .count();
     RedundancyScan {
         redundant: outcome.first_redundant.map(|i| faults[i]),
         tests: outcome.sat_tests,
         solver: outcome.solver,
         engine_calls: outcome.engine_calls,
         certification: outcome.certification,
+        unknown,
     }
 }
 
@@ -1041,6 +1180,7 @@ fn run(
             &survivors,
             &prescreen,
             opts.certify,
+            opts.fault_budget,
             stop_at_redundant,
             &mut outcome,
         );
@@ -1053,6 +1193,7 @@ fn run(
             &prescreen,
             jobs.min(survivors.len()),
             opts.certify,
+            opts.fault_budget,
             stop_at_redundant,
             &mut outcome,
         );
@@ -1208,7 +1349,13 @@ impl<'s> Committer<'s> {
                     self.flush(k, outcome);
                 }
             }
-            Testability::Unknown => unreachable!("SAT classification is complete"),
+            Testability::Unknown(r) => {
+                // Budget exhaustion or an isolated worker panic: commit
+                // the Unknown in slot order. No vector is published and
+                // the drop cascade is untouched, so every other slot's
+                // verdict is exactly what it would have been.
+                outcome.verdicts[fi] = Some(Testability::Unknown(r));
+            }
         }
         false
     }
@@ -1241,6 +1388,51 @@ impl<'s> Committer<'s> {
     }
 }
 
+/// Counters salvaged from contexts a panic shield had to discard: a
+/// panicked worker's solver may be mid-encode (half a cone's clauses,
+/// dangling activation literal), so only its diagnostics are kept and
+/// the context itself is rebuilt from scratch.
+#[derive(Default)]
+struct LostWork {
+    solver: Stats,
+    engine_calls: u64,
+    certification: Option<CertificationReport>,
+}
+
+impl LostWork {
+    /// Folds `ctx`'s counters in before the caller rebuilds it.
+    fn salvage(&mut self, ctx: &mut SharedCnf<'_>) {
+        self.solver.merge(&ctx.solver.stats());
+        self.engine_calls += ctx.engine_calls;
+        if let Some(mine) = ctx.certification.take() {
+            self.certification
+                .get_or_insert_with(CertificationReport::default)
+                .merge(&mine);
+        }
+    }
+}
+
+/// Runs one classification behind a panic shield. A panic — injected by
+/// the chaos hooks or a genuine bug in one fault's query — degrades that
+/// fault to [`Testability::Unknown`] instead of killing the run: the
+/// context may be mid-encode when it unwinds, so its counters are
+/// salvaged into `lost` and the context is rebuilt for the next fault.
+fn classify_isolated<'n>(
+    ctx: &mut SharedCnf<'n>,
+    fault: Fault,
+    rebuild: impl Fn() -> SharedCnf<'n>,
+    lost: &mut LostWork,
+) -> Testability {
+    match catch_unwind(AssertUnwindSafe(|| ctx.classify(fault))) {
+        Ok(v) => v,
+        Err(_) => {
+            lost.salvage(ctx);
+            *ctx = rebuild();
+            Testability::Unknown(UnknownReason::WorkerPanic)
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_sequential(
     net: &Network,
@@ -1249,16 +1441,23 @@ fn run_sequential(
     survivors: &[usize],
     prescreen: &Prescreen<'_>,
     certify: bool,
+    budget: Option<FaultBudget>,
     stop_at_redundant: bool,
     outcome: &mut Outcome,
 ) {
-    let mut ctx = SharedCnf::with_analysis(
-        net,
-        topo,
-        prescreen.analysis.as_ref(),
-        prescreen.axioms.as_ref(),
-        certify,
-    );
+    let rebuild = || {
+        let mut ctx = SharedCnf::with_analysis(
+            net,
+            topo,
+            prescreen.analysis.as_ref(),
+            prescreen.axioms.as_ref(),
+            certify,
+        );
+        ctx.budget = budget;
+        ctx
+    };
+    let mut ctx = rebuild();
+    let mut lost = LostWork::default();
     let mut committer = Committer {
         net,
         topo,
@@ -1275,7 +1474,7 @@ fn run_sequential(
             if prescreen.redundant[fi] {
                 Testability::Redundant
             } else {
-                ctx.classify(faults[fi])
+                classify_isolated(&mut ctx, faults[fi], rebuild, &mut lost)
             }
         });
         if done {
@@ -1283,9 +1482,15 @@ fn run_sequential(
         }
     }
     outcome.solver.merge(&ctx.solver.stats());
-    outcome.engine_calls += ctx.engine_calls;
-    if let (Some(total), Some(mine)) = (outcome.certification.as_mut(), ctx.certification.take()) {
-        total.merge(&mine);
+    outcome.solver.merge(&lost.solver);
+    outcome.engine_calls += ctx.engine_calls + lost.engine_calls;
+    if let Some(total) = outcome.certification.as_mut() {
+        if let Some(mine) = ctx.certification.take() {
+            total.merge(&mine);
+        }
+        if let Some(mine) = lost.certification.take() {
+            total.merge(&mine);
+        }
     }
 }
 
@@ -1313,6 +1518,7 @@ fn run_parallel(
     prescreen: &Prescreen<'_>,
     jobs: usize,
     certify: bool,
+    budget: Option<FaultBudget>,
     stop_at_redundant: bool,
     outcome: &mut Outcome,
 ) {
@@ -1369,16 +1575,22 @@ fn run_parallel(
             let (next, stop, state, frontier_cv) = (&next, &stop, &state, &frontier_cv);
             let (dropped, agg, pool, log) = (&dropped, &agg, &pool, &log);
             s.spawn(move || {
-                let mut ctx = SharedCnf::with_analysis(
-                    net,
-                    topo,
-                    prescreen.analysis.as_ref(),
-                    prescreen.axioms.as_ref(),
-                    certify,
-                );
-                if pool.is_some() {
-                    ctx.enable_sharing();
-                }
+                let rebuild = || {
+                    let mut ctx = SharedCnf::with_analysis(
+                        net,
+                        topo,
+                        prescreen.analysis.as_ref(),
+                        prescreen.axioms.as_ref(),
+                        certify,
+                    );
+                    if pool.is_some() {
+                        ctx.enable_sharing();
+                    }
+                    ctx.budget = budget;
+                    ctx
+                };
+                let mut ctx = rebuild();
+                let mut lost = LostWork::default();
                 let mut cursor = 0usize;
                 let mut vec_cursor = 0usize;
                 let mut sim = ConeSim::new(net, topo);
@@ -1394,9 +1606,9 @@ fn run_parallel(
                     // claimant is inside the window, hence running (and
                     // whoever sets `stop` wakes all waiters).
                     {
-                        let mut st = state.lock().expect("commit lock");
+                        let mut st = lock_unpoisoned(state);
                         while c >= st.frontier + pace && !stop.load(Ordering::Acquire) {
-                            st = frontier_cv.wait(st).expect("commit lock");
+                            st = frontier_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
                         }
                     }
                     if stop.load(Ordering::Acquire) {
@@ -1410,29 +1622,60 @@ fn run_parallel(
                         sim.push(&v);
                     }
                     let hi = (lo + chunk).min(n);
-                    let mut batch: Vec<(usize, WorkerMsg)> = Vec::with_capacity(hi - lo);
-                    for k in lo..hi {
-                        // A claimed chunk abandoned on `stop` is never
-                        // missed: `stop` means the run is decided and the
-                        // remaining chunks are irrelevant.
-                        if stop.load(Ordering::Acquire) {
-                            break 'claims;
+                    // Chunk-level panic shield: a worker that dies here
+                    // (the chaos hook fires, or a bug unwinds past the
+                    // per-fault shield) must not strand its claimed chunk
+                    // below the commit frontier — that would hang every
+                    // paced-out peer. Whatever the shield cannot salvage
+                    // is parked as `Unknown`, so the frontier keeps
+                    // advancing and the report degrades instead of
+                    // corrupting.
+                    let shield = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(feature = "fault-inject")]
+                        crate::chaos::check_chunk_claim();
+                        let mut batch: Vec<(usize, WorkerMsg)> = Vec::with_capacity(hi - lo);
+                        for k in lo..hi {
+                            // A claimed chunk abandoned on `stop` is never
+                            // missed: `stop` means the run is decided and
+                            // the remaining chunks are irrelevant.
+                            if stop.load(Ordering::Acquire) {
+                                return (batch, true);
+                            }
+                            let fi = survivors[k];
+                            let msg = if dropped[k].load(Ordering::Acquire) {
+                                WorkerMsg::Skipped
+                            } else if prescreen.redundant[fi] {
+                                WorkerMsg::Verdict(Testability::Redundant)
+                            } else if !sim.is_empty() && sim.first_detecting(faults[fi]).is_some() {
+                                // A committed vector already detects this
+                                // fault, so the in-order drop check is
+                                // guaranteed to decide the slot.
+                                WorkerMsg::Skipped
+                            } else {
+                                WorkerMsg::Verdict(classify_isolated(
+                                    &mut ctx, faults[fi], rebuild, &mut lost,
+                                ))
+                            };
+                            batch.push((k, msg));
                         }
-                        let fi = survivors[k];
-                        let msg = if dropped[k].load(Ordering::Acquire) {
-                            WorkerMsg::Skipped
-                        } else if prescreen.redundant[fi] {
-                            WorkerMsg::Verdict(Testability::Redundant)
-                        } else if !sim.is_empty() && sim.first_detecting(faults[fi]).is_some() {
-                            // A committed vector already detects this
-                            // fault, so the in-order drop check is
-                            // guaranteed to decide the slot.
-                            WorkerMsg::Skipped
-                        } else {
-                            WorkerMsg::Verdict(ctx.classify(faults[fi]))
-                        };
-                        batch.push((k, msg));
-                    }
+                        (batch, false)
+                    }));
+                    let batch = match shield {
+                        Ok((_, true)) => break 'claims,
+                        Ok((batch, false)) => batch,
+                        Err(_) => {
+                            // The whole chunk degrades: any verdicts the
+                            // worker had computed unwound with it.
+                            lost.salvage(&mut ctx);
+                            ctx = rebuild();
+                            (lo..hi)
+                                .map(|k| {
+                                    let v = Testability::Unknown(UnknownReason::WorkerPanic);
+                                    (k, WorkerMsg::Verdict(v))
+                                })
+                                .collect()
+                        }
+                    };
                     if let Some(pool) = pool {
                         pool.publish(ctx.export_shared());
                     }
@@ -1440,7 +1683,7 @@ fn run_parallel(
                     // and drain every consecutive chunk from the frontier
                     // on — usually just this one, in this worker's own
                     // timeslice.
-                    let mut st = state.lock().expect("commit lock");
+                    let mut st = lock_unpoisoned(state);
                     st.parked.insert(c, batch);
                     while let Some(b) = {
                         let f = st.frontier;
@@ -1474,17 +1717,21 @@ fn run_parallel(
                         frontier_cv.notify_all();
                     }
                 }
-                let mut total = agg.lock().expect("aggregate lock");
+                let mut total = lock_unpoisoned(agg);
                 total.0.merge(&ctx.solver.stats());
-                total.2 += ctx.engine_calls;
+                total.0.merge(&lost.solver);
+                total.2 += ctx.engine_calls + lost.engine_calls;
                 if let Some(mine) = ctx.certification.take() {
+                    total.1.merge(&mine);
+                }
+                if let Some(mine) = lost.certification.take() {
                     total.1.merge(&mine);
                 }
             });
         }
     });
-    let (stats, certs, engine_calls) = agg.into_inner().expect("aggregate lock");
-    let st = state.into_inner().expect("commit lock");
+    let (stats, certs, engine_calls) = agg.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
     debug_assert!(
         stop.load(Ordering::Acquire) || st.frontier == num_chunks,
         "every chunk commits unless the run stopped early"

@@ -41,6 +41,60 @@ pub enum Engine {
     SharedSat(ParallelOptions),
 }
 
+/// Why a fault's classification did not reach a verdict.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnknownReason {
+    /// PODEM's backtrack budget ran out (no SAT fallback configured).
+    Podem,
+    /// The per-fault SAT conflict budget ran out.
+    Conflicts,
+    /// The per-fault SAT propagation budget ran out.
+    Propagations,
+    /// The per-fault wall-clock deadline passed.
+    Deadline,
+    /// The run's cancellation token was raised.
+    Cancelled,
+    /// The worker classifying this fault panicked; the panic was
+    /// isolated and the fault degraded to unknown instead of killing
+    /// the run.
+    WorkerPanic,
+    /// Fault injection aborted the query (`fault-inject` builds only).
+    Injected,
+}
+
+impl UnknownReason {
+    /// Short lowercase mnemonic for report surfaces.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnknownReason::Podem => "podem",
+            UnknownReason::Conflicts => "conflicts",
+            UnknownReason::Propagations => "propagations",
+            UnknownReason::Deadline => "deadline",
+            UnknownReason::Cancelled => "cancelled",
+            UnknownReason::WorkerPanic => "worker-panic",
+            UnknownReason::Injected => "injected",
+        }
+    }
+}
+
+impl std::fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl From<kms_sat::AbortReason> for UnknownReason {
+    fn from(r: kms_sat::AbortReason) -> Self {
+        match r {
+            kms_sat::AbortReason::Conflicts => UnknownReason::Conflicts,
+            kms_sat::AbortReason::Propagations => UnknownReason::Propagations,
+            kms_sat::AbortReason::Deadline => UnknownReason::Deadline,
+            kms_sat::AbortReason::Cancelled => UnknownReason::Cancelled,
+            kms_sat::AbortReason::Injected => UnknownReason::Injected,
+        }
+    }
+}
+
 /// The verdict for one fault.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Testability {
@@ -48,14 +102,22 @@ pub enum Testability {
     Testable(Vec<bool>),
     /// Provably undetectable: the fault is redundant.
     Redundant,
-    /// The engine's effort budget ran out (PODEM only).
-    Unknown,
+    /// No verdict: an effort/resource budget ran out, the run was
+    /// cancelled, or the classifying worker panicked. Unknown is a
+    /// first-class degraded outcome — reports carry it through instead
+    /// of hanging or aborting the whole run.
+    Unknown(UnknownReason),
 }
 
 impl Testability {
     /// `true` for [`Testability::Redundant`].
     pub fn is_redundant(&self) -> bool {
         matches!(self, Testability::Redundant)
+    }
+
+    /// `true` for [`Testability::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Testability::Unknown(_))
     }
 }
 
@@ -67,7 +129,7 @@ pub fn is_testable(net: &Network, fault: Fault, engine: Engine) -> Testability {
                 Testability::Testable(cube.iter().map(|v| v.to_bool().unwrap_or(false)).collect())
             }
             PodemResult::Redundant => Testability::Redundant,
-            PodemResult::Aborted => Testability::Unknown,
+            PodemResult::Aborted => Testability::Unknown(UnknownReason::Podem),
         },
         Engine::Sat => sat_testable(net, fault),
         Engine::Hybrid { podem_backtracks } => match podem(net, fault, podem_backtracks) {
@@ -187,6 +249,7 @@ fn sat_testable(net: &Network, fault: Fault) -> Testability {
     match solver.solve() {
         SatResult::Unsat => Testability::Redundant,
         SatResult::Sat => Testability::Testable(good.model_inputs(&solver, net)),
+        SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
     }
 }
 
@@ -316,10 +379,32 @@ impl TestabilityReport {
 
     /// Number of unresolved faults (engine budget exhausted).
     pub fn unknown_count(&self) -> usize {
-        self.verdicts
+        self.verdicts.iter().filter(|v| v.is_unknown()).count()
+    }
+
+    /// Unknown-verdict counts grouped by reason, in a fixed reason
+    /// order (stable across runs for report rendering).
+    pub fn unknown_reasons(&self) -> Vec<(UnknownReason, usize)> {
+        const ORDER: [UnknownReason; 7] = [
+            UnknownReason::Podem,
+            UnknownReason::Conflicts,
+            UnknownReason::Propagations,
+            UnknownReason::Deadline,
+            UnknownReason::Cancelled,
+            UnknownReason::WorkerPanic,
+            UnknownReason::Injected,
+        ];
+        ORDER
             .iter()
-            .filter(|v| matches!(v, Testability::Unknown))
-            .count()
+            .filter_map(|&reason| {
+                let n = self
+                    .verdicts
+                    .iter()
+                    .filter(|v| matches!(v, Testability::Unknown(r) if *r == reason))
+                    .count();
+                (n > 0).then_some((reason, n))
+            })
+            .collect()
     }
 
     /// `true` if every fault is testable — the circuit is fully
@@ -559,7 +644,7 @@ mod hybrid_tests {
         for f in collapsed_faults(&net) {
             let vh = is_testable(&net, f, hybrid);
             let vs = is_testable(&net, f, Engine::Sat);
-            assert!(!matches!(vh, Testability::Unknown), "{f}");
+            assert!(!vh.is_unknown(), "{f}");
             assert_eq!(vh.is_redundant(), vs.is_redundant(), "{f}");
         }
     }

@@ -33,6 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-inject")]
+pub mod chaos;
 mod classify;
 mod compact;
 mod engine;
@@ -42,13 +44,13 @@ mod inject;
 mod podem;
 
 pub use classify::{
-    classify_faults, classify_faults_report, scan_for_redundancy, ClassifyReport, ParallelOptions,
-    RedundancyScan,
+    classify_faults, classify_faults_report, scan_for_redundancy, ClassifyReport, FaultBudget,
+    ParallelOptions, RedundancyScan,
 };
 pub use compact::{compact_tests, CompactionReport};
 pub use engine::{
     analyze, analyze_all, find_redundant_fault, is_testable, random_tests, redundancy_count,
-    Engine, Testability, TestabilityReport,
+    Engine, Testability, TestabilityReport, UnknownReason,
 };
 pub use fault::{all_faults, collapsed_faults, Fault, FaultSite};
 pub use fsim::{

@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use kms_atpg::{analyze, Engine, ParallelOptions, TestabilityReport};
+use kms_atpg::{analyze, Engine, FaultBudget, ParallelOptions, TestabilityReport};
 use kms_bench::table1_csa;
 use kms_netlist::Network;
 use kms_opt::flow::{prepare_benchmark, FlowOptions};
@@ -116,6 +116,10 @@ struct Row {
     sharedn_s: f64,
     /// `(jobs, seconds)` curve when `--scaling` is on.
     scaling: Vec<(usize, f64)>,
+    /// The same curve with a generous (never-aborting) per-fault budget
+    /// armed: its distance from `scaling` is the whole cost of the budget
+    /// plumbing — the counter samples at the solver's conflict boundary.
+    scaling_budget: Vec<(usize, f64)>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -170,7 +174,16 @@ fn main() {
             "{name}: shared-CNF report depends on the job count"
         );
         let mut scaling = Vec::new();
+        let mut scaling_budget = Vec::new();
         if cfg.scaling {
+            // Never aborts, so the report must stay bit-identical; the
+            // timing delta against the unbudgeted curve is the entire
+            // overhead of the budget checks (the ≤2% acceptance bound).
+            let generous = FaultBudget {
+                max_conflicts: Some(1 << 40),
+                max_propagations: Some(1 << 50),
+                timeout_ms: None,
+            };
             for jobs in [1usize, 2, 4] {
                 let engine = Engine::SharedSat(ParallelOptions {
                     jobs,
@@ -182,6 +195,17 @@ fn main() {
                     "{name}: shared-CNF report depends on the job count (scaling, jobs={jobs})"
                 );
                 scaling.push((jobs, s));
+                let budgeted = Engine::SharedSat(ParallelOptions {
+                    jobs,
+                    fault_budget: Some(generous),
+                    ..Default::default()
+                });
+                let (bs, br) = time_min(reps, || analyze(net, budgeted));
+                assert_eq!(
+                    shared1_r, br,
+                    "{name}: a generous budget changed the report (jobs={jobs})"
+                );
+                scaling_budget.push((jobs, bs));
             }
         }
         eprintln!(
@@ -190,10 +214,12 @@ fn main() {
             cfg.jobs,
             seq_s / sharedn_s
         );
-        for (jobs, s) in &scaling {
+        for ((jobs, s), (_, bs)) in scaling.iter().zip(&scaling_budget) {
             eprintln!(
-                "           scaling jobs={jobs}: {s:.4}s  ({:.2}x vs seq)",
-                seq_s / s
+                "           scaling jobs={jobs}: {s:.4}s  ({:.2}x vs seq)  budgeted {bs:.4}s \
+                 ({:+.1}% overhead)",
+                seq_s / s,
+                (bs / s - 1.0) * 100.0
             );
         }
         rows.push(Row {
@@ -204,6 +230,7 @@ fn main() {
             shared1_s,
             sharedn_s,
             scaling,
+            scaling_budget,
         });
     }
 
@@ -251,12 +278,18 @@ fn main() {
         let scaling_json = if r.scaling.is_empty() {
             String::new()
         } else {
-            let pts: Vec<String> = r
-                .scaling
-                .iter()
-                .map(|(jobs, s)| format!("\"{jobs}\": {s:.6}"))
-                .collect();
-            format!(", \"scaling_s\": {{{}}}", pts.join(", "))
+            let curve = |points: &[(usize, f64)]| {
+                let pts: Vec<String> = points
+                    .iter()
+                    .map(|(jobs, s)| format!("\"{jobs}\": {s:.6}"))
+                    .collect();
+                format!("{{{}}}", pts.join(", "))
+            };
+            format!(
+                ", \"scaling_s\": {}, \"scaling_budget_s\": {}",
+                curve(&r.scaling),
+                curve(&r.scaling_budget)
+            )
         };
         json.push_str(&format!(
             "    {{\"circuit\": \"{}\", \"gates\": {}, \"faults\": {}, \

@@ -1,16 +1,20 @@
 //! Regenerates Table I of the paper (experiments E1 and E2).
 //!
 //! Usage: `table1 [--csa] [--mcnc] [--no-verify] [--engine shared|sat]
-//! [--jobs N] [--certify] [--budget SECONDS]` (no selection flags = both
-//! suites). The ATPG defaults to the shared-CNF classification engine
-//! with `--jobs 0` (available parallelism, capped); `--jobs 1` forces
-//! fully in-line execution and `--engine sat` selects the per-fault
-//! re-encoding engine. `--certify` re-checks every UNSAT verdict
-//! behind each row with the independent proof checker, prints the merged
-//! ledger, and exits 1 if any certificate fails to check. `--budget`
-//! enforces a wall-clock ceiling on the whole run and exits 1 when
-//! exceeded — CI uses it as a performance-regression tripwire for the
-//! SAT kernel on the certified Table I path.
+//! [--jobs N] [--certify] [--budget SECONDS] [--fault-budget SPEC]` (no
+//! selection flags = both suites). The ATPG defaults to the shared-CNF
+//! classification engine with `--jobs 0` (available parallelism, capped);
+//! `--jobs 1` forces fully in-line execution and `--engine sat` selects
+//! the per-fault re-encoding engine. `--certify` re-checks every UNSAT
+//! verdict behind each row with the independent proof checker, prints the
+//! merged ledger, and exits 1 if any certificate fails to check.
+//! `--budget` enforces a wall-clock ceiling on the whole run and exits 1
+//! when exceeded — CI uses it as a performance-regression tripwire for
+//! the SAT kernel on the certified Table I path. `--fault-budget` (shared
+//! engine only) caps each per-fault solver query — a bare number caps
+//! conflicts, or comma-separated `conflicts=N,props=N,ms=N`; rows whose
+//! queries exhaust the budget report Unknown faults and the run exits 3
+//! ("completed, degraded").
 //!
 //! Columns: redundancy count, initial/final simple-gate counts, viable
 //! delay before/after, topological delay before/after, loop iterations,
@@ -33,14 +37,33 @@ fn main() {
             });
         args.drain(i..i + 2);
     }
+    let mut fault_budget = None;
+    if let Some(i) = args.iter().position(|a| a == "--fault-budget") {
+        let spec = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --fault-budget needs a spec (N or conflicts=N,props=N,ms=N)");
+            std::process::exit(2);
+        });
+        fault_budget = Some(kms_atpg::FaultBudget::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }));
+        args.drain(i..i + 2);
+    }
     let mut engine = kms_atpg::Engine::SharedSat(kms_atpg::ParallelOptions {
         jobs,
+        fault_budget,
         ..Default::default()
     });
     if let Some(i) = args.iter().position(|a| a == "--engine" || a == "-e") {
         match args.get(i + 1).map(String::as_str) {
             Some("shared") => {}
-            Some("sat") => engine = kms_atpg::Engine::Sat,
+            Some("sat") => {
+                if fault_budget.is_some() {
+                    eprintln!("error: --fault-budget requires the shared engine");
+                    std::process::exit(2);
+                }
+                engine = kms_atpg::Engine::Sat;
+            }
             other => {
                 eprintln!("error: unknown engine {other:?}");
                 std::process::exit(2);
@@ -77,10 +100,12 @@ fn main() {
         || args.iter().all(|a| a == "--no-verify");
 
     let mut ledger = kms_proof::CertificationReport::default();
+    let mut unknown_total = 0usize;
     let mut tally = |row: &kms_bench::Table1Row| {
         if let Some(c) = &row.certification {
             ledger.merge(c);
         }
+        unknown_total += row.unknown;
     };
     println!("Table I — redundancy removal with no delay increase");
     println!("{}", kms_bench::Table1Row::header());
@@ -97,12 +122,13 @@ fn main() {
             tally(&row);
         }
     }
+    let mut failed = false;
     if certify {
         println!();
         print!("{}", ledger.render_text());
         if !ledger.all_verified() {
             eprintln!("error: certification failed — some solver verdict has no checkable proof");
-            std::process::exit(1);
+            failed = true;
         }
     }
     println!();
@@ -125,7 +151,19 @@ fn main() {
                 "error: wall-clock budget exceeded ({elapsed:.1}s > {limit:.1}s) — \
                  the SAT/ATPG hot path has regressed"
             );
-            std::process::exit(1);
+            failed = true;
         }
+    }
+    // Degraded (3) outranks other failures (1): with undecided faults no
+    // row's redundancy count or invariant check can be fully trusted.
+    if unknown_total > 0 {
+        eprintln!(
+            "warning: {unknown_total} fault(s) left undecided under the \
+             per-fault budget; redundancy counts are lower bounds"
+        );
+        std::process::exit(3);
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

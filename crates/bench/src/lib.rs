@@ -56,6 +56,12 @@ pub struct Table1Row {
     /// count, KMS run, and invariant check all emit certificates);
     /// `None` when the row ran without `--certify`.
     pub certification: Option<CertificationReport>,
+    /// Faults left undecided anywhere in the row (classification pass or
+    /// the KMS removal phase) by a per-fault budget or an isolated worker
+    /// panic. Non-zero means the row is degraded: the redundancy count is
+    /// a lower bound and "fully testable" was not proved. Always zero
+    /// unbudgeted.
+    pub unknown: usize,
 }
 
 impl Table1Row {
@@ -69,8 +75,13 @@ impl Table1Row {
                 c.proofs_failed, c.proofs_emitted
             ),
         };
+        let degraded = if self.unknown > 0 {
+            format!("  [{} unknown — degraded]", self.unknown)
+        } else {
+            String::new()
+        };
         format!(
-            "{:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>7} {:>6} {:>6}  {}{}",
+            "{:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>7} {:>6} {:>6}  {}{}{}",
             self.name,
             self.redundancies,
             self.gates_initial,
@@ -82,7 +93,8 @@ impl Table1Row {
             self.iterations,
             self.duplicated,
             if self.verified { "ok" } else { "unchecked" },
-            cert
+            cert,
+            degraded
         )
     }
 
@@ -154,6 +166,7 @@ pub fn run_row_engine(
         Engine::SharedSat(p) => p,
         _ => ParallelOptions::default(),
     };
+    let mut unknown = 0usize;
     let redundancies = match certification.as_mut() {
         Some(total) => {
             let classify = kms_atpg::classify_faults_report(
@@ -167,6 +180,12 @@ pub fn run_row_engine(
             if let Some(atpg) = classify.certification {
                 total.merge(&atpg);
             }
+            unknown += classify
+                .testability
+                .verdicts
+                .iter()
+                .filter(|v| v.is_unknown())
+                .count();
             classify
                 .testability
                 .verdicts
@@ -174,7 +193,19 @@ pub fn run_row_engine(
                 .filter(|v| v.is_redundant())
                 .count()
         }
-        None => kms_atpg::redundancy_count(net, engine),
+        None => {
+            let testability = kms_atpg::analyze(net, engine);
+            unknown += testability
+                .verdicts
+                .iter()
+                .filter(|v| v.is_unknown())
+                .count();
+            testability
+                .verdicts
+                .iter()
+                .filter(|v| v.is_redundant())
+                .count()
+        }
     };
     let delay_initial = computed_delay(net, arrivals, condition, cap)
         .expect("simple-gate network")
@@ -220,6 +251,7 @@ pub fn run_row_engine(
     } else {
         false
     };
+    unknown += report.unknown;
     Table1Row {
         name: name.to_string(),
         redundancies,
@@ -233,6 +265,7 @@ pub fn run_row_engine(
         duplicated: report.duplicated_gates,
         verified,
         certification,
+        unknown,
     }
 }
 

@@ -21,6 +21,7 @@
 //! the computed delay) guarantee the loop invariant; both are re-proved as
 //! property tests in this repository.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use kms_analysis::SignatureInterner;
@@ -35,6 +36,7 @@ use kms_timing::{
     is_statically_sensitizable, IncrementalSta, InputArrivals, ResumablePathEnumerator, Time,
 };
 
+use crate::checkpoint::{self, Checkpoint};
 use crate::engine::{count_critical_paths, oracle_phase, EngineStats, VerdictCache};
 
 /// The sensitization condition used in the while-loop header (Section VI:
@@ -201,6 +203,11 @@ pub struct KmsReport {
     /// oracle-phase unsensitizability certificates plus removal-phase
     /// redundancy certificates. `None` when certification was off.
     pub certification: Option<CertificationReport>,
+    /// Faults the final removal phase left undecided (per-fault budget
+    /// exhaustion or an isolated worker panic). Non-zero means "fully
+    /// testable" was not actually proved — callers report a degraded
+    /// (exit 3), not failed, outcome. Always zero unbudgeted.
+    pub unknown: usize,
 }
 
 impl KmsReport {
@@ -214,7 +221,7 @@ impl KmsReport {
              \"gates_before\": {}, \"gates_after\": {}, \"duplicated_gates\": {}, \
              \"topological_before\": {}, \"topological_after\": {}, \
              \"max_fanout_before\": {}, \"max_fanout_after\": {}, \"capped\": {}, \
-             \"dropped_longest_paths\": {}, \
+             \"dropped_longest_paths\": {}, \"unknown\": {}, \
              \"timings_ns\": {{\"path_enum\": {}, \"oracle\": {}, \"transform\": {}, \
              \"atpg\": {}, \"engine\": {}}}, \
              \"oracle_solver\": {}, \"atpg_solver\": {}",
@@ -229,6 +236,7 @@ impl KmsReport {
             self.max_fanout_after,
             self.capped,
             self.dropped_longest_paths,
+            self.unknown,
             t.path_enum.as_nanos(),
             t.oracle.as_nanos(),
             t.transform.as_nanos(),
@@ -404,6 +412,52 @@ pub fn kms(
     arrivals: &InputArrivals,
     options: KmsOptions,
 ) -> Result<KmsReport, NetlistError> {
+    let report = kms_with_control(net, arrivals, options, RunControl::default())?;
+    Ok(report.expect("a run without stop_after always completes"))
+}
+
+/// Execution control for [`kms_with_control`]: checkpointing, resume,
+/// and an early-stop hook for simulating interruption in tests.
+#[derive(Debug, Default)]
+pub struct RunControl {
+    /// Write a checkpoint to this path at the end of every while-loop
+    /// iteration (atomic temp-file-then-rename). A write failure is
+    /// reported on stderr and the run continues — losing a checkpoint
+    /// must never lose the run. The file is removed on successful
+    /// completion.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from this previously loaded checkpoint instead of starting
+    /// fresh. The checkpoint's fingerprint must match the circuit,
+    /// arrivals, and options passed alongside it.
+    pub resume: Option<Checkpoint>,
+    /// Stop (returning `Ok(None)`) after this many while-loop iterations
+    /// have completed *in this run* — after the checkpoint for the last
+    /// one was written. Simulates a kill at an iteration boundary;
+    /// intended for tests and the chaos harness.
+    pub stop_after: Option<usize>,
+}
+
+/// [`kms`] with checkpoint/resume control. Returns `Ok(None)` if
+/// [`RunControl::stop_after`] suspended the run (the network is left in
+/// its mid-run state), `Ok(Some(report))` on completion.
+///
+/// A resumed run is bit-identical to the uninterrupted one in every
+/// report field except wall-clock timings and the engine counters (the
+/// resumed engine rebuilds its timing view once instead of repairing it
+/// — an accounting difference only; the repair-vs-rebuild equivalence
+/// is asserted by this module's tests).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::NotSimple`] if a complex gate is present, and
+/// [`NetlistError::ExecutionFailed`] if a resume checkpoint does not
+/// belong to this circuit/arrivals/options.
+pub fn kms_with_control(
+    net: &mut Network,
+    arrivals: &InputArrivals,
+    options: KmsOptions,
+    mut control: RunControl,
+) -> Result<Option<KmsReport>, NetlistError> {
     if let Some(bad) = net
         .gate_ids()
         .find(|&g| !net.gate(g).kind.is_source() && !net.gate(g).kind.is_simple())
@@ -413,40 +467,96 @@ pub fn kms(
             kind: net.gate(bad).kind,
         });
     }
-    let gates_before = net.simple_gate_count();
-    let topological_before = kms_timing::Sta::run(net, arrivals).delay();
-    let max_fanout_before = max_fanout(net);
-    let mut iterations = Vec::new();
-    let mut duplicated_gates = 0usize;
+    // The fingerprint is computed over the *input* network — before any
+    // resume restore — so a checkpoint can only be replayed onto the
+    // exact run that wrote it.
+    let fingerprint = checkpoint::fingerprint(net, arrivals, &options);
+    let start_iter;
+    let gates_before;
+    let topological_before;
+    let max_fanout_before;
+    let mut iterations;
+    let mut duplicated_gates;
+    let mut dropped_total;
+    let mut engine_stats;
+    let mut oracle_solver;
+    let mut certification;
+    let mut cache;
+    let mut interner;
+    match control.resume.take() {
+        Some(ck) => {
+            if ck.fingerprint != fingerprint {
+                return Err(NetlistError::ExecutionFailed {
+                    context: "checkpoint does not belong to this circuit/arrivals/options \
+                              (fingerprint mismatch)"
+                        .to_string(),
+                });
+            }
+            start_iter = ck.next_iter;
+            gates_before = ck.gates_before;
+            topological_before = ck.topological_before;
+            max_fanout_before = ck.max_fanout_before;
+            iterations = ck.iterations;
+            duplicated_gates = ck.duplicated_gates;
+            dropped_total = ck.dropped_total;
+            engine_stats = ck.engine_stats;
+            oracle_solver = ck.oracle_solver;
+            certification = options
+                .certify
+                .then(|| ck.certification.unwrap_or_default());
+            // Cache/interner restore is gated on the *current* options:
+            // resuming a cached run without `incremental` just drops the
+            // cache (verdicts are unchanged either way).
+            cache = options.incremental.then(|| match ck.cache {
+                Some((entries, hits, misses)) => VerdictCache::from_parts(entries, hits, misses),
+                None => VerdictCache::default(),
+            });
+            interner = options.incremental.then(|| ck.interner.unwrap_or_default());
+            *net = ck.net;
+        }
+        None => {
+            start_iter = 0;
+            gates_before = net.simple_gate_count();
+            topological_before = kms_timing::Sta::run(net, arrivals).delay();
+            max_fanout_before = max_fanout(net);
+            iterations = Vec::new();
+            duplicated_gates = 0usize;
+            dropped_total = 0u64;
+            engine_stats = EngineStats::default();
+            oracle_solver = Stats::default();
+            certification = options.certify.then(CertificationReport::default);
+            cache = options.incremental.then(VerdictCache::default);
+            interner = options.incremental.then(SignatureInterner::new);
+        }
+    }
     let mut capped = false;
     let mut timings = KmsPhaseTimings::default();
-    let mut engine_stats = EngineStats::default();
-    let mut dropped_total = 0u64;
+    let mut completed_this_run = 0usize;
 
     // The timing engine: one persistent incremental view and enumeration
     // frontier (patched in place each iteration) in incremental mode;
     // rebuilt from scratch per iteration otherwise. Both modes walk the
     // same code path below, so the loop's decisions are bit-identical.
+    // A resumed run always starts with a fresh build over the restored
+    // network — equivalent to the repaired view by the enumerator-repair
+    // invariant.
     let t0 = Instant::now();
     let mut ista = IncrementalSta::new(net, arrivals.clone());
     let mut enumerator =
         ResumablePathEnumerator::new(net, &ista).with_effort_cap(options.effort_cap);
     timings.engine += t0.elapsed();
     engine_stats.full_recomputes += 1;
-    let mut cache = options.incremental.then(VerdictCache::default);
-    let mut interner = options.incremental.then(SignatureInterner::new);
     let mut carry_dirty = DirtySet::new();
-    let mut certification = options.certify.then(CertificationReport::default);
-    let mut oracle_solver = Stats::default();
 
-    for _iter in 0.. {
+    for _iter in start_iter.. {
         if _iter >= options.max_iterations {
             capped = true;
             break;
         }
         // Bring the timing view and the enumeration frontier up to date
-        // with the previous iteration's surgery.
-        if _iter > 0 {
+        // with the previous iteration's surgery (the initial build above
+        // already covers the first iteration of this run).
+        if _iter > start_iter {
             let t0 = Instant::now();
             if options.incremental {
                 ista.update(net, &carry_dirty);
@@ -593,6 +703,41 @@ pub fn kms(
             gates_after: net.simple_gate_count(),
             dropped,
         });
+
+        // Iteration boundary: freeze the cross-iteration state. A failed
+        // write (full disk, injected fault) costs the checkpoint, never
+        // the run.
+        completed_this_run += 1;
+        if let Some(ck_path) = control.checkpoint.as_deref() {
+            let ck = Checkpoint {
+                fingerprint,
+                next_iter: _iter + 1,
+                gates_before,
+                topological_before,
+                max_fanout_before,
+                duplicated_gates,
+                dropped_total,
+                engine_stats,
+                oracle_solver,
+                certification: certification.clone(),
+                iterations: iterations.clone(),
+                cache: cache
+                    .as_ref()
+                    .map(|c| (c.export_entries(), c.hits, c.misses)),
+                interner: interner.clone(),
+                net: net.clone(),
+            };
+            if let Err(e) = ck.save(ck_path) {
+                eprintln!(
+                    "kms[{}]: checkpoint write to {} failed ({e}); continuing without it",
+                    net.name(),
+                    ck_path.display()
+                );
+            }
+        }
+        if control.stop_after == Some(completed_this_run) {
+            return Ok(None);
+        }
     }
 
     // Fold the persistent engine's counters into the report. In
@@ -643,7 +788,13 @@ pub fn kms(
         // unchanged; full testability is preserved (checked in tests).
     }
 
-    Ok(KmsReport {
+    // A completed run leaves no stale checkpoint behind (a later resume
+    // against it would be a user error the fingerprint cannot catch).
+    if let Some(ck_path) = control.checkpoint.as_deref() {
+        let _ = std::fs::remove_file(ck_path);
+    }
+
+    Ok(Some(KmsReport {
         iterations,
         removed_redundancies: naive.removed,
         gates_before,
@@ -660,7 +811,8 @@ pub fn kms(
         oracle_solver,
         atpg_solver: naive.solver,
         certification,
-    })
+        unknown: naive.unknown,
+    }))
 }
 
 /// Runs [`kms`] on a copy, returning the transformed network and report.
@@ -928,6 +1080,315 @@ mod tests {
             assert!(ledger.proofs_checked > 0);
             assert!(r_cert.oracle_solver.propagations > 0);
         }
+    }
+
+    /// Everything the two reports must agree on when one run was
+    /// checkpointed, killed, and resumed: the wall-clock timings and the
+    /// engine counters are the only excluded fields (the resumed engine
+    /// rebuilds once instead of repairing — an accounting difference).
+    fn assert_reports_identical(a: &KmsReport, b: &KmsReport, context: &str) {
+        assert_reports_agree(a, b, context, true);
+    }
+
+    /// The cross-mode variant: solver *counters* are not invariant
+    /// across job count (workers' solvers serve different query
+    /// subsets) or cache mode (hits skip the oracle), even though every
+    /// verdict is — so the stats comparison is optional.
+    fn assert_reports_agree(a: &KmsReport, b: &KmsReport, context: &str, solver_stats: bool) {
+        assert_eq!(a.iterations.len(), b.iterations.len(), "{context}");
+        for (x, y) in a.iterations.iter().zip(&b.iterations) {
+            assert_eq!(x.path, y.path, "{context}: iteration trace diverged");
+            assert_eq!(
+                (
+                    x.longest_length,
+                    x.duplicated,
+                    x.constant,
+                    x.gates_after,
+                    x.dropped
+                ),
+                (
+                    y.longest_length,
+                    y.duplicated,
+                    y.constant,
+                    y.gates_after,
+                    y.dropped
+                ),
+                "{context}"
+            );
+        }
+        assert_eq!(a.removed_redundancies, b.removed_redundancies, "{context}");
+        assert_eq!(
+            (a.gates_before, a.gates_after, a.duplicated_gates),
+            (b.gates_before, b.gates_after, b.duplicated_gates),
+            "{context}"
+        );
+        assert_eq!(
+            (a.topological_before, a.topological_after),
+            (b.topological_before, b.topological_after),
+            "{context}"
+        );
+        assert_eq!(
+            (a.max_fanout_before, a.max_fanout_after),
+            (b.max_fanout_before, b.max_fanout_after),
+            "{context}"
+        );
+        assert_eq!(a.capped, b.capped, "{context}");
+        assert_eq!(
+            a.dropped_longest_paths, b.dropped_longest_paths,
+            "{context}"
+        );
+        assert_eq!(a.unknown, b.unknown, "{context}");
+        if solver_stats {
+            assert_eq!(a.oracle_solver, b.oracle_solver, "{context}");
+            assert_eq!(a.atpg_solver, b.atpg_solver, "{context}");
+        }
+        match (&a.certification, &b.certification) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                // check_time is wall-clock; everything else must match.
+                assert_eq!(x.proofs_emitted, y.proofs_emitted, "{context}");
+                assert_eq!(x.proofs_checked, y.proofs_checked, "{context}");
+                assert_eq!(x.proofs_failed, y.proofs_failed, "{context}");
+                assert_eq!(x.steps_checked, y.steps_checked, "{context}");
+                assert_eq!(x.failures, y.failures, "{context}");
+            }
+            _ => panic!("{context}: certification presence diverged"),
+        }
+    }
+
+    fn ckpt_path(tag: &str) -> std::path::PathBuf {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/ckpt-tests");
+        std::fs::create_dir_all(dir).unwrap();
+        std::path::Path::new(dir).join(format!("{tag}-{}.ck", std::process::id()))
+    }
+
+    /// The tentpole guarantee: checkpoint, kill at an iteration
+    /// boundary, resume — and the final network and report are
+    /// bit-identical to the uninterrupted run. Sampled at the first,
+    /// a middle, and the last boundary (the loop runs for >100
+    /// iterations on this circuit; killing at every one would square
+    /// the runtime without adding coverage).
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let mut net = kms_gen::adders::carry_skip_adder(8, 2, kms_netlist::DelayModel::Unit);
+        transform::decompose_to_simple(&mut net);
+        net.apply_delay_model(kms_netlist::DelayModel::Unit);
+        let arr = InputArrivals::zero();
+        let options = KmsOptions::default();
+        let (base_net, base_report) = kms_on_copy(&net, &arr, options).unwrap();
+        let total = base_report.iterations.len();
+        assert!(total >= 2, "need a multi-iteration run to interrupt");
+        let mut stops = vec![1, total / 2, total - 1];
+        stops.dedup();
+        for stop in stops {
+            let path = ckpt_path(&format!("resume-{stop}"));
+            let mut first = net.clone();
+            let suspended = kms_with_control(
+                &mut first,
+                &arr,
+                options,
+                RunControl {
+                    checkpoint: Some(path.clone()),
+                    stop_after: Some(stop),
+                    resume: None,
+                },
+            )
+            .unwrap();
+            assert!(suspended.is_none(), "stop_after must suspend the run");
+            let ck = Checkpoint::load(&path).unwrap();
+            assert_eq!(ck.next_iteration(), stop);
+            assert!(ck.matches(&net, &arr, &options));
+            // The resumed run starts from the *original* input (as the
+            // CLI would after a kill) plus the checkpoint.
+            let mut resumed = net.clone();
+            let report = kms_with_control(
+                &mut resumed,
+                &arr,
+                options,
+                RunControl {
+                    checkpoint: Some(path.clone()),
+                    resume: Some(ck),
+                    stop_after: None,
+                },
+            )
+            .unwrap()
+            .expect("resumed run completes");
+            assert_eq!(
+                base_net.dump(),
+                resumed.dump(),
+                "stop={stop}: final networks"
+            );
+            assert_reports_identical(&base_report, &report, &format!("stop={stop}"));
+            assert!(!path.exists(), "completed run removes its checkpoint");
+        }
+    }
+
+    /// Certification state survives the checkpoint: a certified run
+    /// interrupted after its first iteration resumes into the same
+    /// fully verified ledger the uninterrupted run produces.
+    #[test]
+    fn certified_resume_restores_the_ledger() {
+        let net = fig4_c2_cone();
+        let cin = net.input_by_name("cin").unwrap();
+        let arr = InputArrivals::zero().with(cin, 5);
+        let options = KmsOptions {
+            certify: true,
+            ..Default::default()
+        };
+        let (base_net, base_report) = kms_on_copy(&net, &arr, options).unwrap();
+        assert!(!base_report.iterations.is_empty());
+        let path = ckpt_path("certified");
+        let mut first = net.clone();
+        let suspended = kms_with_control(
+            &mut first,
+            &arr,
+            options,
+            RunControl {
+                checkpoint: Some(path.clone()),
+                stop_after: Some(1),
+                resume: None,
+            },
+        )
+        .unwrap();
+        assert!(suspended.is_none());
+        let ck = Checkpoint::load(&path).unwrap();
+        let mut resumed = net.clone();
+        let report = kms_with_control(
+            &mut resumed,
+            &arr,
+            options,
+            RunControl {
+                checkpoint: Some(path.clone()),
+                resume: Some(ck),
+                stop_after: None,
+            },
+        )
+        .unwrap()
+        .expect("completes");
+        assert_eq!(base_net.dump(), resumed.dump());
+        assert_reports_identical(&base_report, &report, "certified resume");
+        let ledger = report.certification.as_ref().unwrap();
+        assert!(ledger.all_verified());
+        assert!(ledger.proofs_checked > 0);
+        assert!(!path.exists());
+    }
+
+    /// A checkpoint written under one run must be rejected by another:
+    /// different arrivals, different options, different circuit.
+    #[test]
+    fn checkpoint_fingerprint_guards_resume() {
+        let mut net = kms_gen::adders::carry_skip_adder(8, 2, kms_netlist::DelayModel::Unit);
+        transform::decompose_to_simple(&mut net);
+        net.apply_delay_model(kms_netlist::DelayModel::Unit);
+        let arr = InputArrivals::zero();
+        let options = KmsOptions::default();
+        let path = ckpt_path("fingerprint");
+        let mut first = net.clone();
+        kms_with_control(
+            &mut first,
+            &arr,
+            options,
+            RunControl {
+                checkpoint: Some(path.clone()),
+                stop_after: Some(1),
+                resume: None,
+            },
+        )
+        .unwrap();
+        // Wrong arrivals.
+        let ck = Checkpoint::load(&path).unwrap();
+        let other_arr = InputArrivals::zero().with(net.inputs()[0], 3);
+        assert!(!ck.matches(&net, &other_arr, &options));
+        let mut copy = net.clone();
+        assert!(matches!(
+            kms_with_control(
+                &mut copy,
+                &other_arr,
+                options,
+                RunControl {
+                    resume: Some(ck),
+                    ..Default::default()
+                }
+            ),
+            Err(NetlistError::ExecutionFailed { .. })
+        ));
+        // Wrong options (a semantic one: the condition).
+        let ck = Checkpoint::load(&path).unwrap();
+        assert!(!ck.matches(
+            &net,
+            &arr,
+            &KmsOptions {
+                condition: Condition::Viability,
+                ..options
+            }
+        ));
+        // Right run: accepted (and `jobs`/`incremental` do not
+        // participate — both are proven bit-identity switches).
+        let ck = Checkpoint::load(&path).unwrap();
+        assert!(ck.matches(
+            &net,
+            &arr,
+            &KmsOptions {
+                jobs: 4,
+                incremental: false,
+                ..options
+            }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Resume composes with the other bit-identity switches: a resumed
+    /// run at jobs=4 without the incremental engine still reproduces the
+    /// uninterrupted sequential incremental run.
+    #[test]
+    fn resume_is_bit_identical_across_modes() {
+        let mut net = kms_gen::adders::carry_skip_adder(8, 2, kms_netlist::DelayModel::Unit);
+        transform::decompose_to_simple(&mut net);
+        net.apply_delay_model(kms_netlist::DelayModel::Unit);
+        let arr = InputArrivals::zero();
+        let options = KmsOptions::default();
+        let (base_net, base_report) = kms_on_copy(&net, &arr, options).unwrap();
+        let path = ckpt_path("modes");
+        let mut first = net.clone();
+        kms_with_control(
+            &mut first,
+            &arr,
+            options,
+            RunControl {
+                checkpoint: Some(path.clone()),
+                stop_after: Some(1),
+                resume: None,
+            },
+        )
+        .unwrap();
+        for resume_options in [
+            KmsOptions { jobs: 4, ..options },
+            KmsOptions {
+                incremental: false,
+                ..options
+            },
+        ] {
+            let ck = Checkpoint::load(&path).unwrap();
+            let mut resumed = net.clone();
+            let report = kms_with_control(
+                &mut resumed,
+                &arr,
+                resume_options,
+                RunControl {
+                    resume: Some(ck),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .expect("completes");
+            assert_eq!(base_net.dump(), resumed.dump());
+            // Verdicts (and hence the trace, removals, and metrics) are
+            // mode-invariant; raw solver counters are not — parallel
+            // workers split the query stream and a cold cache re-asks
+            // questions the warm one answered from memory.
+            assert_reports_agree(&base_report, &report, "mode variant", false);
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

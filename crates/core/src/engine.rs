@@ -23,8 +23,11 @@
 //! bit-identical to the sequential walk.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Mutex, PoisonError};
+
+use kms_sat::lock_unpoisoned;
 
 use kms_analysis::{SignatureInterner, Signatures};
 use kms_netlist::{FxHashMap, GateKind, NetlistError, Network, Path};
@@ -149,7 +152,31 @@ pub(crate) struct VerdictCache {
 
 /// A cached oracle answer: the verdict plus, for certified negative
 /// verdicts, the digest of the already-checked certificate.
-type CachedVerdict = (bool, Option<u64>);
+pub(crate) type CachedVerdict = (bool, Option<u64>);
+
+/// One exported cache entry: the interned signature key and its verdict
+/// (the checkpoint serialization unit).
+pub(crate) type CacheEntry = (Vec<(u32, bool)>, CachedVerdict);
+
+impl VerdictCache {
+    /// Every cache entry in sorted-key order, for checkpointing (the map
+    /// iteration order is hasher-dependent; the sort makes the
+    /// serialization deterministic).
+    pub(crate) fn export_entries(&self) -> Vec<CacheEntry> {
+        let mut entries: Vec<_> = self.map.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Rebuilds a cache from exported entries and counters.
+    pub(crate) fn from_parts(entries: Vec<CacheEntry>, hits: u64, misses: u64) -> Self {
+        VerdictCache {
+            map: entries.into_iter().collect(),
+            hits,
+            misses,
+        }
+    }
+}
 
 /// The canonical cache key of `path` under `condition`: its constraint
 /// set with gates replaced by their interned signatures. Viability keys
@@ -344,6 +371,7 @@ fn resolve_parallel(
             scope.spawn(move || {
                 let mut oracle: Option<ConditionOracle> = None;
                 let mut local = do_certify.then(CertificationReport::default);
+                let mut lost_stats = Stats::default();
                 'claims: loop {
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     let lo = c * chunk;
@@ -360,13 +388,31 @@ fn resolve_parallel(
                             let _ = tx.send((c, batch));
                             break 'claims;
                         }
-                        let o = oracle.get_or_insert_with(|| {
-                            ConditionOracle::new(net, arrivals, condition, do_certify)
+                        // Panic shield: a panic inside one path's query
+                        // becomes a typed error that decides the phase,
+                        // instead of unwinding through the scope and
+                        // aborting the whole run. The oracle may be
+                        // mid-query when it unwinds, so it is discarded
+                        // (counters salvaged) rather than reused.
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            let o = oracle.get_or_insert_with(|| {
+                                ConditionOracle::new(net, arrivals, condition, do_certify)
+                            });
+                            match local.as_mut() {
+                                Some(report) => {
+                                    o.satisfies_certified(net, &longest[misses[k]], report)
+                                }
+                                None => o.satisfies(net, &longest[misses[k]]).map(|v| (v, None)),
+                            }
+                        }))
+                        .unwrap_or_else(|_| {
+                            if let Some(o) = oracle.take() {
+                                lost_stats.merge(&o.stats());
+                            }
+                            Err(NetlistError::ExecutionFailed {
+                                context: "oracle worker panicked during a path query".to_string(),
+                            })
                         });
-                        let r = match local.as_mut() {
-                            Some(report) => o.satisfies_certified(net, &longest[misses[k]], report),
-                            None => o.satisfies(net, &longest[misses[k]]).map(|v| (v, None)),
-                        };
                         let failed = r.is_err();
                         batch.push((k, r));
                         if failed {
@@ -380,7 +426,8 @@ fn resolve_parallel(
                         break;
                     }
                 }
-                let mut total = agg.lock().expect("oracle aggregate lock");
+                let mut total = lock_unpoisoned(agg);
+                total.0.merge(&lost_stats);
                 if let Some(o) = &oracle {
                     total.0.merge(&o.stats());
                 }
@@ -429,9 +476,21 @@ fn resolve_parallel(
                     Ok((j, b)) => {
                         pending.insert(j, b);
                     }
-                    // Channel closed: the pool stopped and the remaining
-                    // chunks were abandoned (only possible once decided).
-                    Err(_) => break 'chunks,
+                    // Channel closed. After a decision that is the pool
+                    // winding down; before one it means every worker died
+                    // without shipping its chunk — surface a typed error
+                    // instead of panicking over the gapped prefix.
+                    Err(_) => {
+                        if !decided {
+                            outcome = Err(NetlistError::ExecutionFailed {
+                                context: "oracle worker pool died before deciding the phase"
+                                    .to_string(),
+                            });
+                            decided = true;
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        break 'chunks;
+                    }
                 }
             };
             for (k, r) in batch {
@@ -448,7 +507,7 @@ fn resolve_parallel(
         stop.store(true, Ordering::Relaxed);
         drop(rx);
     });
-    let (stats, certs) = agg.into_inner().expect("oracle aggregate lock");
+    let (stats, certs) = agg.into_inner().unwrap_or_else(PoisonError::into_inner);
     oracle_stats.merge(&stats);
     if let Some(report) = certify {
         report.merge(&certs);

@@ -1,0 +1,45 @@
+//! Deterministic fault injection for the checkpoint writer
+//! (`fault-inject` feature).
+//!
+//! The chaos test suite arms a process-global plan — "fail checkpoint
+//! write #i" — and [`crate::kms_with_control`] consults it before each
+//! write. The armed write fails with an injected I/O error *before*
+//! touching the filesystem, modeling a full disk or revoked permission;
+//! the run must warn and continue. Counters are global, so tests that
+//! use the plan must serialize themselves (the chaos suite holds a
+//! mutex).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel: no injection armed.
+const OFF: u64 = 0;
+
+static CKPT_WRITES: AtomicU64 = AtomicU64::new(0);
+static FAIL_AT: AtomicU64 = AtomicU64::new(OFF);
+
+/// Arms the plan: the `i`-th checkpoint write from now (1-based) fails
+/// with an injected I/O error. Resets the write counter.
+pub fn fail_checkpoint_write(i: u64) {
+    assert!(i > 0, "checkpoint writes are counted from 1");
+    CKPT_WRITES.store(0, Ordering::SeqCst);
+    FAIL_AT.store(i, Ordering::SeqCst);
+}
+
+/// Clears the plan and the write counter.
+pub fn clear() {
+    FAIL_AT.store(OFF, Ordering::SeqCst);
+    CKPT_WRITES.store(0, Ordering::SeqCst);
+}
+
+/// Number of checkpoint writes attempted since the last arm/clear.
+pub fn writes_observed() -> u64 {
+    CKPT_WRITES.load(Ordering::SeqCst)
+}
+
+/// Called by the checkpoint writer at write entry; `true` means "fail
+/// this write now".
+pub(crate) fn should_fail_write() -> bool {
+    let armed = FAIL_AT.load(Ordering::Relaxed);
+    let n = CKPT_WRITES.fetch_add(1, Ordering::SeqCst) + 1;
+    armed != OFF && n == armed
+}

@@ -32,12 +32,17 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod checkpoint;
 mod engine;
+#[cfg(feature = "fault-inject")]
+pub mod inject;
 mod verify;
 
 pub use algorithm::{
-    kms, kms_on_copy, Condition, KmsIteration, KmsOptions, KmsPhaseTimings, KmsReport,
+    kms, kms_on_copy, kms_with_control, Condition, KmsIteration, KmsOptions, KmsPhaseTimings,
+    KmsReport, RunControl,
 };
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use engine::EngineStats;
 pub use verify::{
     check_equivalence_certified, cross_check_static_analysis, verify_kms_invariants,

@@ -162,6 +162,7 @@ pub fn check_equivalence_certified(
             Equivalence::Equivalent
         }
         SatResult::Sat => Equivalence::CounterExample(ca.model_inputs(&solver, a)),
+        SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
     }
 }
 
@@ -378,6 +379,7 @@ pub fn cross_check_static_analysis(
             SatResult::Unsat => {
                 certify_cross_unsat(certification, solver, &asm, format!("xcheck {a} {b} hi"));
             }
+            SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
         }
         let asm = [!la, lb];
         match solver.solve_with(&asm) {
@@ -386,6 +388,7 @@ pub fn cross_check_static_analysis(
                 certify_cross_unsat(certification, solver, &asm, format!("xcheck {a} {b} lo"));
                 false
             }
+            SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
         }
     }
 
@@ -411,6 +414,7 @@ pub fn cross_check_static_analysis(
         constants_checked += 1;
         let asm = [cnf.lit(node, !value)];
         match solver.solve_with(&asm) {
+            SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
             SatResult::Sat => unsound_constants.push(node),
             SatResult::Unsat => {
                 certify_cross_unsat(
@@ -611,6 +615,7 @@ fn df_unsat(
             certify_cross_unsat(certification, solver, asm, label);
             true
         }
+        SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
     }
 }
 

@@ -52,6 +52,21 @@ pub enum NetlistError {
         /// The invalid connection.
         conn: ConnRef,
     },
+    /// A text serialization could not be parsed back into a network (the
+    /// exact-serialization format of checkpoints; see
+    /// [`crate::Network::deserialize_exact`]).
+    ParseFailed {
+        /// What was malformed, for diagnostics.
+        context: String,
+    },
+    /// An execution-layer failure: a worker pool died or an isolated
+    /// panic was converted into a typed error instead of unwinding
+    /// through the caller. The analysis did not complete; no partial
+    /// result is returned.
+    ExecutionFailed {
+        /// What failed, for diagnostics.
+        context: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -79,6 +94,12 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::BadConn { conn } => {
                 write!(f, "connection {conn} does not reference a live pin")
+            }
+            NetlistError::ParseFailed { context } => {
+                write!(f, "malformed network serialization: {context}")
+            }
+            NetlistError::ExecutionFailed { context } => {
+                write!(f, "execution failed: {context}")
             }
         }
     }

@@ -136,6 +136,25 @@ impl GateKind {
         }
     }
 
+    /// The inverse of [`GateKind::mnemonic`], for text deserialization.
+    pub fn from_mnemonic(s: &str) -> Option<GateKind> {
+        Some(match s {
+            "input" => GateKind::Input,
+            "const0" => GateKind::Const(false),
+            "const1" => GateKind::Const(true),
+            "buf" => GateKind::Buf,
+            "not" => GateKind::Not,
+            "and" => GateKind::And,
+            "or" => GateKind::Or,
+            "nand" => GateKind::Nand,
+            "nor" => GateKind::Nor,
+            "xor" => GateKind::Xor,
+            "xnor" => GateKind::Xnor,
+            "mux" => GateKind::Mux,
+            _ => return None,
+        })
+    }
+
     /// Short lowercase mnemonic, e.g. `"and"`, used by the text dumpers.
     pub fn mnemonic(self) -> &'static str {
         match self {

@@ -44,6 +44,7 @@ mod error;
 mod gate;
 mod network;
 mod path;
+mod serialize;
 mod sim;
 mod stats;
 mod topo;
@@ -59,6 +60,7 @@ pub use gate::{ConnRef, GateId, GateKind, Pin};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use network::{Gate, Network, Output};
 pub use path::Path;
+pub use serialize::{escape_token, unescape_token};
 pub use sim::{eval_gate_words, Cube, ParseCubeError, Value};
 pub use stats::NetworkStats;
 pub use topo::Topology;

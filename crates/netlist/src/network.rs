@@ -61,11 +61,11 @@ pub struct Output {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Network {
-    name: String,
-    gates: Vec<Gate>,
-    inputs: Vec<GateId>,
-    outputs: Vec<Output>,
-    const_cache: [Option<GateId>; 2],
+    pub(crate) name: String,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<GateId>,
+    pub(crate) outputs: Vec<Output>,
+    pub(crate) const_cache: [Option<GateId>; 2],
 }
 
 impl Network {

@@ -1,0 +1,360 @@
+//! Exact, lossless text serialization of a [`Network`].
+//!
+//! [`Network::dump`] is a human-readable view in topological order; it
+//! drops tombstones and is unsuitable for reconstructing a network whose
+//! gate ids must survive (transform bookkeeping, fault sites, and
+//! checkpoint state all reference arena indices). This module is the
+//! machine-exact counterpart: every arena slot — dead tombstones
+//! included — plus the input list, output list, and constant cache
+//! round-trips bit-identically, so a deserialized network is
+//! indistinguishable from the original to every consumer in the
+//! workspace. The `kms --checkpoint` / `--resume` flow is the primary
+//! client.
+//!
+//! The format is line-based. Names are escaped (`\s` space, `\n`
+//! newline, `\\` backslash, `\e` empty, `\d` literal dash) so the
+//! field separator stays a plain space.
+
+use std::fmt::Write as _;
+
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateKind, Pin};
+use crate::network::{Gate, Network, Output};
+use crate::Delay;
+
+/// Escapes a string into a single space-free token (inverse:
+/// [`unescape_token`]). The empty string and the literal `-` (used as a
+/// "no value" marker by callers) get dedicated escapes.
+pub fn escape_token(s: &str) -> String {
+    if s.is_empty() {
+        return "\\e".to_string();
+    }
+    if s == "-" {
+        return "\\d".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_token`]; `None` on a malformed escape.
+pub fn unescape_token(s: &str) -> Option<String> {
+    if s == "\\e" {
+        return Some(String::new());
+    }
+    if s == "\\d" {
+        return Some("-".to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            's' => out.push(' '),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn bad(context: impl Into<String>) -> NetlistError {
+    NetlistError::ParseFailed {
+        context: context.into(),
+    }
+}
+
+fn parse_usize(tok: &str, what: &str) -> Result<usize, NetlistError> {
+    tok.parse().map_err(|_| bad(format!("bad {what}: {tok:?}")))
+}
+
+fn parse_i64(tok: &str, what: &str) -> Result<i64, NetlistError> {
+    tok.parse().map_err(|_| bad(format!("bad {what}: {tok:?}")))
+}
+
+fn parse_opt_id(tok: &str, what: &str) -> Result<Option<GateId>, NetlistError> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    Ok(Some(GateId::from_index(parse_usize(tok, what)?)))
+}
+
+impl Network {
+    /// Serializes the network losslessly, tombstones and constant cache
+    /// included, such that [`Network::deserialize_exact`] reconstructs an
+    /// arena-identical network (same gate ids, same dead slots, same
+    /// declaration orders). Gate and input names must not contain
+    /// carriage returns; all other characters round-trip.
+    pub fn serialize_exact(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "netlist-exact v1 {}", escape_token(&self.name));
+        let _ = writeln!(s, "gates {}", self.gates.len());
+        for g in &self.gates {
+            let _ = write!(
+                s,
+                "g {} {} {} {} {}",
+                g.kind.mnemonic(),
+                g.delay.units(),
+                if g.dead { "dead" } else { "live" },
+                g.name.as_deref().map_or("-".to_string(), escape_token),
+                g.pins.len()
+            );
+            for p in &g.pins {
+                let _ = write!(s, " {}:{}", p.src.index(), p.wire_delay.units());
+            }
+            s.push('\n');
+        }
+        let _ = write!(s, "inputs {}", self.inputs.len());
+        for i in &self.inputs {
+            let _ = write!(s, " {}", i.index());
+        }
+        s.push('\n');
+        let _ = writeln!(s, "outputs {}", self.outputs.len());
+        for o in &self.outputs {
+            let _ = writeln!(s, "o {} {}", o.src.index(), escape_token(&o.name));
+        }
+        let _ = writeln!(
+            s,
+            "constcache {} {}",
+            self.const_cache[0].map_or("-".to_string(), |id| id.index().to_string()),
+            self.const_cache[1].map_or("-".to_string(), |id| id.index().to_string()),
+        );
+        s.push_str("end\n");
+        s
+    }
+
+    /// Reconstructs a network from [`Network::serialize_exact`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ParseFailed`] on any malformed or
+    /// truncated input. No structural validation is performed beyond
+    /// parsing — the serialization is trusted to come from
+    /// `serialize_exact`; call [`Network::validate`] afterwards if the
+    /// source is untrusted.
+    pub fn deserialize_exact(text: &str) -> Result<Network, NetlistError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| bad("empty input"))?;
+        let mut h = header.split(' ');
+        if (h.next(), h.next()) != (Some("netlist-exact"), Some("v1")) {
+            return Err(bad(format!("unrecognized header {header:?}")));
+        }
+        let name = unescape_token(h.next().ok_or_else(|| bad("header missing name"))?)
+            .ok_or_else(|| bad("bad name escape"))?;
+
+        let gates_line = lines.next().ok_or_else(|| bad("missing gates line"))?;
+        let count = gates_line
+            .strip_prefix("gates ")
+            .ok_or_else(|| bad(format!("expected gates line, got {gates_line:?}")))?;
+        let count = parse_usize(count, "gate count")?;
+        let mut gates = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| bad("truncated gate list"))?;
+            let mut f = line.split(' ');
+            if f.next() != Some("g") {
+                return Err(bad(format!("expected gate line, got {line:?}")));
+            }
+            let kind = f.next().ok_or_else(|| bad("gate line missing kind"))?;
+            let kind =
+                GateKind::from_mnemonic(kind).ok_or_else(|| bad(format!("bad kind {kind:?}")))?;
+            let delay = parse_i64(
+                f.next().ok_or_else(|| bad("gate line missing delay"))?,
+                "delay",
+            )?;
+            let dead = match f.next() {
+                Some("live") => false,
+                Some("dead") => true,
+                other => return Err(bad(format!("bad liveness field {other:?}"))),
+            };
+            let name_tok = f.next().ok_or_else(|| bad("gate line missing name"))?;
+            let name = if name_tok == "-" {
+                None
+            } else {
+                Some(unescape_token(name_tok).ok_or_else(|| bad("bad gate name escape"))?)
+            };
+            let npins = parse_usize(
+                f.next().ok_or_else(|| bad("gate line missing pin count"))?,
+                "pin count",
+            )?;
+            let mut pins = Vec::with_capacity(npins);
+            for _ in 0..npins {
+                let tok = f.next().ok_or_else(|| bad("truncated pin list"))?;
+                let (src, wd) = tok
+                    .split_once(':')
+                    .ok_or_else(|| bad(format!("bad pin {tok:?}")))?;
+                pins.push(Pin::with_delay(
+                    GateId::from_index(parse_usize(src, "pin source")?),
+                    Delay::new(parse_i64(wd, "wire delay")?),
+                ));
+            }
+            if f.next().is_some() {
+                return Err(bad(format!("trailing fields on gate line {line:?}")));
+            }
+            gates.push(Gate {
+                kind,
+                pins,
+                delay: Delay::new(delay),
+                name,
+                dead,
+            });
+        }
+
+        let inputs_line = lines.next().ok_or_else(|| bad("missing inputs line"))?;
+        let mut f = inputs_line.split(' ');
+        if f.next() != Some("inputs") {
+            return Err(bad(format!("expected inputs line, got {inputs_line:?}")));
+        }
+        let n_inputs = parse_usize(
+            f.next().ok_or_else(|| bad("inputs line missing count"))?,
+            "input count",
+        )?;
+        let mut inputs = Vec::with_capacity(n_inputs);
+        for _ in 0..n_inputs {
+            let tok = f.next().ok_or_else(|| bad("truncated input list"))?;
+            inputs.push(GateId::from_index(parse_usize(tok, "input id")?));
+        }
+
+        let outputs_line = lines.next().ok_or_else(|| bad("missing outputs line"))?;
+        let n_outputs = outputs_line
+            .strip_prefix("outputs ")
+            .ok_or_else(|| bad(format!("expected outputs line, got {outputs_line:?}")))?;
+        let n_outputs = parse_usize(n_outputs, "output count")?;
+        let mut outputs = Vec::with_capacity(n_outputs);
+        for _ in 0..n_outputs {
+            let line = lines.next().ok_or_else(|| bad("truncated output list"))?;
+            let mut f = line.split(' ');
+            if f.next() != Some("o") {
+                return Err(bad(format!("expected output line, got {line:?}")));
+            }
+            let src = GateId::from_index(parse_usize(
+                f.next().ok_or_else(|| bad("output line missing source"))?,
+                "output source",
+            )?);
+            let name = unescape_token(f.next().ok_or_else(|| bad("output line missing name"))?)
+                .ok_or_else(|| bad("bad output name escape"))?;
+            outputs.push(Output { name, src });
+        }
+
+        let cc_line = lines.next().ok_or_else(|| bad("missing constcache line"))?;
+        let mut f = cc_line.split(' ');
+        if f.next() != Some("constcache") {
+            return Err(bad(format!("expected constcache line, got {cc_line:?}")));
+        }
+        let c0 = parse_opt_id(
+            f.next().ok_or_else(|| bad("constcache missing slot 0"))?,
+            "constcache slot",
+        )?;
+        let c1 = parse_opt_id(
+            f.next().ok_or_else(|| bad("constcache missing slot 1"))?,
+            "constcache slot",
+        )?;
+
+        if lines.next() != Some("end") {
+            return Err(bad("missing end marker"));
+        }
+        Ok(Network {
+            name,
+            gates,
+            inputs,
+            outputs,
+            const_cache: [c0, c1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform;
+
+    fn sample() -> Network {
+        let mut net = Network::new("round trip"); // space in the name
+        let a = net.add_input("a");
+        let b = net.add_input("in b");
+        let t = net.add_gate(GateKind::And, &[a, b], Delay::new(2));
+        let y = net.add_gate_pins(
+            GateKind::Or,
+            vec![Pin::new(a), Pin::with_delay(t, Delay::new(3))],
+            Delay::UNIT,
+        );
+        net.add_const(true);
+        net.set_gate_name(t, "-"); // the dash needs its escape
+        net.add_output("y", y);
+        net.add_output("spaced out", t);
+        net
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let net = sample();
+        let text = net.serialize_exact();
+        let back = Network::deserialize_exact(&text).unwrap();
+        assert_eq!(text, back.serialize_exact());
+        assert_eq!(net.dump(), back.dump());
+        assert_eq!(net.name(), back.name());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn tombstones_and_const_cache_survive() {
+        let mut net = sample();
+        // Kill a gate via constant propagation to create a tombstone and
+        // exercise the const cache.
+        let y = net.output_by_name("y").unwrap();
+        let src = net.outputs()[y].src;
+        transform::set_conn_const(&mut net, crate::ConnRef::new(src, 0), true);
+        assert!(net.num_gate_slots() > net.gate_ids().count(), "tombstone");
+        let back = Network::deserialize_exact(&net.serialize_exact()).unwrap();
+        assert_eq!(net.serialize_exact(), back.serialize_exact());
+        assert_eq!(net.num_gate_slots(), back.num_gate_slots());
+        // Adding a constant to the copy reuses the cached slot, exactly
+        // as it would on the original.
+        let mut a = net.clone();
+        let mut b = back;
+        assert_eq!(a.add_const(true), b.add_const(true));
+        assert_eq!(a.add_const(false), b.add_const(false));
+        assert_eq!(a.serialize_exact(), b.serialize_exact());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for text in [
+            "",
+            "bogus",
+            "netlist-exact v2 x",
+            "netlist-exact v1 n\ngates 1\n",
+            "netlist-exact v1 n\ngates 0\ninputs 0\noutputs 0\nconstcache - -\n",
+            "netlist-exact v1 n\ngates 1\ng wat 0 live - 0\ninputs 0\noutputs 0\nconstcache - -\nend\n",
+        ] {
+            assert!(
+                matches!(
+                    Network::deserialize_exact(text),
+                    Err(NetlistError::ParseFailed { .. })
+                ),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn token_escaping_round_trips() {
+        for s in ["", "-", "a b", "back\\slash", "new\nline", "plain"] {
+            let esc = escape_token(s);
+            assert!(!esc.contains(' ') && !esc.contains('\n'), "{esc:?}");
+            assert_eq!(unescape_token(&esc).as_deref(), Some(s));
+        }
+        assert_eq!(unescape_token("\\x"), None);
+        assert_eq!(unescape_token("trailing\\"), None);
+    }
+}

@@ -29,6 +29,12 @@ pub struct NaiveRemovalReport {
     /// with [`kms_atpg::ParallelOptions::certify`]: one checked
     /// certificate per redundant verdict, aggregated across restarts.
     pub certification: Option<CertificationReport>,
+    /// Faults left undecided by the final pass (per-fault budget
+    /// exhaustion or an isolated worker panic). Non-zero means "fully
+    /// testable" was not actually proved: the circuit may still hold
+    /// redundancies among the unknown faults, and callers report a
+    /// degraded (not failed) outcome.
+    pub unknown: usize,
 }
 
 /// With the `debug-invariants` feature enabled, re-lints the network after
@@ -91,11 +97,15 @@ pub fn naive_redundancy_removal(net: &mut Network, engine: Engine) -> NaiveRemov
     }
     let gates_before = net.simple_gate_count();
     let mut removed = Vec::new();
+    let mut unknown;
     let mut tests: Vec<Vec<bool>> = kms_atpg::random_tests(net, 128, 0x4B4D_5332);
     'restart: loop {
         let faults = collapsed_faults(net);
         // Cheap pass: drop every fault the cached tests already detect.
         let coverage = fault_simulate(net, &faults, &tests);
+        // Only the final (redundancy-free) pass's undecided faults
+        // persist; earlier passes re-examine theirs after the restart.
+        unknown = 0;
         for (f, hit) in faults.iter().zip(&coverage.detected_by) {
             if hit.is_some() {
                 continue;
@@ -107,7 +117,7 @@ pub fn naive_redundancy_removal(net: &mut Network, engine: Engine) -> NaiveRemov
                     removed.push(*f);
                     continue 'restart;
                 }
-                Testability::Unknown => {}
+                Testability::Unknown(_) => unknown += 1,
             }
         }
         break;
@@ -118,6 +128,7 @@ pub fn naive_redundancy_removal(net: &mut Network, engine: Engine) -> NaiveRemov
         gates_after: net.simple_gate_count(),
         solver: Stats::default(),
         certification: None,
+        unknown,
     }
 }
 
@@ -134,6 +145,7 @@ fn shared_redundancy_removal(
     use kms_atpg::{collapsed_faults, scan_for_redundancy};
     let gates_before = net.simple_gate_count();
     let mut removed = Vec::new();
+    let unknown;
     let mut solver = Stats::default();
     let mut certification = opts.certify.then(CertificationReport::default);
     let mut tests: Vec<Vec<bool>> = kms_atpg::random_tests(net, 128, 0x4B4D_5332);
@@ -153,7 +165,12 @@ fn shared_redundancy_removal(
                 // propagation killed an input's last consumer — inputs are
                 // preserved by `remove_fault`, so cached tests stay valid.
             }
-            None => break,
+            None => {
+                // Only the final scan's undecided faults persist; earlier
+                // scans re-examine theirs after the removal restart.
+                unknown = scan.unknown;
+                break;
+            }
         }
     }
     NaiveRemovalReport {
@@ -162,6 +179,7 @@ fn shared_redundancy_removal(
         gates_after: net.simple_gate_count(),
         solver,
         certification,
+        unknown,
     }
 }
 

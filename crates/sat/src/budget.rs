@@ -1,0 +1,239 @@
+//! Cooperative cancellation and resource budgets for the solver.
+//!
+//! A [`Budget`] bounds one `solve` call by conflict count, propagation
+//! count, wall-clock, or an external [`CancelToken`]; the solver checks
+//! it at the conflict boundary of the CDCL loop (and, cheaply, on a
+//! sampled subset of decision rounds), so an aborted call always stops
+//! at a clause boundary: every learnt clause it logged to a DRAT proof
+//! is complete, and no empty clause was emitted. The three-valued
+//! [`SatResult`](crate::SatResult) carries the abort out as
+//! `Aborted(reason)` instead of hanging the caller.
+//!
+//! Budgets are *per call*: conflict and propagation limits are deltas
+//! from the counters at call entry, and the wall-clock limit is armed
+//! when the call starts. The same `Budget` value can therefore be
+//! reused across many incremental `solve_budgeted` calls to mean "at
+//! most N conflicts each".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budgeted solve stopped before reaching a verdict.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AbortReason {
+    /// The per-call conflict limit was exhausted.
+    Conflicts,
+    /// The per-call propagation limit was exhausted.
+    Propagations,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The [`CancelToken`] was cancelled by another thread.
+    Cancelled,
+    /// A fault-injection plan aborted the call (only ever produced
+    /// under the `fault-inject` feature; the variant exists
+    /// unconditionally so match arms don't change shape per feature).
+    Injected,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AbortReason::Conflicts => "conflict budget exhausted",
+            AbortReason::Propagations => "propagation budget exhausted",
+            AbortReason::Deadline => "wall-clock deadline passed",
+            AbortReason::Cancelled => "cancelled",
+            AbortReason::Injected => "aborted by fault injection",
+        })
+    }
+}
+
+/// A shared cancellation flag: clone it into workers, [`cancel`] it from
+/// anywhere, and every budgeted solve holding a clone aborts at its next
+/// conflict boundary with [`AbortReason::Cancelled`].
+///
+/// [`cancel`]: CancelToken::cancel
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once any clone has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Resource limits for one solver call. The default budget is unlimited
+/// (equivalent to a plain `solve_with`).
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Maximum conflicts this call may spend; `None` = unlimited.
+    pub max_conflicts: Option<u64>,
+    /// Maximum propagations this call may spend; `None` = unlimited.
+    pub max_propagations: Option<u64>,
+    /// Wall-clock ceiling for this call, armed at call entry.
+    pub timeout: Option<Duration>,
+    /// External cancellation flag checked at the conflict boundary.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps the call at `n` conflicts.
+    #[must_use]
+    pub fn with_conflicts(mut self, n: u64) -> Self {
+        self.max_conflicts = Some(n);
+        self
+    }
+
+    /// Caps the call at `n` propagations.
+    #[must_use]
+    pub fn with_propagations(mut self, n: u64) -> Self {
+        self.max_propagations = Some(n);
+        self
+    }
+
+    /// Caps the call at `d` of wall-clock.
+    #[must_use]
+    pub fn with_timeout(mut self, d: Duration) -> Self {
+        self.timeout = Some(d);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` if no limit is set (the fast path never re-checks time or
+    /// the token).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_conflicts.is_none()
+            && self.max_propagations.is_none()
+            && self.timeout.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// The armed, per-call form of a [`Budget`]: absolute counter ceilings
+/// and an absolute deadline, precomputed at call entry so the hot-loop
+/// check is two integer compares plus (every 64 rounds) a clock read.
+pub(crate) struct ArmedBudget {
+    conflict_ceiling: u64,
+    propagation_ceiling: u64,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    /// Decision-round downsampling counter for the clock/token checks.
+    rounds: u32,
+}
+
+impl ArmedBudget {
+    pub(crate) fn arm(budget: &Budget, conflicts_now: u64, propagations_now: u64) -> Self {
+        ArmedBudget {
+            conflict_ceiling: budget
+                .max_conflicts
+                .map_or(u64::MAX, |n| conflicts_now.saturating_add(n)),
+            propagation_ceiling: budget
+                .max_propagations
+                .map_or(u64::MAX, |n| propagations_now.saturating_add(n)),
+            deadline: budget.timeout.map(|d| Instant::now() + d),
+            cancel: budget.cancel.clone(),
+            rounds: 0,
+        }
+    }
+
+    /// Checked once per CDCL loop round (conflict or decision). Returns
+    /// the abort reason when a limit has been crossed.
+    #[inline]
+    pub(crate) fn check(&mut self, conflicts: u64, propagations: u64) -> Option<AbortReason> {
+        if conflicts >= self.conflict_ceiling {
+            return Some(AbortReason::Conflicts);
+        }
+        if propagations >= self.propagation_ceiling {
+            return Some(AbortReason::Propagations);
+        }
+        // Clock reads and atomic loads are sampled: one in 64 rounds is
+        // responsive (a round is a full propagate pass) while keeping
+        // the unlimited/huge-budget overhead unmeasurable.
+        self.rounds = self.rounds.wrapping_add(1);
+        if self.rounds.is_multiple_of(64) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    return Some(AbortReason::Deadline);
+                }
+            }
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    return Some(AbortReason::Cancelled);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(Budget::default().is_unlimited());
+        assert!(!Budget::default().with_conflicts(1).is_unlimited());
+        assert!(!Budget::default()
+            .with_timeout(Duration::ZERO)
+            .is_unlimited());
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn armed_ceilings_are_deltas() {
+        let b = Budget::default().with_conflicts(10).with_propagations(5);
+        let mut armed = ArmedBudget::arm(&b, 100, 1000);
+        assert_eq!(armed.check(109, 1004), None);
+        assert_eq!(armed.check(110, 1004), Some(AbortReason::Conflicts));
+        assert_eq!(armed.check(100, 1005), Some(AbortReason::Propagations));
+    }
+
+    #[test]
+    fn cancellation_reported_within_sampling_window() {
+        let t = CancelToken::new();
+        let b = Budget::default().with_cancel(t.clone());
+        let mut armed = ArmedBudget::arm(&b, 0, 0);
+        t.cancel();
+        let mut seen = None;
+        for _ in 0..64 {
+            if let Some(r) = armed.check(0, 0) {
+                seen = Some(r);
+                break;
+            }
+        }
+        assert_eq!(seen, Some(AbortReason::Cancelled));
+    }
+}

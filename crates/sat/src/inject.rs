@@ -1,0 +1,43 @@
+//! Deterministic fault injection for the solver (`fault-inject` feature).
+//!
+//! The chaos test suite arms a process-global plan — "abort budgeted
+//! solver call #k" — and the solver consults it at call entry. Counters
+//! are global, so tests that use the plan must serialize themselves
+//! (the chaos suite holds a mutex); a cleared plan (the default) costs
+//! one relaxed load per budgeted call and never fires.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel: no injection armed.
+const OFF: u64 = 0;
+
+static SOLVE_CALLS: AtomicU64 = AtomicU64::new(0);
+static ABORT_AT: AtomicU64 = AtomicU64::new(OFF);
+
+/// Arms the plan: the `k`-th budgeted solve call from now (1-based)
+/// returns `Aborted(Injected)` without searching. Resets the call
+/// counter.
+pub fn abort_solver_call(k: u64) {
+    assert!(k > 0, "solver calls are counted from 1");
+    SOLVE_CALLS.store(0, Ordering::SeqCst);
+    ABORT_AT.store(k, Ordering::SeqCst);
+}
+
+/// Clears the plan and the call counter.
+pub fn clear() {
+    ABORT_AT.store(OFF, Ordering::SeqCst);
+    SOLVE_CALLS.store(0, Ordering::SeqCst);
+}
+
+/// Number of budgeted solve calls observed since the last arm/clear.
+pub fn calls_observed() -> u64 {
+    SOLVE_CALLS.load(Ordering::SeqCst)
+}
+
+/// Called by the solver at budgeted-call entry; `true` means "abort
+/// this call now".
+pub(crate) fn should_abort_call() -> bool {
+    let armed = ABORT_AT.load(Ordering::Relaxed);
+    let n = SOLVE_CALLS.fetch_add(1, Ordering::SeqCst) + 1;
+    armed != OFF && n == armed
+}

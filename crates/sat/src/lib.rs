@@ -33,17 +33,34 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod budget;
 mod cnf;
 mod dimacs;
 mod heap;
+#[cfg(feature = "fault-inject")]
+pub mod inject;
 mod lit;
 mod miter;
 mod proof;
 mod solver;
 
+pub use budget::{AbortReason, Budget, CancelToken};
 pub use cnf::NetworkCnf;
 pub use dimacs::{parse_dimacs, to_dimacs, Cnf, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
 pub use miter::{check_equivalence, encode_miter, Equivalence};
 pub use proof::{ProofLog, ProofStep};
 pub use solver::{SatResult, Solver, Stats};
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// The worker pools in this workspace isolate panics with
+/// `catch_unwind`, so a poisoned mutex means a panic was already
+/// converted into an `Unknown` verdict or a typed error upstream — the
+/// protected data is a commit queue or aggregate that the panicking
+/// thread never left half-written (writes happen after the fallible
+/// work). Recovering the guard instead of propagating the poison keeps
+/// one bad fault from killing every other worker.
+pub fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -62,6 +62,7 @@ pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
     match solver.solve() {
         SatResult::Unsat => Equivalence::Equivalent,
         SatResult::Sat => Equivalence::CounterExample(ca.model_inputs(&solver, a)),
+        SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
     }
 }
 

@@ -33,11 +33,15 @@
 //! step is owed for it.
 
 use crate::arena::{ClauseArena, ClauseRef};
+use crate::budget::{AbortReason, ArmedBudget, Budget};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::ProofLog;
 
-/// The verdict of a SAT query.
+/// The verdict of a SAT query — three-valued: a budgeted call
+/// ([`Solver::solve_budgeted`]) may stop early with
+/// [`SatResult::Aborted`]. The unbudgeted [`Solver::solve`] and
+/// [`Solver::solve_with`] never produce `Aborted`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SatResult {
     /// A satisfying assignment exists; read it with
@@ -45,6 +49,20 @@ pub enum SatResult {
     Sat,
     /// No satisfying assignment exists (under the given assumptions).
     Unsat,
+    /// The call's [`Budget`] ran out (or its token was cancelled)
+    /// before a verdict. The solver remains usable: internal state was
+    /// unwound to decision level 0, every learnt clause kept (and
+    /// logged, under proof logging) is a complete RUP clause, and no
+    /// empty clause was emitted — a later uncancelled call can still
+    /// finish the proof.
+    Aborted(AbortReason),
+}
+
+impl SatResult {
+    /// `true` for [`SatResult::Aborted`].
+    pub fn is_aborted(self) -> bool {
+        matches!(self, SatResult::Aborted(_))
+    }
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -843,25 +861,53 @@ impl Solver {
     ///
     /// Panics if any assumption references an unallocated variable.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_budgeted(assumptions, &Budget::unlimited())
+    }
+
+    /// [`Solver::solve_with`] under a [`Budget`]: the call stops at its
+    /// next conflict boundary once a limit is crossed and returns
+    /// [`SatResult::Aborted`] with the reason. An aborted call leaves
+    /// the solver fully usable (see [`SatResult::Aborted`] for the
+    /// proof-logging guarantee); budgets are per call, measured from
+    /// the counters at entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assumption references an unallocated variable.
+    pub fn solve_budgeted(&mut self, assumptions: &[Lit], budget: &Budget) -> SatResult {
         self.stats.sat_calls += 1;
         self.conflict_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
+        #[cfg(feature = "fault-inject")]
+        if crate::inject::should_abort_call() {
+            return SatResult::Aborted(AbortReason::Injected);
+        }
         for &a in assumptions {
             assert!(a.var().index() < self.num_vars(), "unallocated variable");
         }
-        let result = self.search(assumptions);
+        let mut armed = (!budget.is_unlimited())
+            .then(|| ArmedBudget::arm(budget, self.stats.conflicts, self.stats.propagations));
+        let result = self.search(assumptions, armed.as_mut());
         self.cancel_until(0);
         result
     }
 
-    fn search(&mut self, assumptions: &[Lit]) -> SatResult {
+    fn search(&mut self, assumptions: &[Lit], mut budget: Option<&mut ArmedBudget>) -> SatResult {
         let mut conflicts_since_restart = 0u64;
         let mut restart_round = 1u64;
         let mut restart_limit = 64 * luby(restart_round);
         let mut max_learnts = ((self.clauses.len() + self.learnts.len()) / 3).max(512);
         loop {
+            // Budget check at the round boundary: the previous round's
+            // conflict is fully handled (clause learnt, attached and
+            // logged), so stopping here never truncates a derivation.
+            if let Some(b) = budget.as_deref_mut() {
+                if let Some(reason) = b.check(self.stats.conflicts, self.stats.propagations) {
+                    return SatResult::Aborted(reason);
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;

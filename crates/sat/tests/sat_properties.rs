@@ -210,6 +210,38 @@ proptest! {
         }
     }
 
+    /// Budgets never steer the search — they only cut it short. On any
+    /// formula and any budget, a budgeted solve either aborts or returns
+    /// exactly the unbudgeted verdict; a generous budget never aborts;
+    /// and an aborted solver stays fully usable (a follow-up unlimited
+    /// solve still agrees).
+    #[test]
+    fn budgeted_solve_agrees_when_not_aborted(
+        clauses in formula_wide(10),
+        conflict_cap in 0u64..32,
+    ) {
+        use kms_sat::{Budget, SatResult::Aborted};
+        let nvars = 10;
+        let (mut reference, ok) = load(nvars, &clauses);
+        if !ok {
+            return Ok(());
+        }
+        let expect = reference.solve();
+
+        let (mut s, _) = load(nvars, &clauses);
+        let tight = Budget::unlimited().with_conflicts(conflict_cap);
+        match s.solve_budgeted(&[], &tight) {
+            Aborted(_) => {}
+            verdict => prop_assert_eq!(verdict, expect, "tight budget changed the verdict"),
+        }
+        // The aborted (or finished) solver is still consistent.
+        prop_assert_eq!(s.solve(), expect, "solver unusable after a budgeted call");
+
+        let (mut s, _) = load(nvars, &clauses);
+        let generous = Budget::unlimited().with_conflicts(1 << 40).with_propagations(1 << 50);
+        prop_assert_eq!(s.solve_budgeted(&[], &generous), expect, "a generous budget aborted");
+    }
+
     #[test]
     fn repeated_solves_are_stable(clauses in formula(6)) {
         let (mut s, ok) = load(6, &clauses);

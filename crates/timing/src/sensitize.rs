@@ -96,6 +96,7 @@ pub fn sensitization_cube(net: &Network, path: &Path) -> Result<Option<Vec<bool>
     Ok(match solver.solve_with(&assumptions) {
         SatResult::Sat => Some(cnf.model_inputs(&solver, net)),
         SatResult::Unsat => None,
+        SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
     })
 }
 
@@ -176,6 +177,7 @@ impl SensitizationOracle {
                     .collect(),
             ),
             SatResult::Unsat => None,
+            SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
         })
     }
 
@@ -220,6 +222,7 @@ impl SensitizationOracle {
                 let digest = kms_proof::certify(report, &format!("sens {path}"), &cert);
                 (false, digest)
             }
+            SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
         })
     }
 
@@ -255,6 +258,7 @@ impl SensitizationOracle {
                     .collect();
                 Ok(Some(conns))
             }
+            SatResult::Aborted(r) => unreachable!("unbudgeted solve aborted: {r}"),
         }
     }
 }

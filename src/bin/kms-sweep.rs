@@ -30,12 +30,15 @@
 //!
 //! Exit status: 0 when no file has findings, 1 when any file has statically
 //! proved redundancies or a `--certify` proof fails to check, 2 on usage
-//! errors or when any file fails to read or parse. Under `--dataflow` the
-//! dataflow tier's extra proofs count as findings too.
+//! errors or when any file fails to read or parse, 3 when the sweep
+//! completed but degraded — a worker panicked on some file, so that file's
+//! verdict is unknown and the remaining reports still printed. Under
+//! `--dataflow` the dataflow tier's extra proofs count as findings too.
 //!
 //! [`StaticRedundancyReport`]: kms::analysis::StaticRedundancyReport
 
 use std::io::Read as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kms::analysis::{AnalysisOptions, FaultRef, StaticAnalysis};
 use kms::atpg::{collapsed_faults, FaultSite};
@@ -180,6 +183,34 @@ fn sweep_file(
     Ok((rendered, proved, analysis.certification().cloned()))
 }
 
+/// What one file's sweep produced. `Unknown` is the panic-isolated
+/// outcome: the worker unwound mid-sweep, so nothing can be said about
+/// the file — the run degrades (exit 3) instead of aborting the whole
+/// batch.
+enum Outcome {
+    Done(String, usize, Option<CertificationReport>),
+    Error(String),
+    Unknown(String),
+}
+
+/// Sweeps one file with the worker shielded by `catch_unwind`: a panic
+/// (a parser or solver bug on one pathological netlist) is converted
+/// into [`Outcome::Unknown`] so the other files still sweep and print.
+fn sweep_guarded(path: &str, args: &Args) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(|| sweep_file(path, args))) {
+        Ok(Ok((rendered, proved, cert))) => Outcome::Done(rendered, proved, cert),
+        Ok(Err(msg)) => Outcome::Error(msg),
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Outcome::Unknown(format!("{path}: sweep worker panicked: {what}"))
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -198,16 +229,19 @@ fn main() {
     .min(args.inputs.len());
     // Sweep files concurrently, but aggregate and print strictly in input
     // order: results land in per-file slots, so the output and the exit
-    // code are identical at any job count.
-    type FileResult = Result<(String, usize, Option<CertificationReport>), String>;
-    let mut results: Vec<Option<FileResult>> = (0..args.inputs.len()).map(|_| None).collect();
+    // code are identical at any job count. Slots use poisoning-aware
+    // locking: a panic inside `sweep_guarded` is already caught, so a
+    // poisoned slot can only mean a panic in the store itself — the
+    // value was fully written or not written at all, and either way the
+    // data is safe to read.
+    let mut results: Vec<Option<Outcome>> = (0..args.inputs.len()).map(|_| None).collect();
     if jobs <= 1 {
         for (path, slot) in args.inputs.iter().zip(results.iter_mut()) {
-            *slot = Some(sweep_file(path, &args));
+            *slot = Some(sweep_guarded(path, &args));
         }
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<FileResult>>> = results
+        let slots: Vec<std::sync::Mutex<Option<Outcome>>> = results
             .iter()
             .map(|_| std::sync::Mutex::new(None))
             .collect();
@@ -218,20 +252,23 @@ fn main() {
                     let Some(path) = args.inputs.get(i) else {
                         break;
                     };
-                    *slots[i].lock().expect("sweep slot lock") = Some(sweep_file(path, &args));
+                    *kms::sat::lock_unpoisoned(&slots[i]) = Some(sweep_guarded(path, &args));
                 });
             }
         });
         for (slot, out) in slots.into_iter().zip(results.iter_mut()) {
-            *out = slot.into_inner().expect("sweep slot lock");
+            *out = slot
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
     let mut io_failed = false;
+    let mut unknown_files = 0usize;
     let mut findings = 0usize;
     let mut ledger = args.opts.certify.then(CertificationReport::default);
     for result in results {
         match result.expect("every input swept") {
-            Ok((rendered, proved, certification)) => {
+            Outcome::Done(rendered, proved, certification) => {
                 findings += proved;
                 if let (Some(total), Some(cert)) = (ledger.as_mut(), certification.as_ref()) {
                     total.merge(cert);
@@ -240,11 +277,15 @@ fn main() {
                     print!("{rendered}");
                 }
             }
-            Err(msg) => {
+            Outcome::Error(msg) => {
                 io_failed = true;
                 if !args.quiet {
                     eprintln!("error: {msg}");
                 }
+            }
+            Outcome::Unknown(msg) => {
+                unknown_files += 1;
+                eprintln!("warning: {msg}; verdict for this file is unknown");
             }
         }
     }
@@ -262,8 +303,13 @@ fn main() {
             eprintln!("error: certification failed — some sweep claim has no checkable proof");
         }
     }
+    // Precedence: hard failure (2) over degraded-but-complete (3) over
+    // findings (1) — a degraded sweep cannot certify its finding count,
+    // so the caller must see the degradation first.
     let code = if io_failed {
         2
+    } else if unknown_files > 0 {
+        3
     } else {
         i32::from(findings > 0 || check_failed)
     };

@@ -25,6 +25,18 @@
 //!       --certify           log a DRAT proof for every UNSAT verdict the
 //!                           run depends on and re-check each with the
 //!                           independent proof checker
+//!       --fault-budget <spec>
+//!                           per-fault solver budget for the removal phase
+//!                           (shared engine only): a bare number caps
+//!                           conflicts; or comma-separated
+//!                           conflicts=N,props=N,ms=N. A fault whose query
+//!                           exhausts the budget is reported Unknown and
+//!                           the run completes degraded (exit 3)
+//!       --checkpoint <file> write a digest-guarded checkpoint after each
+//!                           loop iteration; a completed run removes it
+//!       --resume <file>     resume a previous run from its checkpoint
+//!                           (the input, arrivals, and semantic options
+//!                           must match — guarded by a fingerprint)
 //!   -f, --format <text|json>
 //!                           report format on stderr (default: text); json
 //!                           includes per-phase solver counters and the
@@ -33,13 +45,17 @@
 //! ```
 //!
 //! Exit status: 0 on success, 1 when a `--certify` proof fails to check,
-//! 2 on usage errors or when the input fails to read or parse.
+//! 2 on usage errors or when the input fails to read or parse, 3 when the
+//! run completed but degraded — some faults stayed Unknown under
+//! `--fault-budget` (or after an isolated worker panic), so full
+//! testability of the result was not proved.
 
 use std::error::Error;
 use std::io::Read as _;
 
+use kms::atpg::FaultBudget;
 use kms::blif::{parse_blif, write_blif};
-use kms::core::{kms as run_kms, Condition, KmsOptions};
+use kms::core::{kms_with_control, Checkpoint, Condition, KmsOptions, RunControl};
 use kms::netlist::{transform, DelayModel};
 use kms::timing::InputArrivals;
 
@@ -54,6 +70,9 @@ struct Args {
     prescreen_static: bool,
     prescreen_dataflow: bool,
     certify: bool,
+    fault_budget: Option<FaultBudget>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
     json: bool,
     quiet: bool,
 }
@@ -70,6 +89,9 @@ fn parse_args() -> Result<Args, String> {
         prescreen_static: false,
         prescreen_dataflow: false,
         certify: false,
+        fault_budget: None,
+        checkpoint: None,
+        resume: None,
         json: false,
         quiet: false,
     };
@@ -119,6 +141,14 @@ fn parse_args() -> Result<Args, String> {
                 other => return Err(format!("unknown prescreen tier {other:?}")),
             },
             "--certify" => args.certify = true,
+            "--fault-budget" => {
+                let spec = it.next().ok_or("missing value for --fault-budget")?;
+                args.fault_budget = Some(FaultBudget::parse(&spec)?);
+            }
+            "--checkpoint" => {
+                args.checkpoint = Some(it.next().ok_or("missing value for --checkpoint")?)
+            }
+            "--resume" => args.resume = Some(it.next().ok_or("missing value for --resume")?),
             "-f" | "--format" => {
                 args.json = match it.next().as_deref() {
                     Some("text") => false,
@@ -128,7 +158,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => {
-                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-e shared|sat] [-j N] [--prescreen static|dataflow] [--certify] [-f text|json] <input.blif | ->");
+                eprintln!("usage: kms [-o out.blif] [-m unit|section3] [-c static|viability] [-a input=time]... [-e shared|sat] [-j N] [--prescreen static|dataflow] [--certify] [--fault-budget SPEC] [--checkpoint FILE] [--resume FILE] [-f text|json] <input.blif | ->");
                 std::process::exit(0);
             }
             other if args.input.is_empty() => args.input = other.to_string(),
@@ -137,6 +167,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.input.is_empty() {
         return Err("missing input file (use '-' for stdin)".into());
+    }
+    if args.fault_budget.is_some() && !args.shared_engine {
+        return Err("--fault-budget requires the shared engine (-e shared)".into());
     }
     Ok(args)
 }
@@ -184,21 +217,31 @@ fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
             jobs: args.jobs,
             static_prescreen: args.prescreen_static,
             prescreen_dataflow: args.prescreen_dataflow,
+            fault_budget: args.fault_budget,
             ..Default::default()
         })
     } else {
         kms::atpg::Engine::Sat
     };
-    let report = run_kms(
-        &mut net,
-        &arrivals,
-        KmsOptions {
-            condition: args.condition,
-            engine,
-            certify: args.certify,
-            ..Default::default()
+    let options = KmsOptions {
+        condition: args.condition,
+        engine,
+        certify: args.certify,
+        ..Default::default()
+    };
+    let control = RunControl {
+        checkpoint: args.checkpoint.as_ref().map(std::path::PathBuf::from),
+        resume: match &args.resume {
+            Some(path) => Some(
+                Checkpoint::load(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot resume from {path}: {e}"))?,
+            ),
+            None => None,
         },
-    )?;
+        stop_after: None,
+    };
+    let report = kms_with_control(&mut net, &arrivals, options, control)?
+        .expect("a run without stop_after always completes");
 
     if !args.quiet && args.json {
         eprintln!("{}", report.render_json());
@@ -268,6 +311,18 @@ fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
     match &args.output {
         Some(path) => std::fs::write(path, out)?,
         None => print!("{out}"),
+    }
+    // Degraded (3) outranks a failed certification check (1): with
+    // undecided faults the output is not proved fully testable, which the
+    // caller must learn before trusting any other verdict.
+    if report.unknown > 0 {
+        eprintln!(
+            "warning: {} fault(s) left undecided by the removal phase \
+             (budget exhausted or worker panicked); the output may still \
+             hold redundancies among them",
+            report.unknown
+        );
+        return Ok(3);
     }
     Ok(i32::from(check_failed))
 }

@@ -154,6 +154,46 @@ proptest! {
         let par = analyze(&net, Engine::SharedSat(opts(jobs)));
         prop_assert_eq!(seq, par);
     }
+
+    /// A per-fault budget generous enough that no query aborts is
+    /// invisible: the budgeted report — verdicts *and* canonical test
+    /// vectors — is bit-identical to the unbudgeted one at any job
+    /// count (the budget check never steers the search, it only
+    /// observes counters at the conflict boundary).
+    #[test]
+    fn generous_budget_is_bit_identical_at_any_job_count(
+        seed in any::<u64>(),
+        inputs in 3usize..8,
+        gates in 8usize..40,
+        jobs in 1usize..9,
+    ) {
+        use kms::atpg::FaultBudget;
+        let net = random_network(seed, RandomNetworkSpec {
+            inputs,
+            gates,
+            outputs: 3,
+            max_fanin: 3,
+            max_delay: 2,
+        });
+        let opts = |budget| ParallelOptions {
+            jobs,
+            drop_patterns: 8,
+            fault_budget: budget,
+            ..Default::default()
+        };
+        let unbudgeted = analyze(&net, Engine::SharedSat(opts(None)));
+        let generous = FaultBudget {
+            max_conflicts: Some(1 << 40),
+            max_propagations: Some(1 << 50),
+            timeout_ms: None,
+        };
+        let budgeted = analyze(&net, Engine::SharedSat(opts(Some(generous))));
+        prop_assert_eq!(
+            budgeted.unknown_count(), 0,
+            "a generous budget aborted a query"
+        );
+        prop_assert_eq!(unbudgeted, budgeted);
+    }
 }
 
 #[test]

@@ -1,0 +1,195 @@
+//! Chaos suite: deterministic fault injection (`fault-inject` feature).
+//!
+//! Run with `cargo test --features fault-inject --test chaos`. Each
+//! scenario arms one injection hook — abort solver call #k, panic the
+//! classification worker on chunk claim #j, fail checkpoint write #i —
+//! and proves the governed runtime degrades cleanly: every injected
+//! failure yields either a typed error or a degraded-but-valid report,
+//! never a corrupt one, and a clean re-run is bit-identical to the
+//! uninjected baseline.
+//!
+//! The hooks are process-global atomics, so every test serializes on one
+//! mutex and clears all plans on entry and exit.
+
+#![cfg(feature = "fault-inject")]
+
+use std::sync::{Mutex, MutexGuard};
+
+use kms::atpg::{classify_faults, collapsed_faults, ParallelOptions, UnknownReason};
+use kms::core::{kms_on_copy, kms_with_control, KmsOptions, RunControl};
+use kms::netlist::{transform, DelayModel, Network};
+use kms::timing::InputArrivals;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the scenarios (the injection plans are process-global) and
+/// starts from a clean slate even if a previous test failed mid-plan.
+fn serial() -> MutexGuard<'static, ()> {
+    let guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    clear_all();
+    guard
+}
+
+fn clear_all() {
+    kms::sat::inject::clear();
+    kms::atpg::chaos::clear();
+    kms::core::inject::clear();
+}
+
+/// The Table I csa 4.4 preparation: redundant by construction, so the
+/// classification runs have real redundant faults to prove.
+fn csa() -> Network {
+    let mut net = kms::gen::adders::carry_skip_adder(4, 4, DelayModel::Unit);
+    transform::decompose_to_simple(&mut net);
+    net.apply_delay_model(DelayModel::Unit);
+    net
+}
+
+fn chaos_path(tag: &str) -> std::path::PathBuf {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/target/chaos-tests");
+    std::fs::create_dir_all(dir).unwrap();
+    std::path::Path::new(dir).join(format!("{tag}-{}.ck", std::process::id()))
+}
+
+/// Scenario 1 — abort solver call #k: the armed call returns
+/// `Aborted(Injected)` at entry; classification degrades that one fault
+/// to `Unknown(Injected)`, decides every other fault exactly as the
+/// baseline did, and a clean re-run is bit-identical.
+#[test]
+fn injected_solver_abort_degrades_one_fault() {
+    let _guard = serial();
+    let net = csa();
+    // `certify` forces every redundancy verdict through an incremental
+    // UNSAT query, so the run is guaranteed to issue solver calls (the
+    // uncertified path may settle everything in PODEM).
+    let opts = ParallelOptions {
+        jobs: 1,
+        certify: true,
+        ..Default::default()
+    };
+    let baseline = classify_faults(&net, collapsed_faults(&net), opts);
+    assert_eq!(baseline.unknown_count(), 0, "uninjected baseline is total");
+
+    kms::sat::inject::abort_solver_call(1);
+    let hit = classify_faults(&net, collapsed_faults(&net), opts);
+    assert!(
+        kms::sat::inject::calls_observed() >= 1,
+        "the certified run must issue at least one solver call"
+    );
+    kms::sat::inject::clear();
+
+    assert_eq!(hit.faults, baseline.faults);
+    assert!(hit.unknown_count() >= 1, "the aborted query must surface");
+    assert!(
+        hit.unknown_reasons()
+            .iter()
+            .any(|(r, _)| *r == UnknownReason::Injected),
+        "the unknown must carry the injection reason, got {:?}",
+        hit.unknown_reasons()
+    );
+    // Degraded, not corrupted: every decided fault agrees with baseline.
+    for (a, b) in baseline.verdicts.iter().zip(&hit.verdicts) {
+        if !b.is_unknown() {
+            assert_eq!(a, b, "a decided verdict diverged under injection");
+        }
+    }
+
+    let rerun = classify_faults(&net, collapsed_faults(&net), opts);
+    assert_eq!(rerun.verdicts, baseline.verdicts, "clean re-run diverged");
+}
+
+/// Scenario 2 — panic the worker on chunk claim #j: the pool's chunk
+/// shield parks the dead worker's chunk as `Unknown(WorkerPanic)`, the
+/// commit frontier keeps advancing (no hang), and a clean re-run is
+/// bit-identical.
+#[test]
+fn injected_worker_panic_degrades_its_chunk() {
+    let _guard = serial();
+    let net = csa();
+    let opts = ParallelOptions {
+        jobs: 2,
+        ..Default::default()
+    };
+    let baseline = classify_faults(&net, collapsed_faults(&net), opts);
+    assert_eq!(baseline.unknown_count(), 0, "uninjected baseline is total");
+
+    kms::atpg::chaos::panic_on_chunk(1);
+    let hit = classify_faults(&net, collapsed_faults(&net), opts);
+    assert!(
+        kms::atpg::chaos::claims_observed() >= 1,
+        "the parallel pool must claim at least one chunk"
+    );
+    kms::atpg::chaos::clear();
+
+    assert_eq!(hit.faults, baseline.faults);
+    assert!(hit.unknown_count() >= 1, "the dead chunk must surface");
+    assert!(
+        hit.unknown_reasons()
+            .iter()
+            .any(|(r, _)| *r == UnknownReason::WorkerPanic),
+        "the unknowns must carry the worker-panic reason, got {:?}",
+        hit.unknown_reasons()
+    );
+    for (a, b) in baseline.verdicts.iter().zip(&hit.verdicts) {
+        if !b.is_unknown() {
+            assert_eq!(a, b, "a decided verdict diverged under injection");
+        }
+    }
+
+    let rerun = classify_faults(&net, collapsed_faults(&net), opts);
+    assert_eq!(rerun.verdicts, baseline.verdicts, "clean re-run diverged");
+}
+
+/// Scenario 3 — fail checkpoint write #i: the injected I/O error is
+/// warned about and swallowed; the run completes with a report identical
+/// to an uncheckpointed baseline, later writes succeed, and the
+/// completed run removes its checkpoint file.
+#[test]
+fn injected_checkpoint_write_failure_is_survivable() {
+    let _guard = serial();
+    let net = kms::gen::paper::fig4_c2_cone();
+    let cin = net.input_by_name("cin").expect("cin exists");
+    let arrivals = InputArrivals::zero().with(cin, 5);
+    let options = KmsOptions::default();
+    let (base_net, base_report) = kms_on_copy(&net, &arrivals, options).unwrap();
+    assert!(
+        !base_report.iterations.is_empty(),
+        "the run must checkpoint at least once"
+    );
+
+    let path = chaos_path("ckpt-fail");
+    kms::core::inject::fail_checkpoint_write(1);
+    let mut governed = net.clone();
+    let report = kms_with_control(
+        &mut governed,
+        &arrivals,
+        options,
+        RunControl {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .expect("a run without stop_after always completes");
+    assert!(
+        kms::core::inject::writes_observed() >= 1,
+        "the run must attempt a checkpoint write"
+    );
+    kms::core::inject::clear();
+
+    // The failed write changed nothing observable: same final network,
+    // same trace, same removals; and the completed run left no stale
+    // checkpoint behind.
+    assert_eq!(base_net.dump(), governed.dump());
+    assert_eq!(report.iterations.len(), base_report.iterations.len());
+    assert_eq!(
+        report.removed_redundancies,
+        base_report.removed_redundancies
+    );
+    assert_eq!(report.gates_after, base_report.gates_after);
+    assert_eq!(report.unknown, 0);
+    assert!(
+        !path.exists(),
+        "a completed run removes its checkpoint file"
+    );
+}
